@@ -1,0 +1,26 @@
+"""Shared benchmark helpers.
+
+Every bench regenerates one artifact of the paper (DESIGN.md's
+experiment index), prints the rows/series the paper reports, and
+asserts the *shape* claims.  ``pytest benchmarks/ --benchmark-only``
+runs the full harness.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark an experiment with a single timed execution.
+
+    The experiments are deterministic simulations (seconds each), so
+    one round gives a meaningful wall-clock figure without repeating
+    multi-second campaigns dozens of times.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def table():
+    from repro.analysis import format_table
+
+    return format_table

@@ -1,0 +1,43 @@
+"""§III beyond DRAM and flash: STT-MRAM and RRAM vulnerabilities.
+
+Run:  python examples/emerging_memories.py
+
+Quantifies the paper's closing warning — emerging memories "are likely
+to exhibit similar and perhaps even more exacerbated reliability
+issues" — with two models: STT-MRAM error scaling as the thermal
+stability factor shrinks with density, and the RRAM crossbar's
+half-select disturb, a literal RowHammer analogue.
+"""
+
+from repro.analysis import format_table
+from repro.emerging import RramCrossbar, crossbar_hammer_study, scaling_study
+
+
+def main() -> None:
+    print("STT-MRAM: density scaling (lower thermal stability) raises every error class:")
+    rows = scaling_study(deltas=(70.0, 60.0, 50.0, 40.0), cells=1 << 18)
+    print(format_table(
+        ["delta", "read-disturb errors (1M reads)", "retention errors (10 years)"],
+        [[r["delta"], f"{r['read_disturb_errors']:.3g}", f"{r['retention_errors_10y']:.3g}"]
+         for r in rows],
+    ))
+    print()
+
+    print("RRAM crossbar: hammering one address disturbs its shared-line neighbors")
+    print("(the §II-A isolation violation, in a different technology):")
+    study = crossbar_hammer_study(accesses=(1e5, 1e6, 1e7), rows=128, cols=128)
+    print(format_table(
+        ["accesses to one cell", "victims", "all victims on shared lines"],
+        [[r["accesses"], r["victims"], r["all_on_shared_lines"]] for r in study],
+    ))
+    print()
+
+    tile = RramCrossbar(rows=128, cols=128, seed=0)
+    tile.access(64, 64, 10_000_000)
+    victims = tile.flipped_cells()[:6]
+    print(f"example victim coordinates after 10M accesses of (64, 64): {victims}")
+    print("note every victim shares row 64 or column 64 with the hammered cell.")
+
+
+if __name__ == "__main__":
+    main()

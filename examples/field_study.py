@@ -1,0 +1,44 @@
+"""Regenerate Figure 1: the 129-module RowHammer test campaign.
+
+Run:  python examples/field_study.py
+
+Prints the per-year error-rate series for each manufacturer and an
+ASCII log-scale scatter resembling the paper's figure.
+"""
+
+from repro.analysis import ascii_log_scatter, format_table
+from repro.fieldstudy import run_campaign
+
+
+def ascii_scatter(results) -> str:
+    """Log-scale scatter of per-module error rates, Figure 1 style."""
+    points = [
+        (r.year, r.errors_per_billion, r.manufacturer) for r in results if r.errors > 0
+    ]
+    return ascii_log_scatter(points, x_buckets=range(2008, 2015), decades=range(7, -1, -1))
+
+
+def main() -> None:
+    summary = run_campaign(seed=0)
+    print(f"modules tested:      {summary.modules_tested}")
+    print(f"modules vulnerable:  {summary.modules_vulnerable}  (paper: 110)")
+    print(f"earliest vulnerable: {summary.earliest_vulnerable_date}  (paper: 2010)")
+    print(f"all 2012-2013 vulnerable: {summary.all_vulnerable_between(2012.0, 2014.0)}")
+    print()
+
+    years = range(2008, 2015)
+    rows = []
+    for mfr in "ABC":
+        yearly = summary.yearly_mean_rate(mfr)
+        rows.append([mfr] + [f"{yearly.get(y, 0.0):.3g}" for y in years])
+    print(format_table(
+        ["mfr"] + [str(y) for y in years], rows,
+        title="Mean errors per 10^9 cells by manufacture year (Figure 1 series)",
+    ))
+    print()
+    print("Errors/10^9 cells, log scale (letters mark manufacturers present):")
+    print(ascii_scatter(summary.results))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+"""Compare every RowHammer mitigation on one attack (§II-C in one table).
+
+Run:  python examples/mitigation_tradeoffs.py
+"""
+
+from repro.analysis import MITIGATION_TABLE_HEADERS, format_table, report_rows
+from repro.core.experiment import mitigation_comparison, para_reliability, refresh_multiplier_sweep
+
+
+def main() -> None:
+    print("Refresh-rate scaling (the deployed immediate fix):")
+    sweep = refresh_multiplier_sweep()
+    print(format_table(
+        ["multiplier", "errors", "bandwidth overhead", "refresh energy"],
+        [[f"{r['multiplier']:.0f}x", r["errors"], f"{100 * r['bandwidth_overhead']:.1f}%",
+          f"{r['refresh_energy_factor']:.0f}x"] for r in sweep["rows"]],
+    ))
+    print(f"exact elimination multiplier: {sweep['exact_elimination_multiplier']:.2f}"
+          " (paper: 7x)\n")
+
+    print("All mitigations vs the same double-sided attack (scaled scenario):")
+    reports = mitigation_comparison()
+    print(format_table(list(MITIGATION_TABLE_HEADERS), report_rows(reports)))
+    print()
+
+    print("PARA's closed-form guarantee (the paper's advocated solution):")
+    para = para_reliability()
+    print(format_table(
+        ["p", "log10 failures/yr", "decades safer than a disk", "perf overhead"],
+        [[f"{r['p']:g}", f"{r['log10_failures_per_year']:.1f}",
+          f"{r['log10_margin_vs_disk']:.1f}", f"{100 * r['perf_overhead']:.2f}%"]
+         for r in para["rows"]],
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""DRAM retention: why profiling is hard, and what multi-rate refresh risks.
+
+Run:  python examples/retention_profiling.py
+
+Demonstrates §III-A1: Data Pattern Dependence and Variable Retention
+Time let cells escape a multi-round retention test; RAIDR-style
+multi-rate refresh inherits those escapes; AVATAR's ECC-scrub upgrade
+path drives the escape rate down over deployment days.
+"""
+
+from repro.analysis import format_table
+from repro.retention import (
+    CellPopulation,
+    RetentionParams,
+    assign_bins,
+    field_escapes,
+    profile_population,
+    runtime_escape_cells,
+    simulate_avatar,
+)
+
+
+def main() -> None:
+    params = RetentionParams(
+        tail_fraction=1e-3, vrt_fraction=1e-3, dpd_fraction=0.6, dpd_min_factor=0.2
+    )
+    population = CellPopulation(rows=2048, cells_per_row=512, params=params, seed=0)
+    print(f"population: {population.n_cells} cells, "
+          f"{len(population.vrt_indices)} VRT cells")
+
+    profiling = profile_population(
+        population, test_interval_s=0.512, rounds=4, pattern_coverage=0.35, seed=0
+    )
+    print(f"profiling at 512 ms, 4 rounds: {len(profiling.discovered)} failing cells found")
+    print(f"  new discoveries per round: {profiling.round_discoveries}")
+
+    escapes = field_escapes(population, profiling, field_refresh_interval_s=0.256)
+    print(f"field escapes at 256 ms refresh over one day: {len(escapes)}  <- the §III-A1 risk")
+
+    assignment = assign_bins(population, profiling.observed_retention_s)
+    print()
+    print(format_table(
+        ["bin", "interval", "rows"],
+        [[i, f"{interval * 1000:.0f} ms", count]
+         for i, (interval, count) in enumerate(zip(assignment.bins_s, assignment.bin_counts()))],
+        title="RAIDR binning",
+    ))
+    print(f"refresh operations saved: {100 * assignment.savings_fraction():.1f}%")
+    raidr_escapes = runtime_escape_cells(population, assignment, observation_s=6 * 3600)
+    print(f"RAIDR runtime escape cells (6h): {len(raidr_escapes)}")
+
+    avatar = simulate_avatar(population, assignment, days=5, seed=0)
+    print()
+    print(format_table(
+        ["day", "escapes", "rows upgraded"],
+        [[d + 1, e, u] for d, (e, u) in enumerate(zip(avatar.daily_escapes, avatar.daily_upgrades))],
+        title="AVATAR scrub-and-upgrade",
+    ))
+    print(f"final refresh rate: {avatar.refreshes_per_second_final:.0f} rows/s "
+          f"(RAIDR: {assignment.refreshes_per_second():.0f}, "
+          f"baseline: {assignment.baseline_refreshes_per_second():.0f})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Plain-text figure rendering (log-scale scatter, bar series).
+
+Keeps the benches and examples free of plotting dependencies while
+still giving a visual read of the regenerated figures.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Sequence, Tuple
+
+
+def ascii_log_scatter(
+    points: Iterable[Tuple[float, float, str]],
+    x_buckets: Sequence[int],
+    decades: Sequence[int],
+) -> str:
+    """Render (x, y, label) points on a log-y grid.
+
+    Args:
+        points: (x, y, one-char label) triples; y <= 0 points are dropped.
+        x_buckets: integer x-axis buckets (e.g. years).
+        decades: y-axis decades, e.g. ``range(7, -1, -1)``.
+    """
+    marks: Dict[Tuple[int, int], set] = {}
+    for x, y, label in points:
+        if y <= 0:
+            continue
+        decade = int(math.floor(math.log10(y)))
+        decade = min(max(decade, min(decades)), max(decades))
+        bucket = int(x)
+        if bucket in x_buckets:
+            marks.setdefault((decade, bucket), set()).add(label[:1])
+    lines = []
+    for decade in decades:
+        cells = []
+        for bucket in x_buckets:
+            got = marks.get((decade, bucket), set())
+            cells.append("".join(sorted(got)).ljust(4))
+        lines.append(f"10^{decade} | " + " ".join(cells))
+    lines.append("      +" + "-" * (len(x_buckets) * 5 + 2))
+    lines.append("        " + " ".join(str(b)[-2:].ljust(4) for b in x_buckets))
+    return "\n".join(lines)
+
+
+def ascii_bars(values: Dict[str, float], width: int = 40, log: bool = False) -> str:
+    """Horizontal bar chart of labeled values."""
+    if not values:
+        return "(empty)"
+    import math as _math
+
+    def transform(v: float) -> float:
+        if not log:
+            return v
+        return _math.log10(v) if v > 0 else 0.0
+
+    transformed = {k: transform(v) for k, v in values.items()}
+    peak = max(transformed.values()) or 1.0
+    label_width = max(len(k) for k in values)
+    lines = []
+    for key, value in values.items():
+        bar = "#" * max(0, int(round(width * transformed[key] / peak)))
+        lines.append(f"{key.ljust(label_width)} | {bar} {value:.4g}")
+    return "\n".join(lines)

@@ -1,0 +1,49 @@
+"""Small statistics helpers shared by benches and reports."""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean; raises on non-positive entries."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("geometric_mean of empty sequence")
+    if np.any(arr <= 0):
+        raise ValueError("geometric_mean requires positive values")
+    return float(np.exp(np.mean(np.log(arr))))
+
+
+def percentile_summary(values: Sequence[float]) -> Dict[str, float]:
+    """Mean/median/p95/p99/max summary of a latency-like population."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        return {"mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0, "max": 0.0}
+    return {
+        "mean": float(arr.mean()),
+        "p50": float(np.percentile(arr, 50)),
+        "p95": float(np.percentile(arr, 95)),
+        "p99": float(np.percentile(arr, 99)),
+        "max": float(arr.max()),
+    }
+
+
+def relative_change(baseline: float, value: float) -> float:
+    """(value - baseline) / baseline; 0 when baseline is 0 and value is 0."""
+    if baseline == 0:
+        if value == 0:
+            return 0.0
+        raise ZeroDivisionError("relative_change with zero baseline")
+    return (value - baseline) / baseline
+
+
+def poisson_rate_interval(count: int, exposure: float, z: float = 1.96) -> tuple:
+    """Normal-approximation confidence interval for a Poisson rate."""
+    if exposure <= 0:
+        raise ValueError("exposure must be positive")
+    rate = count / exposure
+    half = z * np.sqrt(max(count, 1)) / exposure
+    return (max(0.0, rate - half), rate + half)

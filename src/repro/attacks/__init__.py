@@ -1,0 +1,45 @@
+"""RowHammer attack patterns, invariant checkers, and exploitation models."""
+
+from repro.attacks.hammer import (
+    HammerResult,
+    double_sided_device,
+    hammer_via_controller,
+    many_sided_device,
+    max_double_sided_budget,
+    multibank_attack_scaling,
+    per_bank_budget_multibank,
+    single_sided_device,
+)
+from repro.attacks.invariants import IsolationReport, check_read_isolation, check_write_isolation
+from repro.attacks.privilege import (
+    PFN_BIT_RANGE,
+    FlipTemplate,
+    default_ffs_predicate,
+    drammer_success_probability,
+    flip_feng_shui_templates,
+    javascript_success_probability,
+    pte_spray_success_probability,
+    scan_templates,
+)
+
+__all__ = [
+    "HammerResult",
+    "double_sided_device",
+    "hammer_via_controller",
+    "many_sided_device",
+    "max_double_sided_budget",
+    "multibank_attack_scaling",
+    "per_bank_budget_multibank",
+    "single_sided_device",
+    "IsolationReport",
+    "check_read_isolation",
+    "check_write_isolation",
+    "PFN_BIT_RANGE",
+    "FlipTemplate",
+    "default_ffs_predicate",
+    "drammer_success_probability",
+    "flip_feng_shui_templates",
+    "javascript_success_probability",
+    "pte_spray_success_probability",
+    "scan_templates",
+]

@@ -1,0 +1,166 @@
+"""Hammering access patterns: single-, double-, and many-sided.
+
+Two execution paths are provided, mirroring the two fidelity levels of
+the simulator:
+
+* the **device path** (``*_device``) drives the bank's exact bulk
+  accounting — used for large campaigns (field study, ECC histograms);
+* the **controller path** (:func:`hammer_via_controller`) issues every
+  activation through the full command pipeline — timing, auto-refresh,
+  perf counters, and any installed mitigation — used for mitigation
+  effectiveness experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+from repro.controller.controller import MemoryController
+from repro.dram.module import DramModule
+from repro.utils.validation import check_positive
+
+
+@dataclass
+class HammerResult:
+    """Outcome of one hammer session.
+
+    Attributes:
+        aggressors: physical rows hammered.
+        activations_per_aggressor: bulk count applied to each.
+        flips: (physical row, bit) pairs that flipped.
+    """
+
+    aggressors: Tuple[int, ...]
+    activations_per_aggressor: int
+    flips: List[Tuple[int, int]] = field(default_factory=list)
+
+    @property
+    def flip_count(self) -> int:
+        return len(self.flips)
+
+    def victim_rows(self) -> List[int]:
+        """Distinct rows containing flips."""
+        return sorted({row for row, _bit in self.flips})
+
+
+def _collect_new_flips(bank, before: int) -> List[Tuple[int, int]]:
+    return [(row, bit) for row, bit, _t in bank.stats.flip_log[before:]]
+
+
+def single_sided_device(module: DramModule, bank: int, aggressor: int, count: int) -> HammerResult:
+    """Hammer one aggressor row ``count`` times (device fast path)."""
+    check_positive("count", count)
+    dev = module.bank(bank)
+    before = len(dev.stats.flip_log)
+    dev.bulk_activate(aggressor, count)
+    dev.settle()
+    return HammerResult(
+        aggressors=(aggressor,),
+        activations_per_aggressor=count,
+        flips=_collect_new_flips(dev, before),
+    )
+
+
+def double_sided_device(module: DramModule, bank: int, victim: int, count: int) -> HammerResult:
+    """Hammer both neighbors of ``victim`` ``count`` times each."""
+    check_positive("count", count)
+    module.geometry.check_row(victim)
+    aggressors = tuple(r for r in (victim - 1, victim + 1) if 0 <= r < module.geometry.rows)
+    dev = module.bank(bank)
+    before = len(dev.stats.flip_log)
+    for aggressor in aggressors:
+        dev.bulk_activate(aggressor, count)
+    dev.settle()
+    return HammerResult(
+        aggressors=aggressors,
+        activations_per_aggressor=count,
+        flips=_collect_new_flips(dev, before),
+    )
+
+
+def many_sided_device(
+    module: DramModule, bank: int, aggressors: Sequence[int], count: int
+) -> HammerResult:
+    """Hammer an arbitrary aggressor set (TRRespass-style patterns)."""
+    check_positive("count", count)
+    dev = module.bank(bank)
+    before = len(dev.stats.flip_log)
+    for aggressor in aggressors:
+        dev.bulk_activate(aggressor, count)
+    dev.settle()
+    return HammerResult(
+        aggressors=tuple(aggressors),
+        activations_per_aggressor=count,
+        flips=_collect_new_flips(dev, before),
+    )
+
+
+def hammer_via_controller(
+    controller: MemoryController,
+    bank: int,
+    aggressor_rows: Sequence[int],
+    iterations: int,
+) -> int:
+    """Issue ``iterations`` interleaved activation rounds through the full
+    command pipeline; return the flips the run produced.
+
+    Every activation is exposed to auto-refresh and the installed
+    mitigation, so the return value measures *post-mitigation* errors.
+    """
+    check_positive("iterations", iterations)
+    before = controller.module.total_flips()
+    controller.run_activation_pattern(bank, list(aggressor_rows), iterations)
+    controller.finish()
+    return controller.module.total_flips() - before
+
+
+def per_bank_budget_multibank(timing, n_banks: int, refresh_multiplier: float = 1.0) -> int:
+    """Per-bank activation budget when hammering ``n_banks`` in parallel.
+
+    A single-bank attacker is tRC-bound; a multi-bank attacker shares
+    the rank's tRRD/tFAW activation rate across banks.  Total rank
+    throughput rises with bank count until the rank limit saturates
+    (at ``tRC * rank_rate`` banks), after which per-bank pressure falls
+    — the engineering constraint behind multi-bank hammering.
+    """
+    check_positive("n_banks", n_banks)
+    per_bank_rate = min(1.0 / timing.tRC, timing.rank_activation_rate_per_ns / n_banks)
+    return int(per_bank_rate * timing.tREFW / refresh_multiplier)
+
+
+def multibank_attack_scaling(module_factory, bank_counts=(1, 2, 4, 8)) -> list:
+    """Total victim flips vs simultaneously hammered banks.
+
+    ``module_factory()`` must return a fresh module per configuration.
+    Each hammered bank gets one double-sided victim at its per-bank
+    budget (device path).  Shows throughput scaling and its tFAW
+    saturation point.
+    """
+    out = []
+    for n_banks in bank_counts:
+        module = module_factory()
+        budget = per_bank_budget_multibank(module.timing, n_banks)
+        total = 0
+        for bank in range(min(n_banks, module.geometry.banks)):
+            result = double_sided_device(module, bank, victim=1000, count=budget // 2)
+            total += sum(1 for row, _bit in result.flips if row == 1000)
+        out.append(
+            {
+                "banks": n_banks,
+                "per_bank_budget": budget,
+                "victim_flips_total": total,
+            }
+        )
+    return out
+
+
+def max_double_sided_budget(module: DramModule, refresh_multiplier: float = 1.0) -> int:
+    """Per-aggressor activation budget of a double-sided attack within one
+    (possibly shortened) refresh window.
+
+    The two aggressors alternate, so each gets half the window's
+    activation slots — but the shared victim accumulates both streams.
+    """
+    timing = module.timing
+    return int(timing.tREFW / refresh_multiplier / timing.tRC / 2)

@@ -1,0 +1,106 @@
+"""Memory-isolation invariant checkers (claim C2).
+
+§II-A: RowHammer errors "violate two invariants that memory should
+provide: (i) a read access should not modify data at any address and
+(ii) a write access should modify data only at the address that it is
+supposed to write to", and "all of which occur in rows other than the
+one that is being accessed".
+
+These checkers run an access loop (pure reads, or pure writes of the
+same value) against an initialized region and report exactly which
+addresses changed, partitioned into the accessed row vs others.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from repro.dram.module import DramModule
+
+
+@dataclass
+class IsolationReport:
+    """Result of an invariant check.
+
+    Attributes:
+        accessed_row: the (physical) row the access loop targeted.
+        accessed_row_changed: whether the accessed row's own data changed
+            (it must not, for both reads and idempotent writes).
+        corrupted_rows: map of other physical rows -> flipped bit indices.
+    """
+
+    accessed_row: int
+    accessed_row_changed: bool = False
+    corrupted_rows: Dict[int, List[int]] = field(default_factory=dict)
+
+    @property
+    def violated(self) -> bool:
+        """Whether memory isolation was violated anywhere."""
+        return bool(self.corrupted_rows) or self.accessed_row_changed
+
+    @property
+    def total_corrupted_bits(self) -> int:
+        return sum(len(bits) for bits in self.corrupted_rows.values())
+
+
+def _snapshot(module: DramModule, bank: int, rows) -> Dict[int, np.ndarray]:
+    dev = module.bank(bank)
+    return {row: dev.row_bits(row).copy() for row in rows}
+
+
+def _diff(module: DramModule, bank: int, baseline: Dict[int, np.ndarray], accessed: int) -> IsolationReport:
+    dev = module.bank(bank)
+    dev.settle()
+    report = IsolationReport(accessed_row=accessed)
+    for row, before in baseline.items():
+        after = dev.row_bits(row)
+        changed = np.nonzero(before != after)[0]
+        if len(changed) == 0:
+            continue
+        if row == accessed:
+            report.accessed_row_changed = True
+        else:
+            report.corrupted_rows[row] = [int(b) for b in changed]
+    return report
+
+
+def check_read_isolation(
+    module: DramModule,
+    bank: int,
+    accessed_row: int,
+    read_count: int,
+    watch_radius: int = 3,
+) -> IsolationReport:
+    """Repeatedly *read* one row; report any data change anywhere nearby.
+
+    Reads are modeled as activations (every DRAM read opens the row).
+    """
+    rows = [r for r in range(accessed_row - watch_radius, accessed_row + watch_radius + 1) if 0 <= r < module.geometry.rows]
+    baseline = _snapshot(module, bank, rows)
+    dev = module.bank(bank)
+    dev.bulk_activate(accessed_row, read_count)
+    return _diff(module, bank, baseline, accessed_row)
+
+
+def check_write_isolation(
+    module: DramModule,
+    bank: int,
+    accessed_row: int,
+    write_count: int,
+    watch_radius: int = 3,
+) -> IsolationReport:
+    """Repeatedly *write the same data back* to one row; report changes
+    at any other address (the accessed row legitimately holds the
+    written value, so it is checked for equality with that value)."""
+    rows = [r for r in range(accessed_row - watch_radius, accessed_row + watch_radius + 1) if 0 <= r < module.geometry.rows]
+    baseline = _snapshot(module, bank, rows)
+    dev = module.bank(bank)
+    written = baseline[accessed_row].copy()
+    # Writes activate the row each time; chunk them through the exact
+    # bulk path then re-assert the written data (write-same-value loop).
+    dev.bulk_activate(accessed_row, write_count)
+    dev.write(accessed_row, written)
+    return _diff(module, bank, baseline, accessed_row)

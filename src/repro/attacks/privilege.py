@@ -1,0 +1,210 @@
+"""Exploitation models: turning bit flips into system compromise (§II-B).
+
+The paper lists four demonstrated attack classes built on RowHammer:
+
+* **kernel privilege escalation** from user level (Google Project Zero
+  [89, 90]) — spray physical memory with page-table pages, hammer, and
+  hope a flip lands in the PFN field of an attacker-readable PTE so it
+  points into attacker-controlled memory;
+* **remote JavaScript** takeover [33] — same flip physics, with the
+  aggressor-selection constraint that the attacker has no physical
+  address knowledge (modeled as random aggressor choice);
+* **VM-on-VM / Flip Feng Shui** [86] — memory deduplication gives the
+  attacker *deterministic placement* of a victim page onto a
+  previously templated flip location;
+* **Drammer on mobile** [98] — no permissions, but aggressor choice is
+  restricted to physically *contiguous* allocations.
+
+We model each as a success-probability computation over the module's
+**flip templates** — the deterministic weak-cell map the fault model
+exposes — which is faithful to how the real attacks operate (they all
+begin with a templating scan).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+import numpy as np
+
+from repro.dram.module import DramModule
+from repro.utils.rng import derive_rng
+from repro.utils.validation import check_probability
+
+#: x86-64 PTE physical-frame-number field: bits 12..51 of the 64-bit entry.
+PFN_BIT_RANGE = (12, 52)
+
+
+@dataclass(frozen=True)
+class FlipTemplate:
+    """One repeatable flip location discovered by a templating scan.
+
+    Attributes:
+        bank, row, bit: physical flip location (bit is the row-bit index).
+        direction: ``"1to0"`` (true cell) or ``"0to1"`` (anti cell).
+        hc_first: activation threshold of the underlying weak cell.
+    """
+
+    bank: int
+    row: int
+    bit: int
+    direction: str
+    hc_first: float
+
+    @property
+    def word_bit_offset(self) -> int:
+        """Offset within the containing 64-bit word."""
+        return self.bit % 64
+
+
+def scan_templates(
+    module: DramModule,
+    bank: int,
+    rows: Sequence[int],
+    pressure: float,
+) -> List[FlipTemplate]:
+    """Templating scan: every weak cell reachable at ``pressure``.
+
+    Uses the device fault map directly (a real scan hammers each victim
+    with adversarial patterns, revealing precisely this set).
+    """
+    templates: List[FlipTemplate] = []
+    model = module.model
+    for row in rows:
+        cells = model.weak_cells(bank, row)
+        if not len(cells):
+            continue
+        reachable = cells.hc_first <= pressure
+        for bit, hc, anti in zip(
+            cells.bits[reachable], cells.hc_first[reachable], cells.anti[reachable]
+        ):
+            templates.append(
+                FlipTemplate(
+                    bank=bank,
+                    row=int(row),
+                    bit=int(bit),
+                    direction="0to1" if anti else "1to0",
+                    hc_first=float(hc),
+                )
+            )
+    return templates
+
+
+# ----------------------------------------------------------------------
+# Attack 1: PTE spray (kernel privilege escalation)
+# ----------------------------------------------------------------------
+def pte_spray_success_probability(
+    templates: Sequence[FlipTemplate],
+    spray_fraction: float,
+    trials: int = 2000,
+    seed: int = 0,
+) -> float:
+    """Monte-Carlo success probability of the Project-Zero-style attack.
+
+    Each trial: every templated victim row independently hosts
+    attacker page-table pages with probability ``spray_fraction``
+    (spray coverage of physical memory); a flip whose bit offset falls
+    in the PTE's PFN field redirects that PTE to a random frame, which
+    is attacker-controlled again with probability ``spray_fraction``.
+    The attack succeeds if any template fires usefully.
+    """
+    check_probability("spray_fraction", spray_fraction)
+    if not templates:
+        return 0.0
+    rng = derive_rng(seed, "pte-spray")
+    lo, hi = PFN_BIT_RANGE
+    usable = [t for t in templates if lo <= t.word_bit_offset < hi]
+    if not usable:
+        return 0.0
+    successes = 0
+    n = len(usable)
+    for _ in range(trials):
+        sprayed = rng.random(n) < spray_fraction
+        redirect_ok = rng.random(n) < spray_fraction
+        if np.any(sprayed & redirect_ok):
+            successes += 1
+    return successes / trials
+
+
+# ----------------------------------------------------------------------
+# Attack 2: Flip Feng Shui (deterministic placement via dedup)
+# ----------------------------------------------------------------------
+def default_ffs_predicate(template: FlipTemplate) -> bool:
+    """A usable FFS template: flips a byte in the region of a page where
+    the target cryptographic material (e.g. an RSA modulus in an
+    authorized_keys page) resides — modeled as the second quarter of
+    the 4 KiB page, any direction."""
+    byte_in_page = (template.bit // 8) % 4096
+    return 1024 <= byte_in_page < 2048
+
+
+def flip_feng_shui_templates(
+    templates: Sequence[FlipTemplate],
+    predicate: Callable[[FlipTemplate], bool] = default_ffs_predicate,
+) -> List[FlipTemplate]:
+    """Templates usable by Flip Feng Shui under ``predicate``.
+
+    With memory deduplication the attacker chooses where the victim
+    page lands, so the attack succeeds deterministically iff this list
+    is non-empty.
+    """
+    return [t for t in templates if predicate(t)]
+
+
+# ----------------------------------------------------------------------
+# Attack 3: Drammer (contiguity-constrained mobile attack)
+# ----------------------------------------------------------------------
+def drammer_success_probability(
+    templates: Sequence[FlipTemplate],
+    total_rows: int,
+    chunk_rows: int,
+    trials: int = 2000,
+    seed: int = 0,
+) -> float:
+    """Success probability when the attacker controls one random
+    physically contiguous chunk of ``chunk_rows`` rows.
+
+    A template is reachable if its victim row and both neighbors lie
+    inside the chunk (double-sided hammering needs both aggressors).
+    """
+    if chunk_rows < 3 or not templates:
+        return 0.0
+    rng = derive_rng(seed, "drammer")
+    victim_rows = np.array(sorted({t.row for t in templates}))
+    successes = 0
+    max_start = max(1, total_rows - chunk_rows)
+    for _ in range(trials):
+        start = int(rng.integers(0, max_start))
+        lo, hi = start + 1, start + chunk_rows - 1  # need row-1 and row+1 inside
+        if np.any((victim_rows >= lo) & (victim_rows < hi)):
+            successes += 1
+    return successes / trials
+
+
+# ----------------------------------------------------------------------
+# Attack 4: remote JavaScript (no address knowledge)
+# ----------------------------------------------------------------------
+def javascript_success_probability(
+    templates: Sequence[FlipTemplate],
+    total_rows: int,
+    aggressor_attempts: int,
+    trials: int = 1000,
+    seed: int = 0,
+) -> float:
+    """Success probability when aggressor rows are chosen blindly.
+
+    The JavaScript attacker cannot resolve physical addresses, so each
+    attempt hammers a random row pair; an attempt pays off if it
+    brackets a templated victim.
+    """
+    if not templates:
+        return 0.0
+    rng = derive_rng(seed, "js")
+    victim_rows = {t.row for t in templates}
+    successes = 0
+    for _ in range(trials):
+        picks = rng.integers(1, total_rows - 1, size=aggressor_attempts)
+        if any(int(v) in victim_rows for v in picks):
+            successes += 1
+    return successes / trials

@@ -1,0 +1,208 @@
+"""Command-line front end: run any paper experiment from the shell.
+
+Usage::
+
+    python -m repro list
+    python -m repro run f1 --seed 0
+    python -m repro run c3 --json
+    python -m repro describe c5
+
+Each experiment name maps to a function of the experiment registry
+(:mod:`repro.core.experiment`); results print as text tables, or as
+JSON with ``--json`` for downstream tooling.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.core import experiment as X
+
+#: CLI name -> (callable, one-line description).
+EXPERIMENTS: Dict[str, tuple] = {
+    "f1": (X.fig1_error_rates, "Figure 1: error rates vs manufacture date (129 modules)"),
+    "c2": (X.isolation_violations, "Memory-isolation violations by read and write loops"),
+    "c3": (X.refresh_multiplier_sweep, "Errors and cost vs refresh-rate multiplier"),
+    "c4": (X.ecc_study, "Flips-per-word histogram and the ECC ladder"),
+    "c5": (X.para_reliability, "PARA closed-form reliability analysis"),
+    "c5-sim": (X.para_controller_check, "PARA scaled controller-path simulation"),
+    "c6": (X.cra_tradeoff, "Counter-based mitigation: protection and storage"),
+    "c7": (X.mitigation_comparison, "All mitigations vs the same attack"),
+    "c8": (X.retention_study, "Retention: profiling escapes, RAIDR, AVATAR"),
+    "c9": (X.flash_error_sweep, "Flash error breakdown vs wear"),
+    "c9-fcr": (X.fcr_study, "Flash Correct-and-Refresh lifetime sweep"),
+    "c10-c11": (X.recovery_study, "RFR, read-disturb recovery, NAC"),
+    "c12": (X.twostep_study, "Two-step programming exposure"),
+    "c12-lifetime": (X.twostep_lifetime_study, "Two-step hardening lifetime gain"),
+    "c13": (X.pcm_study, "PCM wear attack vs Start-Gap"),
+    "c14": (X.attack_gallery, "Attack gallery success probabilities"),
+    "sidedness": (X.sidedness_ablation, "Single- vs double-sided ablation"),
+    "trr-bypass": (X.trr_bypass_study, "Many-sided hammering vs TRR sampler"),
+    "userlevel": (X.userlevel_attack_study, "User-level attack strategies via cache"),
+    "raidr-interaction": (X.raidr_rowhammer_interaction, "RAIDR bins open RowHammer headroom"),
+    "codesign": (X.codesign_study, "AL-DRAM latency profiling + online retention profiling"),
+    "dpd": (X.pattern_dependence_study, "Data-pattern dependence of disturbance errors"),
+    "emerging": (X.emerging_memory_study, "STT-MRAM scaling + RRAM crossbar hammer"),
+    "multibank": (X.multibank_study, "Attack throughput vs parallel banks (tFAW limit)"),
+    "vref": (X.vref_tuning_study, "Flash read-reference tuning vs retention errors"),
+    "fleet": (X.fleet_study, "Fleet exposure from the vintage mix + patch rollout"),
+}
+
+
+def _to_jsonable(value: Any) -> Any:
+    """Best-effort conversion of experiment results to JSON types."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {k: _to_jsonable(v) for k, v in dataclasses.asdict(value).items()}
+    if isinstance(value, dict):
+        return {str(k): _to_jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_to_jsonable(v) for v in value]
+    if hasattr(value, "tolist"):
+        return value.tolist()
+    if hasattr(value, "__dict__") and not isinstance(value, type):
+        return {k: _to_jsonable(v) for k, v in vars(value).items() if not k.startswith("_")}
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def _render_text(result: Any, indent: int = 0) -> List[str]:
+    pad = "  " * indent
+    lines: List[str] = []
+    jsonable = _to_jsonable(result)
+    if isinstance(jsonable, dict):
+        for key, value in jsonable.items():
+            if isinstance(value, (dict, list)) and value and not _is_flat(value):
+                lines.append(f"{pad}{key}:")
+                lines.extend(_render_text(value, indent + 1))
+            else:
+                lines.append(f"{pad}{key}: {value}")
+    elif isinstance(jsonable, list):
+        for item in jsonable:
+            if isinstance(item, (dict, list)):
+                lines.append(f"{pad}-")
+                lines.extend(_render_text(item, indent + 1))
+            else:
+                lines.append(f"{pad}- {item}")
+    else:
+        lines.append(f"{pad}{jsonable}")
+    return lines
+
+
+def _is_flat(value: Any) -> bool:
+    if isinstance(value, dict):
+        return all(not isinstance(v, (dict, list)) for v in value.values())
+    if isinstance(value, list):
+        return all(not isinstance(v, (dict, list)) for v in value) and len(value) <= 12
+    return True
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the experiments of the RowHammer DATE 2017 paper.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    describe = sub.add_parser("describe", help="show an experiment's docstring")
+    describe.add_argument("name", choices=sorted(EXPERIMENTS))
+
+    run = sub.add_parser("run", help="run one experiment")
+    run.add_argument("name", choices=sorted(EXPERIMENTS))
+    run.add_argument("--seed", type=int, default=0, help="experiment seed")
+    run.add_argument("--json", action="store_true", help="emit JSON instead of text")
+
+    report = sub.add_parser("report", help="run several experiments, write a markdown report")
+    report.add_argument("names", nargs="+", choices=sorted(EXPERIMENTS))
+    report.add_argument("--seed", type=int, default=0)
+    report.add_argument("--output", default="report.md", help="markdown file to write")
+
+    test_module = sub.add_parser(
+        "test-module",
+        help="memtest-style RowHammer test of one simulated module",
+    )
+    test_module.add_argument("--manufacturer", choices=("A", "B", "C"), default="B")
+    test_module.add_argument("--date", type=float, default=2013.0)
+    test_module.add_argument("--seed", type=int, default=0)
+    test_module.add_argument("--refresh-multiplier", type=float, default=1.0)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        width = max(len(name) for name in EXPERIMENTS)
+        for name, (_fn, description) in sorted(EXPERIMENTS.items()):
+            print(f"{name.ljust(width)}  {description}")
+        return 0
+    if args.command == "describe":
+        fn, description = EXPERIMENTS[args.name]
+        print(f"{args.name}: {description}\n")
+        print((fn.__doc__ or "(no docstring)").strip())
+        return 0
+    if args.command == "report":
+        return _write_report(args.names, args.seed, args.output)
+    if args.command == "test-module":
+        return _test_module(args)
+    fn, _description = EXPERIMENTS[args.name]
+    try:
+        result = fn(seed=args.seed)
+    except TypeError:
+        result = fn()  # a few experiments take no seed
+    if args.json:
+        print(json.dumps(_to_jsonable(result), indent=2, default=repr))
+    else:
+        print("\n".join(_render_text(result)))
+    return 0
+
+
+def _write_report(names: List[str], seed: int, output: str) -> int:
+    """Run experiments and write their results as a markdown report."""
+    lines = ["# repro experiment report", ""]
+    for name in names:
+        fn, description = EXPERIMENTS[name]
+        try:
+            result = fn(seed=seed)
+        except TypeError:
+            result = fn()
+        lines.append(f"## {name} — {description}")
+        lines.append("")
+        lines.append("```")
+        lines.extend(_render_text(result))
+        lines.append("```")
+        lines.append("")
+        print(f"ran {name}")
+    with open(output, "w") as handle:
+        handle.write("\n".join(lines))
+    print(f"wrote {output}")
+    return 0
+
+
+def _test_module(args) -> int:
+    """memtest-style RowHammer test of one simulated module (§II's [80])."""
+    from repro.dram.module import DramModule
+    from repro.dram.timing import DDR3_1066
+    from repro.fieldstudy.campaign import whole_module_errors
+
+    module = DramModule.from_vintage(
+        args.manufacturer, args.date, serial="cli-dut", seed=args.seed, timing=DDR3_1066
+    )
+    result = whole_module_errors(module, refresh_multiplier=args.refresh_multiplier)
+    print(f"module: manufacturer {args.manufacturer}, date {args.date}, "
+          f"refresh x{args.refresh_multiplier:g}")
+    print(f"activation budget per victim: {result.budget}")
+    print(f"errors: {result.errors} ({result.errors_per_billion:.3g} per 10^9 cells)")
+    print("VULNERABLE to RowHammer" if result.vulnerable else "no RowHammer errors observed")
+    return 1 if result.vulnerable else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

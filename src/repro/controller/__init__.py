@@ -1,0 +1,28 @@
+"""Memory-controller substrate: scheduling, refresh, energy, counters."""
+
+from repro.controller.controller import ControllerStats, MemoryController
+from repro.controller.energy import EnergyAccount, EnergyParams
+from repro.controller.frfcfs import FrFcfsScheduler
+from repro.controller.hooks import MitigationHook, NullMitigation
+from repro.controller.perfcounters import PerfCounters, WindowSample
+from repro.controller.refresh import RefreshEngine, RefreshStats
+from repro.controller.request import MemRequest
+from repro.controller.scheduler import T_BURST_NS, CommandScheduler, SchedulerStats
+
+__all__ = [
+    "ControllerStats",
+    "MemoryController",
+    "FrFcfsScheduler",
+    "EnergyAccount",
+    "EnergyParams",
+    "MitigationHook",
+    "NullMitigation",
+    "PerfCounters",
+    "WindowSample",
+    "RefreshEngine",
+    "RefreshStats",
+    "MemRequest",
+    "T_BURST_NS",
+    "CommandScheduler",
+    "SchedulerStats",
+]

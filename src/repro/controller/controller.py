@@ -1,0 +1,173 @@
+"""The memory controller: glue between workloads, device, and mitigations.
+
+The controller advances simulated time command by command (tRC per
+activation, tRFC per REF), drives the module's banks, feeds performance
+counters, and invokes the installed mitigation hook after every
+activation.  Mitigations request victim refreshes through
+:meth:`MemoryController.refresh_neighbors`, which resolves adjacency
+either through the SPD-published mapping (``spd_adjacency=True``, the
+paper's proposal) or by naive logical +/-1 guessing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence
+
+from repro.controller.energy import EnergyAccount
+from repro.controller.hooks import MitigationHook, NullMitigation
+from repro.controller.perfcounters import PerfCounters
+from repro.controller.refresh import RefreshEngine
+from repro.dram.module import DramModule
+
+
+@dataclass
+class ControllerStats:
+    """Aggregate controller activity."""
+
+    activations: int = 0
+    mitigation_refreshes: int = 0
+    flips_observed: int = 0
+    flip_events: List[tuple] = field(default_factory=list)
+
+
+class MemoryController:
+    """A mitigation-aware DRAM controller.
+
+    Args:
+        module: device under control.
+        mitigation: installed RowHammer mitigation (default: none).
+        refresh_multiplier: auto-refresh rate multiplier.
+        spd_adjacency: whether victim-refresh requests use the true
+            (SPD-published) adjacency or naive logical +/-1.
+        perf_window_ns: performance-counter sampling window.
+    """
+
+    def __init__(
+        self,
+        module: DramModule,
+        mitigation: Optional[MitigationHook] = None,
+        refresh_multiplier: float = 1.0,
+        spd_adjacency: bool = True,
+        perf_window_ns: float = 1_000_000.0,
+        refresh_row_bins=None,
+    ) -> None:
+        self.module = module
+        self.mitigation = mitigation if mitigation is not None else NullMitigation()
+        self.refresh_engine = RefreshEngine(module, refresh_multiplier, row_bins=refresh_row_bins)
+        self.energy = EnergyAccount()
+        self.perf = PerfCounters(window_ns=perf_window_ns)
+        self.spd_adjacency = spd_adjacency
+        self.time_ns = 0.0
+        self.stats = ControllerStats()
+
+    # ------------------------------------------------------------------
+    # Primitive operations
+    # ------------------------------------------------------------------
+    def activate(self, bank: int, logical_row: int) -> None:
+        """Issue ACT+PRE to ``(bank, logical_row)``, advancing time by tRC."""
+        self.module.activate(bank, logical_row, self.time_ns)
+        self.module.precharge(bank)
+        self.time_ns += self.module.timing.tRC
+        self.energy.record("act")
+        self.energy.record("pre")
+        self.stats.activations += 1
+        self.perf.record_activate(bank, logical_row, self.time_ns)
+        self.mitigation.on_activate(self, bank, logical_row, self.time_ns)
+        self._service_refresh()
+
+    def read(self, bank: int, logical_row: int):
+        """Activate-and-read one row; returns its bits."""
+        bits = self.module.read_row(bank, logical_row, self.time_ns)
+        self.module.precharge(bank)
+        self.time_ns += self.module.timing.tRC
+        self.energy.record("act")
+        self.energy.record("read")
+        self.energy.record("pre")
+        self.stats.activations += 1
+        self.perf.record_activate(bank, logical_row, self.time_ns)
+        self.mitigation.on_activate(self, bank, logical_row, self.time_ns)
+        self._service_refresh()
+        return bits
+
+    def write(self, bank: int, logical_row: int, bits) -> None:
+        """Activate-and-write one row."""
+        self.module.write_row(bank, logical_row, bits, self.time_ns)
+        self.module.precharge(bank)
+        self.time_ns += self.module.timing.tRC
+        self.energy.record("act")
+        self.energy.record("write")
+        self.energy.record("pre")
+        self.stats.activations += 1
+        self.perf.record_activate(bank, logical_row, self.time_ns)
+        self.mitigation.on_activate(self, bank, logical_row, self.time_ns)
+        self._service_refresh()
+
+    def refresh_neighbors(self, bank: int, logical_row: int, distance: int = 1) -> int:
+        """Refresh the rows adjacent to an aggressor (mitigation request).
+
+        Returns the number of rows refreshed.  Costs tRC each and is
+        charged as refresh energy.
+        """
+        remapper = self.module.remapper
+        if self.spd_adjacency:
+            victims = remapper.logical_neighbors_of_logical(logical_row, distance)
+        else:
+            victims = remapper.naive_neighbors(logical_row, distance)
+        for victim in victims:
+            flips = self.module.refresh_row(bank, victim, self.time_ns)
+            self._note_flips(bank, victim, flips)
+            self.time_ns += self.module.timing.tRC
+            self.energy.record("refresh_row")
+            self.stats.mitigation_refreshes += 1
+        return len(victims)
+
+    def _note_flips(self, bank: int, row: int, flips) -> None:
+        if len(flips):
+            self.stats.flips_observed += len(flips)
+            self.stats.flip_events.append((bank, row, len(flips), self.time_ns))
+
+    def _service_refresh(self) -> None:
+        engine = self.refresh_engine
+        while engine.due(self.time_ns):
+            before = engine.stats.flips_caught_late
+            engine.tick(self.time_ns)
+            caught = engine.stats.flips_caught_late - before
+            if caught:
+                self.stats.flips_observed += caught
+            self.time_ns += self.module.timing.tRFC
+            self.energy.record("refresh_row", count=engine.rows_per_ref * self.module.geometry.banks)
+
+    # ------------------------------------------------------------------
+    # Bulk drivers
+    # ------------------------------------------------------------------
+    def run_activation_pattern(self, bank: int, rows: Sequence[int], iterations: int) -> None:
+        """Interleave ``iterations`` rounds of activations over ``rows``.
+
+        This is the faithful (per-command) path: every activation passes
+        through timing, refresh, perf counters, and the mitigation hook.
+        """
+        for _ in range(iterations):
+            for row in rows:
+                self.activate(bank, row)
+
+    def run_trace(self, trace: Iterable) -> None:
+        """Replay (bank, row, is_write) tuples through the full command path."""
+        for bank, row, is_write in trace:
+            if is_write:
+                self.write(bank, row, self.module.read_row(bank, row, self.time_ns))
+            else:
+                self.read(bank, row)
+
+    # ------------------------------------------------------------------
+    # End-of-run accounting
+    # ------------------------------------------------------------------
+    def finish(self) -> int:
+        """Materialize pending flips everywhere; return total module flips."""
+        self.perf.flush(self.time_ns)
+        self.module.settle(self.time_ns)
+        return self.module.total_flips()
+
+    def total_flips(self) -> int:
+        """Flips materialized so far (call :meth:`finish` first for finality)."""
+        return self.module.total_flips()

@@ -1,0 +1,43 @@
+"""The mitigation hook interface the controller exposes.
+
+A mitigation observes the controller's command stream (activations and
+periodic refresh ticks) and may inject victim-row refreshes.  Whether
+it sees *true* physical adjacency (in-DRAM implementations, or a
+controller with SPD-published mapping) or must guess from logical
+addresses is the controller's ``spd_adjacency`` setting — the exact
+deployment question §II-C raises for PARA.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.controller.controller import MemoryController
+
+
+@runtime_checkable
+class MitigationHook(Protocol):
+    """Protocol every RowHammer mitigation implements."""
+
+    #: short identifier used in reports
+    name: str
+
+    def on_activate(self, controller: "MemoryController", bank: int, logical_row: int, time_ns: float) -> None:
+        """Called after every row activation the controller issues."""
+
+    def extra_refresh_ops(self) -> int:
+        """Victim-refresh operations this mitigation has injected."""
+
+
+class NullMitigation:
+    """No mitigation — the unprotected baseline."""
+
+    name = "none"
+
+    def on_activate(self, controller: "MemoryController", bank: int, logical_row: int, time_ns: float) -> None:
+        """Do nothing."""
+
+    def extra_refresh_ops(self) -> int:
+        """No extra refreshes."""
+        return 0

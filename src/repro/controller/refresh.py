@@ -1,0 +1,122 @@
+"""The auto-refresh engine.
+
+Issues REF operations every ``tREFI / multiplier`` nanoseconds; each
+REF refreshes the next round-robin chunk of physical rows in every
+bank, so that all rows are refreshed once per ``tREFW / multiplier``.
+The ``multiplier`` is the knob behind the industry's immediate
+RowHammer mitigation (BIOS patches raising the refresh rate), whose
+cost/effectiveness curve bench C3 regenerates.
+
+The engine also supports RAIDR-style **multi-rate refresh**: an
+optional per-row bin assignment where a row in bin ``b`` is refreshed
+only on every ``2^b``-th pass.  That saves refresh energy — and, as
+the security-interaction experiment shows, quietly multiplies the
+RowHammer activation budget against rows in slow bins, the very
+"new vulnerabilities opened by the solution" risk §III-A1 warns about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.dram.module import DramModule
+from repro.dram.timing import TimingParams
+from repro.utils.validation import check_positive
+
+
+@dataclass
+class RefreshStats:
+    """Counters for refresh activity."""
+
+    ref_commands: int = 0
+    rows_refreshed: int = 0
+    flips_caught_late: int = 0  # flips already present when refresh arrived
+
+
+class RefreshEngine:
+    """Round-robin auto-refresh over a module's physical rows.
+
+    Args:
+        module: the device being refreshed.
+        multiplier: refresh-rate multiplier (1.0 = nominal 64 ms window).
+    """
+
+    def __init__(
+        self,
+        module: DramModule,
+        multiplier: float = 1.0,
+        row_bins: Optional[np.ndarray] = None,
+    ) -> None:
+        check_positive("multiplier", multiplier)
+        self.module = module
+        self.multiplier = multiplier
+        timing: TimingParams = module.timing
+        self.interval_ns = timing.tREFI / multiplier
+        commands_per_window = max(1, timing.refresh_commands_per_window)
+        rows = module.geometry.rows
+        self.rows_per_ref = max(1, rows // commands_per_window)
+        self.next_ref_ns = self.interval_ns
+        self._cursor = 0
+        self.stats = RefreshStats()
+        if row_bins is not None:
+            row_bins = np.asarray(row_bins, dtype=np.int64)
+            if row_bins.shape != (rows,):
+                raise ValueError(f"row_bins must have shape ({rows},)")
+            if row_bins.min() < 0:
+                raise ValueError("row bins must be >= 0")
+        self.row_bins = row_bins
+        self._pass_index = 0
+
+    @property
+    def effective_window_ns(self) -> float:
+        """Time for one full pass over all rows."""
+        rows = self.module.geometry.rows
+        refs_needed = (rows + self.rows_per_ref - 1) // self.rows_per_ref
+        return refs_needed * self.interval_ns
+
+    def due(self, time_ns: float) -> bool:
+        """Whether a REF is due at ``time_ns``."""
+        return time_ns >= self.next_ref_ns
+
+    def tick(self, time_ns: float) -> int:
+        """Issue all REF commands due by ``time_ns``; return rows refreshed."""
+        refreshed = 0
+        while self.due(time_ns):
+            refreshed += self._issue_ref(self.next_ref_ns)
+            self.next_ref_ns += self.interval_ns
+        return refreshed
+
+    def _issue_ref(self, time_ns: float) -> int:
+        rows = self.module.geometry.rows
+        self.stats.ref_commands += 1
+        count = 0
+        for offset in range(self.rows_per_ref):
+            row = (self._cursor + offset) % rows
+            if self.row_bins is not None:
+                # A row in bin b participates in every 2^b-th pass only.
+                period = 1 << int(self.row_bins[row])
+                if self._pass_index % period:
+                    continue
+            for bank in range(self.module.geometry.banks):
+                flips = self.module.refresh_physical_row(bank, row, time_ns)
+                self.stats.flips_caught_late += len(flips)
+                count += 1
+        self._cursor = (self._cursor + self.rows_per_ref) % rows
+        if self._cursor < self.rows_per_ref:
+            self._pass_index += 1
+        self.stats.rows_refreshed += count
+        return count
+
+    def refresh_ops_per_second(self) -> float:
+        """Row-refresh operations per wall-clock second."""
+        rows_per_ns = self.rows_per_ref * self.module.geometry.banks / self.interval_ns
+        return rows_per_ns * 1e9
+
+    def bandwidth_overhead_fraction(self, tRFC_ns: float = None) -> float:
+        """Fraction of time the rank is blocked by REF commands."""
+        if tRFC_ns is None:
+            tRFC_ns = self.module.timing.tRFC
+        return tRFC_ns / self.interval_ns

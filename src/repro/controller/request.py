@@ -1,0 +1,33 @@
+"""Memory requests as seen by the controller."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(order=True)
+class MemRequest:
+    """One row-granular memory request.
+
+    Requests are ordered by arrival time so traces can be merged.
+
+    Attributes:
+        arrival_ns: arrival time at the controller.
+        bank: target bank.
+        row: target logical row.
+        is_write: write vs read.
+        completed_ns: set by the scheduler on completion.
+    """
+
+    arrival_ns: float
+    bank: int = field(compare=False)
+    row: int = field(compare=False)
+    is_write: bool = field(default=False, compare=False)
+    completed_ns: float = field(default=-1.0, compare=False)
+
+    @property
+    def latency_ns(self) -> float:
+        """Completion latency; raises if not yet scheduled."""
+        if self.completed_ns < 0:
+            raise ValueError("request has not completed")
+        return self.completed_ns - self.arrival_ns

@@ -1,0 +1,15 @@
+"""Core composition layer: scenarios, the MemorySystem facade, experiments."""
+
+from repro.core.config import SystemConfig
+from repro.core.scenarios import Scenario, full_scale_scenario, scaled_scenario
+from repro.core.system import MITIGATIONS, MemorySystem, SystemReport
+
+__all__ = [
+    "SystemConfig",
+    "Scenario",
+    "full_scale_scenario",
+    "scaled_scenario",
+    "MITIGATIONS",
+    "MemorySystem",
+    "SystemReport",
+]

@@ -1,0 +1,95 @@
+"""Serializable experiment configuration.
+
+A :class:`SystemConfig` captures everything needed to rebuild a
+:class:`~repro.core.system.MemorySystem` — vintage, scaling, mitigation
+and its parameters, refresh rate, adjacency knowledge, seed — and
+round-trips through JSON so experiment setups can be stored alongside
+their results (the reproducibility discipline §IV advocates for
+failure-modeling studies).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict
+
+from repro.core.system import MITIGATIONS, MemorySystem
+from repro.dram.vintage import MANUFACTURERS
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """A complete, serializable MemorySystem recipe.
+
+    Attributes:
+        manufacturer: vintage vendor ("A"/"B"/"C").
+        date: manufacture date (fractional year).
+        scaled: use the time-scaled controller scenario.
+        scale: time-scaling factor when ``scaled``.
+        mitigation: mitigation registry name.
+        mitigation_kwargs: constructor arguments for the mitigation.
+        refresh_multiplier: auto-refresh rate multiplier.
+        spd_adjacency: whether the controller knows true adjacency.
+        seed: experiment seed.
+    """
+
+    manufacturer: str = "B"
+    date: float = 2013.0
+    scaled: bool = True
+    scale: float = 20.0
+    mitigation: str = "none"
+    mitigation_kwargs: Dict[str, Any] = field(default_factory=dict)
+    refresh_multiplier: float = 1.0
+    spd_adjacency: bool = True
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.manufacturer not in MANUFACTURERS:
+            raise ValueError(f"manufacturer must be one of {MANUFACTURERS}")
+        if self.mitigation not in MITIGATIONS:
+            raise ValueError(f"mitigation must be one of {sorted(MITIGATIONS)}")
+        if self.scale <= 0 or self.refresh_multiplier <= 0:
+            raise ValueError("scale and refresh_multiplier must be positive")
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form (JSON-compatible)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SystemConfig":
+        """Rebuild from :meth:`to_dict` output; unknown keys rejected."""
+        allowed = set(cls.__dataclass_fields__)
+        unknown = set(data) - allowed
+        if unknown:
+            raise ValueError(f"unknown config keys: {sorted(unknown)}")
+        return cls(**data)
+
+    def to_json(self) -> str:
+        """JSON form."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, payload: str) -> "SystemConfig":
+        """Inverse of :meth:`to_json`."""
+        return cls.from_dict(json.loads(payload))
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def build(self) -> MemorySystem:
+        """Instantiate the configured system."""
+        return MemorySystem.build(
+            manufacturer=self.manufacturer,
+            date=self.date,
+            scaled=self.scaled,
+            scale=self.scale,
+            seed=self.seed,
+            mitigation=self.mitigation,
+            mitigation_kwargs=dict(self.mitigation_kwargs),
+            refresh_multiplier=self.refresh_multiplier,
+            spd_adjacency=self.spd_adjacency,
+        )

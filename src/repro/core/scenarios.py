@@ -1,0 +1,92 @@
+"""Canonical experiment scenarios.
+
+Two fidelity levels, chosen per experiment:
+
+* **Full-scale device scenarios** — real DDR3 window (64 ms, ~1.3M
+  activations): used with the exact *device path* (bulk activation
+  accounting), where a hammer session costs O(#aggressors).
+* **Scaled controller scenarios** — every time constant *and* every
+  hammer threshold divided by the same factor, preserving the
+  budget/threshold ratios exactly while making per-command simulation
+  through the full controller pipeline affordable.  This is the
+  standard scaled-simulation methodology; the invariance is checked by
+  an integration test (same flip counts, scaled run time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.dram.disturbance import VulnerabilityProfile
+from repro.dram.geometry import DramGeometry
+from repro.dram.module import DramModule
+from repro.dram.timing import DDR3_1333, TimingParams
+from repro.dram.vintage import profile_for
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A reproducible module-under-attack configuration."""
+
+    geometry: DramGeometry
+    timing: TimingParams
+    profile: VulnerabilityProfile
+    scale: float = 1.0
+
+    def make_module(self, serial: str = "S0", seed: int = 0, **kwargs) -> DramModule:
+        """Instantiate the scenario's module."""
+        return DramModule(
+            geometry=self.geometry,
+            timing=self.timing,
+            profile=self.profile,
+            serial=serial,
+            seed=seed,
+            **kwargs,
+        )
+
+    @property
+    def attack_budget(self) -> int:
+        """Single-row activations per refresh window."""
+        return int(self.timing.tREFW / self.timing.tRC)
+
+
+def full_scale_scenario(manufacturer: str = "B", date: float = 2013.0) -> Scenario:
+    """The unscaled device-path scenario for a vintage module."""
+    return Scenario(
+        geometry=DramGeometry(banks=8, rows=32768, row_bytes=8192),
+        timing=DDR3_1333,
+        profile=profile_for(manufacturer, date),
+        scale=1.0,
+    )
+
+
+def scaled_scenario(
+    scale: float = 20.0,
+    manufacturer: str = "B",
+    date: float = 2013.0,
+    rows: int = 4096,
+    density_boost: float = 1.0,
+) -> Scenario:
+    """Controller-path scenario with time and thresholds scaled by ``scale``.
+
+    The refresh window shrinks by ``scale`` and every hammer threshold
+    shrinks by the same factor, so budget/threshold ratios — and hence
+    which cells flip under which mitigation — are preserved while a
+    full window costs ``~65K`` instead of ``~1.3M`` simulated commands.
+    """
+    check_positive("scale", scale)
+    base = profile_for(manufacturer, date)
+    profile = replace(
+        base,
+        weak_cell_density=min(1.0, base.weak_cell_density * density_boost),
+        hc_first_median=base.hc_first_median / scale,
+        hc_first_min=base.hc_first_min / scale,
+    )
+    timing = replace(DDR3_1333, tREFW=DDR3_1333.tREFW / scale)
+    return Scenario(
+        geometry=DramGeometry(banks=2, rows=rows, row_bytes=8192),
+        timing=timing,
+        profile=profile,
+        scale=scale,
+    )

@@ -1,0 +1,11 @@
+"""CPU-side substrate: cache model and user-level attack programs."""
+
+from repro.cpu.cache import SetAssociativeCache, build_eviction_set
+from repro.cpu.system import CpuMemorySystem, HammerRunStats
+
+__all__ = [
+    "SetAssociativeCache",
+    "build_eviction_set",
+    "CpuMemorySystem",
+    "HammerRunStats",
+]

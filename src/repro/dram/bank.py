@@ -1,0 +1,238 @@
+"""One DRAM bank: row buffer state, stored data, disturbance accounting.
+
+The bank operates purely in **physical** row space; the module layer
+translates logical (externally visible) rows through the remapper.
+
+Disturbance bookkeeping per row:
+
+* ``pressure`` — weighted adjacent-row activations since the row was
+  last refreshed (by REF, or implicitly by its own activation).
+* ``peak`` — the maximum pressure reached since flips were last
+  materialized into the stored data.
+
+Flips are materialized lazily whenever the row's cells are next sensed
+(own activation or refresh), which is exact: a weak cell flips iff the
+pressure crossed its threshold at any point while the data was resident.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.dram.datapatterns import PatternFn, get_pattern
+from repro.dram.disturbance import DisturbanceModel
+from repro.dram.geometry import DramGeometry
+
+
+@dataclass
+class BankStats:
+    """Activity counters for one bank."""
+
+    activations: int = 0
+    refreshes: int = 0
+    reads: int = 0
+    writes: int = 0
+    flips_materialized: int = 0
+    flip_log: List[tuple] = field(default_factory=list)
+
+    def record_flips(self, row: int, bits: np.ndarray, time: float) -> None:
+        """Log materialized flips (row, bit, time)."""
+        self.flips_materialized += len(bits)
+        for bit in bits:
+            self.flip_log.append((row, int(bit), time))
+
+
+class DramBank:
+    """A single DRAM bank with disturbance-aware storage.
+
+    Args:
+        geometry: module organization (rows/row size are read from it).
+        model: the module's disturbance model.
+        index: bank index within the module.
+        default_pattern: fill applied to rows never explicitly written.
+    """
+
+    def __init__(
+        self,
+        geometry: DramGeometry,
+        model: DisturbanceModel,
+        index: int,
+        default_pattern: str = "solid1",
+    ) -> None:
+        geometry.check_bank(index)
+        self.geometry = geometry
+        self.model = model
+        self.index = index
+        self.default_pattern_name = default_pattern
+        self._default_pattern: PatternFn = get_pattern(default_pattern)
+        self.open_row: Optional[int] = None
+        self.stats = BankStats()
+        self._data: Dict[int, np.ndarray] = {}
+        self._pressure: Dict[int, float] = {}
+        self._peak: Dict[int, float] = {}
+        self._last_aggressor: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Data access (physical rows)
+    # ------------------------------------------------------------------
+    def row_bits(self, row: int) -> np.ndarray:
+        """The stored bit array of ``row`` (instantiated on first touch)."""
+        self.geometry.check_row(row)
+        bits = self._data.get(row)
+        if bits is None:
+            fill = self._default_pattern(row, self.geometry.row_bytes)
+            bits = np.unpackbits(fill, bitorder="little")
+            self._data[row] = bits
+        return bits
+
+    def set_default_pattern(self, name: str) -> None:
+        """Change the background fill for untouched rows."""
+        self._default_pattern = get_pattern(name)
+        self.default_pattern_name = name
+
+    # ------------------------------------------------------------------
+    # Disturbance bookkeeping
+    # ------------------------------------------------------------------
+    def pressure(self, row: int) -> float:
+        """Current accumulated pressure of ``row``."""
+        return self._pressure.get(row, 0.0)
+
+    def _bump(self, victim: int, weight: float, aggressor: int, record_aggressor: bool = True) -> None:
+        if not 0 <= victim < self.geometry.rows:
+            return
+        new = self._pressure.get(victim, 0.0) + weight
+        self._pressure[victim] = new
+        if new > self._peak.get(victim, 0.0):
+            self._peak[victim] = new
+        if record_aggressor:
+            # Only immediate neighbors determine the coupling data
+            # pattern; weak distance-2 bumps don't claim aggressor-ship.
+            self._last_aggressor[victim] = aggressor
+
+    def _materialize(self, row: int, time: float) -> np.ndarray:
+        """Apply any pending flips of ``row`` to its stored data."""
+        peak = self._peak.get(row, 0.0)
+        if peak <= 0:
+            return np.empty(0, dtype=np.int64)
+        bits = self.row_bits(row)
+        aggressor = self._last_aggressor.get(row)
+        agg_bits = self.row_bits(aggressor) if aggressor is not None else None
+        flipped = self.model.apply_flips(self.index, row, peak, bits, agg_bits)
+        self._peak[row] = 0.0
+        if len(flipped):
+            self.stats.record_flips(row, flipped, time)
+        return flipped
+
+    # ------------------------------------------------------------------
+    # Commands
+    # ------------------------------------------------------------------
+    def activate(self, row: int, time: float = 0.0) -> None:
+        """Open ``row``: sense its cells (materializing flips, resetting its
+        disturbance state) and disturb its neighbors."""
+        self.geometry.check_row(row)
+        self.stats.activations += 1
+        self._materialize(row, time)
+        self._pressure[row] = 0.0
+        self._peak[row] = 0.0
+        self.open_row = row
+        self._bump(row - 1, 1.0, row)
+        self._bump(row + 1, 1.0, row)
+        d2 = self.model.profile.distance2_weight
+        if d2 > 0:
+            self._bump(row - 2, d2, row, record_aggressor=False)
+            self._bump(row + 2, d2, row, record_aggressor=False)
+
+    def bulk_activate(self, row: int, count: int, time: float = 0.0) -> None:
+        """Apply ``count`` back-to-back activations of ``row`` in one call.
+
+        Exact fast path for hammering loops: pressure accumulation is
+        linear in the activation count and thresholds are only checked
+        at materialization, so ``count`` activations with no interleaved
+        refresh are equivalent to one bulk update.
+        """
+        self.geometry.check_row(row)
+        if count <= 0:
+            return
+        self.stats.activations += count
+        self._materialize(row, time)
+        self._pressure[row] = 0.0
+        self._peak[row] = 0.0
+        self.open_row = row
+        self._bump(row - 1, float(count), row)
+        self._bump(row + 1, float(count), row)
+        d2 = self.model.profile.distance2_weight
+        if d2 > 0:
+            self._bump(row - 2, d2 * count, row, record_aggressor=False)
+            self._bump(row + 2, d2 * count, row, record_aggressor=False)
+
+    def precharge(self) -> None:
+        """Close the open row."""
+        self.open_row = None
+
+    def read(self, row: int, time: float = 0.0) -> np.ndarray:
+        """Activate-and-read: return a copy of the row's bits."""
+        if self.open_row != row:
+            self.activate(row, time)
+        self.stats.reads += 1
+        return self.row_bits(row).copy()
+
+    def write(self, row: int, bits: np.ndarray, time: float = 0.0) -> None:
+        """Activate-and-write: replace the row's contents."""
+        if self.open_row != row:
+            self.activate(row, time)
+        expected = self.geometry.row_bits
+        if bits.shape != (expected,):
+            raise ValueError(f"row data must have shape ({expected},), got {bits.shape}")
+        self.stats.writes += 1
+        self._data[row] = bits.astype(np.uint8, copy=True)
+        self._pressure[row] = 0.0
+        self._peak[row] = 0.0
+
+    def write_bytes(self, row: int, data: bytes, time: float = 0.0) -> None:
+        """Write raw bytes (must be exactly one row)."""
+        arr = np.frombuffer(bytes(data), dtype=np.uint8)
+        if arr.size != self.geometry.row_bytes:
+            raise ValueError(f"expected {self.geometry.row_bytes} bytes, got {arr.size}")
+        self.write(row, np.unpackbits(arr, bitorder="little"), time)
+
+    def read_bytes(self, row: int, time: float = 0.0) -> bytes:
+        """Read one row as raw bytes."""
+        return np.packbits(self.read(row, time), bitorder="little").tobytes()
+
+    def refresh_row(self, row: int, time: float = 0.0) -> np.ndarray:
+        """Refresh ``row``: materialize pending flips, reset disturbance state.
+
+        Returns the bit indices that flipped before this refresh caught
+        the row (useful for mitigation-effectiveness accounting).
+        """
+        self.geometry.check_row(row)
+        self.stats.refreshes += 1
+        if not self._peak.get(row) and not self._pressure.get(row):
+            # Undisturbed row: refresh is a no-op for the model.
+            return np.empty(0, dtype=np.int64)
+        flipped = self._materialize(row, time)
+        self._pressure[row] = 0.0
+        self._peak[row] = 0.0
+        return flipped
+
+    def refresh_all(self, time: float = 0.0) -> int:
+        """Refresh every row that has any accumulated state; return flip count."""
+        flips = 0
+        for row in list(self._peak):
+            flips += len(self.refresh_row(row, time))
+        return flips
+
+    def settle(self, time: float = 0.0) -> int:
+        """Materialize pending flips everywhere without resetting counters'
+        refresh semantics — used by checkers at end of an experiment."""
+        flips = 0
+        for row in list(self._peak):
+            flips += len(self._materialize(row, time))
+        return flips
+
+    def touched_rows(self) -> List[int]:
+        """Rows whose data has been instantiated."""
+        return sorted(self._data)

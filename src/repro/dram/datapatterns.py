@@ -1,0 +1,82 @@
+"""Data patterns used by DRAM disturbance and retention testing.
+
+The ISCA 2014 study reports strong data-pattern dependence of
+RowHammer: the number of observed flips varies by orders of magnitude
+between *Solid*, *RowStripe*, *ColStripe*, *Checkered*, and *Random*
+fills.  A pattern here is a function from (row index, row size) to the
+byte content of that row, so stripes can alternate per row.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.utils.rng import derive_rng
+
+PatternFn = Callable[[int, int], np.ndarray]
+
+#: Canonical pattern names, in the order the original study lists them.
+PATTERN_NAMES = ("solid0", "solid1", "rowstripe", "rowstripe_inv", "colstripe", "checkered", "random")
+
+
+def _solid(value: int) -> PatternFn:
+    def fill(row: int, row_bytes: int) -> np.ndarray:
+        return np.full(row_bytes, value, dtype=np.uint8)
+
+    return fill
+
+
+def _rowstripe(even_value: int, odd_value: int) -> PatternFn:
+    def fill(row: int, row_bytes: int) -> np.ndarray:
+        value = even_value if row % 2 == 0 else odd_value
+        return np.full(row_bytes, value, dtype=np.uint8)
+
+    return fill
+
+
+def _colstripe(row: int, row_bytes: int) -> np.ndarray:
+    # 0b01010101 alternates bit columns within every byte.
+    return np.full(row_bytes, 0x55, dtype=np.uint8)
+
+
+def _checkered(row: int, row_bytes: int) -> np.ndarray:
+    value = 0x55 if row % 2 == 0 else 0xAA
+    return np.full(row_bytes, value, dtype=np.uint8)
+
+
+def make_random_pattern(seed: int) -> PatternFn:
+    """Return a deterministic per-row random pattern bound to ``seed``."""
+
+    def fill(row: int, row_bytes: int) -> np.ndarray:
+        return derive_rng(seed, "pattern", row).integers(0, 256, size=row_bytes, dtype=np.uint8)
+
+    return fill
+
+
+#: Registry of named data patterns (``random`` uses a fixed seed; build
+#: per-experiment random patterns with :func:`make_random_pattern`).
+PATTERNS: Dict[str, PatternFn] = {
+    "solid0": _solid(0x00),
+    "solid1": _solid(0xFF),
+    "rowstripe": _rowstripe(0xFF, 0x00),
+    "rowstripe_inv": _rowstripe(0x00, 0xFF),
+    "colstripe": _colstripe,
+    "checkered": _checkered,
+    "random": make_random_pattern(0xC0FFEE),
+}
+
+
+def get_pattern(name: str) -> PatternFn:
+    """Look up a pattern by name, raising ``KeyError`` with the options listed."""
+    try:
+        return PATTERNS[name]
+    except KeyError:
+        raise KeyError(f"unknown pattern {name!r}; options: {sorted(PATTERNS)}") from None
+
+
+def pattern_bits(name: str, row: int, row_bytes: int) -> np.ndarray:
+    """Return the pattern for ``row`` expanded to a bit array (LSB-first per byte)."""
+    data = get_pattern(name)(row, row_bytes)
+    return np.unpackbits(data, bitorder="little")

@@ -1,0 +1,244 @@
+"""The RowHammer disturbance fault model.
+
+The model follows the experimental characterization of the ISCA 2014
+study the paper builds on:
+
+* A small fraction of cells are *weak*: repeated activation of an
+  adjacent row disturbs them enough to lose charge before the next
+  refresh.  Each weak cell has an ``hc_first`` threshold — the number
+  of adjacent-row activations (within one refresh window of the
+  victim) after which it flips.
+* Flips are **charge loss**: a true cell flips 1 -> 0, an anti cell
+  flips 0 -> 1.  A cell that stores its discharged value cannot flip.
+  This reproduces the observed data-pattern dependence.
+* A further fraction of weak cells are *aggressor sensitive*: they are
+  only fully coupled when the aggressor stores the opposite value of
+  the victim cell; otherwise their effective threshold is relieved by
+  a constant factor.
+* Disturbance is strongest for immediately adjacent rows; rows at
+  distance two receive a small residual coupling (``distance2_weight``).
+  Double-sided hammering therefore roughly doubles the pressure a
+  victim accumulates, matching the observed ~2x effectiveness gain.
+
+Weak-cell placement is a deterministic function of (module seed, bank,
+row), so a module's error map is stable across runs and experiments —
+the paper's "consistently predictable bit locations" property.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.dram.geometry import DramGeometry
+from repro.utils.rng import derive_rng
+from repro.utils.validation import check_positive, check_probability
+
+#: Weak-cell cache entries kept per model before eviction.
+_CACHE_LIMIT = 4096
+
+
+@dataclass(frozen=True)
+class VulnerabilityProfile:
+    """Per-module disturbance vulnerability parameters.
+
+    Attributes:
+        weak_cell_density: fraction of cells with a finite hammer threshold.
+        hc_first_median: median activations-to-first-flip among weak cells.
+        hc_first_sigma: lognormal shape of the threshold distribution.
+        hc_first_min: hard floor — the module's most vulnerable cell.
+        anti_cell_fraction: fraction of cells wired as anti cells
+            (charged state encodes 0).
+        aggressor_sensitive_fraction: fraction of weak cells whose
+            coupling depends on the aggressor's stored data.
+        dpd_relief: threshold multiplier for aggressor-sensitive cells
+            when the aggressor pattern does not oppose the victim.
+        distance2_weight: coupling weight for rows two away (distance-1
+            rows weigh 1.0).
+    """
+
+    weak_cell_density: float
+    hc_first_median: float = 700_000.0
+    hc_first_sigma: float = 0.45
+    hc_first_min: float = 139_000.0
+    anti_cell_fraction: float = 0.5
+    aggressor_sensitive_fraction: float = 0.3
+    dpd_relief: float = 3.0
+    distance2_weight: float = 0.015
+
+    def __post_init__(self) -> None:
+        check_probability("weak_cell_density", self.weak_cell_density)
+        check_probability("anti_cell_fraction", self.anti_cell_fraction)
+        check_probability("aggressor_sensitive_fraction", self.aggressor_sensitive_fraction)
+        check_probability("distance2_weight", self.distance2_weight)
+        if self.weak_cell_density > 0:
+            check_positive("hc_first_median", self.hc_first_median)
+            check_positive("hc_first_min", self.hc_first_min)
+            check_positive("dpd_relief", self.dpd_relief)
+            if self.hc_first_min > self.hc_first_median:
+                raise ValueError("hc_first_min must not exceed hc_first_median")
+
+    @property
+    def vulnerable(self) -> bool:
+        """Whether the module can exhibit any disturbance error."""
+        return self.weak_cell_density > 0
+
+
+#: An invulnerable module (pre-2010 vintages in the study).
+INVULNERABLE = VulnerabilityProfile(weak_cell_density=0.0)
+
+
+@dataclass(frozen=True)
+class WeakCellSet:
+    """Weak cells of one row, as parallel arrays.
+
+    Attributes:
+        bits: bit positions within the row (sorted, unique).
+        hc_first: per-cell activation thresholds.
+        anti: True where the cell is an anti cell (charged == 0).
+        aggressor_sensitive: True where coupling depends on aggressor data.
+    """
+
+    bits: np.ndarray
+    hc_first: np.ndarray
+    anti: np.ndarray
+    aggressor_sensitive: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.bits)
+
+
+_EMPTY = WeakCellSet(
+    bits=np.empty(0, dtype=np.int64),
+    hc_first=np.empty(0, dtype=np.float64),
+    anti=np.empty(0, dtype=bool),
+    aggressor_sensitive=np.empty(0, dtype=bool),
+)
+
+
+class DisturbanceModel:
+    """Deterministic weak-cell map and flip evaluation for one module.
+
+    Args:
+        geometry: module organization.
+        profile: vulnerability parameters.
+        seed: module seed; weak cells are a pure function of
+            ``(seed, bank, row)``.
+    """
+
+    def __init__(self, geometry: DramGeometry, profile: VulnerabilityProfile, seed: int = 0) -> None:
+        self.geometry = geometry
+        self.profile = profile
+        self.seed = seed
+        self._cache: Dict[Tuple[int, int], WeakCellSet] = {}
+
+    def weak_cells(self, bank: int, row: int) -> WeakCellSet:
+        """Return the weak cells of physical ``(bank, row)`` (cached)."""
+        self.geometry.check_bank(bank)
+        self.geometry.check_row(row)
+        key = (bank, row)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        cells = self._generate(bank, row)
+        if len(self._cache) >= _CACHE_LIMIT:
+            self._cache.clear()
+        self._cache[key] = cells
+        return cells
+
+    def _generate(self, bank: int, row: int) -> WeakCellSet:
+        profile = self.profile
+        if not profile.vulnerable:
+            return _EMPTY
+        rng = derive_rng(self.seed, "weak", bank, row)
+        row_bits = self.geometry.row_bits
+        count = rng.binomial(row_bits, profile.weak_cell_density)
+        if count == 0:
+            return _EMPTY
+        bits = np.sort(rng.choice(row_bits, size=count, replace=False))
+        mu = np.log(profile.hc_first_median)
+        hc = np.exp(rng.normal(mu, profile.hc_first_sigma, size=count))
+        hc = np.maximum(hc, profile.hc_first_min)
+        anti = rng.random(count) < profile.anti_cell_fraction
+        sensitive = rng.random(count) < profile.aggressor_sensitive_fraction
+        return WeakCellSet(bits=bits, hc_first=hc, anti=anti, aggressor_sensitive=sensitive)
+
+    def charged_values(self, cells: WeakCellSet) -> np.ndarray:
+        """The stored value that makes each weak cell flippable."""
+        return (~cells.anti).astype(np.uint8)
+
+    def flip_mask(
+        self,
+        bank: int,
+        row: int,
+        pressure: float,
+        data_bits: np.ndarray,
+        aggressor_bits: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Return the row-bit indices that flip under ``pressure``.
+
+        Args:
+            bank, row: physical location of the victim.
+            pressure: accumulated weighted adjacent activations since the
+                victim's last refresh (peak value).
+            data_bits: the victim row contents as a 0/1 bit array.
+            aggressor_bits: dominant aggressor row contents; when ``None``
+                aggressor-sensitive cells get worst-case (full) coupling.
+        """
+        cells = self.weak_cells(bank, row)
+        if len(cells) == 0 or pressure <= 0:
+            return np.empty(0, dtype=np.int64)
+        thresholds = cells.hc_first
+        if aggressor_bits is not None:
+            victim_vals = data_bits[cells.bits]
+            agg_vals = aggressor_bits[cells.bits]
+            relieved = cells.aggressor_sensitive & (agg_vals == victim_vals)
+            thresholds = np.where(relieved, thresholds * self.profile.dpd_relief, thresholds)
+        crossed = pressure >= thresholds
+        charged = self.charged_values(cells)
+        flippable = data_bits[cells.bits] == charged
+        return cells.bits[crossed & flippable]
+
+    def apply_flips(
+        self,
+        bank: int,
+        row: int,
+        pressure: float,
+        data_bits: np.ndarray,
+        aggressor_bits: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Apply disturbance flips in place; return the flipped bit indices."""
+        flipped = self.flip_mask(bank, row, pressure, data_bits, aggressor_bits)
+        if len(flipped):
+            data_bits[flipped] ^= 1
+        return flipped
+
+    def count_flips_uniform(
+        self,
+        bank: int,
+        rows: range,
+        pressure: float,
+        data_bits_for_row,
+        aggressor_bits_for_row=None,
+    ) -> int:
+        """Vectorized campaign helper: total flips across ``rows``.
+
+        ``data_bits_for_row`` maps a physical row index to its bit array;
+        used by the field-study path that skips cycle simulation.
+        """
+        total = 0
+        for row in rows:
+            agg = aggressor_bits_for_row(row) if aggressor_bits_for_row else None
+            total += len(self.flip_mask(bank, row, pressure, data_bits_for_row(row), agg))
+        return total
+
+    def min_threshold(self, bank: int, rows: range) -> float:
+        """Smallest ``hc_first`` across ``rows`` (inf if no weak cells)."""
+        best = float("inf")
+        for row in rows:
+            cells = self.weak_cells(bank, row)
+            if len(cells):
+                best = min(best, float(cells.hc_first.min()))
+        return best

@@ -1,0 +1,79 @@
+"""DRAM organization: channels, ranks, banks, rows, columns.
+
+The simulator models a single-channel, single-rank module by default
+(matching the per-module testing methodology of the ISCA 2014 RowHammer
+study, where each module is exercised in isolation), but the geometry
+type carries the full hierarchy so multi-rank systems can be composed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import check_positive, check_power_of_two
+
+
+@dataclass(frozen=True)
+class DramGeometry:
+    """Physical organization of one DRAM module.
+
+    Attributes:
+        channels: independent memory channels.
+        ranks: ranks per channel.
+        banks: banks per rank.
+        rows: rows per bank.
+        row_bytes: bytes stored in one row (per rank, across devices).
+    """
+
+    channels: int = 1
+    ranks: int = 1
+    banks: int = 8
+    rows: int = 32768
+    row_bytes: int = 8192
+
+    def __post_init__(self) -> None:
+        check_positive("channels", self.channels)
+        check_positive("ranks", self.ranks)
+        check_power_of_two("banks", self.banks)
+        check_power_of_two("rows", self.rows)
+        check_power_of_two("row_bytes", self.row_bytes)
+
+    @property
+    def row_bits(self) -> int:
+        """Bits stored in one row."""
+        return self.row_bytes * 8
+
+    @property
+    def cells_per_bank(self) -> int:
+        """Cells (bits) in one bank."""
+        return self.rows * self.row_bits
+
+    @property
+    def total_cells(self) -> int:
+        """Cells (bits) in the whole module."""
+        return self.channels * self.ranks * self.banks * self.cells_per_bank
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Module capacity in bytes."""
+        return self.total_cells // 8
+
+    def check_bank(self, bank: int) -> None:
+        """Validate a bank index."""
+        if not 0 <= bank < self.banks:
+            raise IndexError(f"bank {bank} out of range [0, {self.banks})")
+
+    def check_row(self, row: int) -> None:
+        """Validate a row index."""
+        if not 0 <= row < self.rows:
+            raise IndexError(f"row {row} out of range [0, {self.rows})")
+
+
+#: A small geometry convenient for unit tests (64 rows of 128 bytes).
+TINY_GEOMETRY = DramGeometry(banks=2, rows=64, row_bytes=128)
+
+#: A 2 GiB DDR3-style module: 8 banks x 32768 rows x 8 KiB rows.
+DDR3_2GB = DramGeometry(banks=8, rows=32768, row_bytes=8192)
+
+#: A 4 GiB module with denser banks, used for scaling studies.
+DDR3_4GB = DramGeometry(banks=8, rows=65536, row_bytes=8192)

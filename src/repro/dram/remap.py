@@ -1,0 +1,93 @@
+"""Internal row remapping and adjacency information.
+
+DRAM manufacturers remap externally visible (logical) row addresses to
+internal (physical) rows — for fault tolerance and layout reasons — so
+the memory controller generally does *not* know which rows are
+physically adjacent.  The paper notes this as the key obstacle to
+implementing PARA in the controller, and proposes exposing adjacency
+through the SPD ROM.
+
+:class:`RowRemapper` models three schemes observed in practice, and
+exposes the physical-adjacency oracle.  :meth:`RowRemapper.spd_table`
+plays the role of the SPD-published mapping the paper advocates.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.utils.validation import check_power_of_two
+
+
+class RowRemapper:
+    """Logical <-> physical row remapping inside one bank.
+
+    Args:
+        rows: number of rows in the bank (power of two).
+        scheme: one of
+            ``"identity"`` — logical row *is* the physical row;
+            ``"xor-msb"`` — physical = logical XOR (logical >> 1 & mask),
+            a scramble akin to twisted wordline layouts;
+            ``"block-swap"`` — swaps the two halves of every 8-row block,
+            modeling redundancy-region style relocation.
+    """
+
+    SCHEMES = ("identity", "xor-msb", "block-swap")
+
+    def __init__(self, rows: int, scheme: str = "identity") -> None:
+        check_power_of_two("rows", rows)
+        if scheme not in self.SCHEMES:
+            raise ValueError(f"unknown scheme {scheme!r}; expected one of {self.SCHEMES}")
+        self.rows = rows
+        self.scheme = scheme
+
+    def to_physical(self, logical: int) -> int:
+        """Map a logical row to its physical row."""
+        self._check(logical)
+        if self.scheme == "identity":
+            return logical
+        if self.scheme == "xor-msb":
+            return logical ^ ((logical >> 1) & 0b1)
+        # block-swap: within each aligned block of 8, swap rows 0-3 with 4-7.
+        return (logical & ~0b111) | ((logical & 0b111) ^ 0b100)
+
+    def to_logical(self, physical: int) -> int:
+        """Map a physical row back to its logical row."""
+        self._check(physical)
+        if self.scheme == "identity":
+            return physical
+        if self.scheme == "xor-msb":
+            # xor-msb is an involution on the low bit given the fixed upper bits.
+            return physical ^ ((physical >> 1) & 0b1)
+        return (physical & ~0b111) | ((physical & 0b111) ^ 0b100)
+
+    def physical_neighbors(self, physical: int, distance: int = 1) -> List[int]:
+        """Physically adjacent rows at ``distance`` (the true victims)."""
+        self._check(physical)
+        neighbors = []
+        for cand in (physical - distance, physical + distance):
+            if 0 <= cand < self.rows:
+                neighbors.append(cand)
+        return neighbors
+
+    def logical_neighbors_of_logical(self, logical: int, distance: int = 1) -> List[int]:
+        """Logical addresses of the physical neighbors of a logical row.
+
+        This is what a controller with full SPD adjacency knowledge
+        would refresh when mitigating an aggressor at ``logical``.
+        """
+        phys = self.to_physical(logical)
+        return [self.to_logical(p) for p in self.physical_neighbors(phys, distance)]
+
+    def naive_neighbors(self, logical: int, distance: int = 1) -> List[int]:
+        """Logical +/- distance — what a controller *without* adjacency info guesses."""
+        self._check(logical)
+        return [cand for cand in (logical - distance, logical + distance) if 0 <= cand < self.rows]
+
+    def spd_table(self) -> List[Tuple[int, int]]:
+        """The SPD-style published mapping: (logical, physical) for every row."""
+        return [(logical, self.to_physical(logical)) for logical in range(self.rows)]
+
+    def _check(self, row: int) -> None:
+        if not 0 <= row < self.rows:
+            raise IndexError(f"row {row} out of range [0, {self.rows})")

@@ -1,0 +1,31 @@
+"""Error-correcting codes and their evaluation against disturbance flips."""
+
+from repro.ecc.accounting import EccEvaluation, evaluate_code_against_histogram, flips_per_word
+from repro.ecc.base import DecodeResult, DecodeStatus, EccCode, classify_against_truth
+from repro.ecc.hamming import SECDED_72_64, HammingSecded
+from repro.ecc.injection import campaign, inject_clustered, inject_uniform, inject_weak_cell_map
+from repro.ecc.interleave import compare_interleaving, interleave_position, interleaved_flips_per_word
+from repro.ecc.parity import ParityCode
+from repro.ecc.symbol import SYMBOL_72_64, SingleSymbolCorrectingCode
+
+__all__ = [
+    "EccEvaluation",
+    "evaluate_code_against_histogram",
+    "flips_per_word",
+    "DecodeResult",
+    "DecodeStatus",
+    "EccCode",
+    "classify_against_truth",
+    "SECDED_72_64",
+    "campaign",
+    "compare_interleaving",
+    "interleave_position",
+    "interleaved_flips_per_word",
+    "inject_clustered",
+    "inject_uniform",
+    "inject_weak_cell_map",
+    "HammingSecded",
+    "ParityCode",
+    "SYMBOL_72_64",
+    "SingleSymbolCorrectingCode",
+]

@@ -1,0 +1,101 @@
+"""ECC effectiveness accounting against disturbance flip populations.
+
+The paper's claim C4: simple SECDED "is not enough to prevent all
+RowHammer errors, as some cache blocks experience two or more bit
+flips".  These helpers turn a set of flipped row-bit positions into a
+per-word flip-count histogram, and Monte-Carlo-evaluate a given code
+against that histogram (flips land anywhere in the stored codeword,
+so check bits can be hit too).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable
+
+import numpy as np
+
+from repro.ecc.base import DecodeStatus, EccCode, classify_against_truth
+
+
+def flips_per_word(flip_bits: Iterable[int], word_bits: int = 64) -> Dict[int, int]:
+    """Histogram {flips_in_word: number_of_words} from flipped bit positions.
+
+    Words are aligned ``word_bits`` windows of the row; words with zero
+    flips are not reported.
+    """
+    if word_bits <= 0:
+        raise ValueError("word_bits must be positive")
+    words = Counter(int(bit) // word_bits for bit in flip_bits)
+    histogram: Counter = Counter(words.values())
+    return dict(sorted(histogram.items()))
+
+
+@dataclass
+class EccEvaluation:
+    """Aggregated decode outcomes of a code against a flip population."""
+
+    words_total: int = 0
+    outcomes: Dict[DecodeStatus, int] = field(default_factory=dict)
+
+    def add(self, status: DecodeStatus, count: int = 1) -> None:
+        """Accumulate ``count`` words with the given outcome."""
+        self.words_total += count
+        self.outcomes[status] = self.outcomes.get(status, 0) + count
+
+    @property
+    def uncorrected_words(self) -> int:
+        """Words whose data was not silently restored (detected or corrupted)."""
+        return self.outcomes.get(DecodeStatus.DETECTED_UNCORRECTABLE, 0) + self.outcomes.get(
+            DecodeStatus.MISCORRECTED, 0
+        )
+
+    @property
+    def silent_corruptions(self) -> int:
+        """Words returned as 'corrected' but actually wrong."""
+        return self.outcomes.get(DecodeStatus.MISCORRECTED, 0)
+
+    def rate(self, status: DecodeStatus) -> float:
+        """Fraction of evaluated words with the given outcome."""
+        if self.words_total == 0:
+            return 0.0
+        return self.outcomes.get(status, 0) / self.words_total
+
+
+def evaluate_code_against_histogram(
+    code: EccCode,
+    flip_histogram: Dict[int, int],
+    rng: np.random.Generator,
+    trials_per_class: int = 200,
+) -> EccEvaluation:
+    """Monte-Carlo decode outcomes for words drawn from a flip histogram.
+
+    For each (flips f -> word count c) entry, ``min(c, trials_per_class)``
+    random codewords are corrupted with f random flips and decoded;
+    outcomes are scaled back to ``c`` words.
+
+    Args:
+        code: the ECC under evaluation.
+        flip_histogram: {flips_per_word: word_count}, e.g. from
+            :func:`flips_per_word` (flip counts refer to data-word
+            windows; flips are re-rolled over the full codeword, which
+            is the standard stored-codeword assumption).
+        rng: randomness source.
+        trials_per_class: sampling cap per flip-count class.
+    """
+    evaluation = EccEvaluation()
+    for flips, word_count in sorted(flip_histogram.items()):
+        trials = min(word_count, trials_per_class)
+        tally: Counter = Counter()
+        for _ in range(trials):
+            data = rng.integers(0, 2, size=code.data_bits).astype(np.uint8)
+            codeword = code.encode(data)
+            positions = rng.choice(code.code_bits, size=min(flips, code.code_bits), replace=False)
+            corrupted = codeword.copy()
+            corrupted[positions] ^= 1
+            result = code.decode(corrupted)
+            tally[classify_against_truth(result, data)] += 1
+        for status, tally_count in tally.items():
+            evaluation.add(status, count=round(tally_count * word_count / trials))
+    return evaluation

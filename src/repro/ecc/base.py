@@ -1,0 +1,83 @@
+"""Common ECC interface and decode outcome classification.
+
+The paper's §II-C argument about ECC hinges on the *outcome classes*:
+SECDED corrects single-bit flips, detects (but cannot correct) double
+flips, and can silently miscorrect triple flips — so RowHammer words
+with >= 2 flips defeat it.  Every code here reports which class a
+decode fell into so the mitigation study can count them.
+"""
+
+from __future__ import annotations
+
+import enum
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class DecodeStatus(enum.Enum):
+    """Classification of one codeword decode."""
+
+    CLEAN = "clean"
+    CORRECTED = "corrected"
+    DETECTED_UNCORRECTABLE = "detected_uncorrectable"
+    MISCORRECTED = "miscorrected"  # only observable with ground truth
+
+
+@dataclass
+class DecodeResult:
+    """Outcome of decoding one codeword.
+
+    Attributes:
+        data: recovered data bits (LSB-first).
+        status: outcome class as reported *by the decoder* (a decoder
+            cannot itself distinguish MISCORRECTED from CORRECTED; use
+            :func:`classify_against_truth` for ground-truth accounting).
+        corrected_positions: codeword bit positions the decoder flipped.
+    """
+
+    data: np.ndarray
+    status: DecodeStatus
+    corrected_positions: tuple = ()
+
+
+class EccCode(ABC):
+    """Abstract block code over bit arrays."""
+
+    #: number of data bits per codeword
+    data_bits: int
+    #: number of total bits per codeword
+    code_bits: int
+
+    @abstractmethod
+    def encode(self, data: np.ndarray) -> np.ndarray:
+        """Encode ``data_bits`` data bits into ``code_bits`` codeword bits."""
+
+    @abstractmethod
+    def decode(self, codeword: np.ndarray) -> DecodeResult:
+        """Decode a (possibly corrupted) codeword."""
+
+    @property
+    def overhead_fraction(self) -> float:
+        """Storage overhead: redundant bits / data bits."""
+        return (self.code_bits - self.data_bits) / self.data_bits
+
+    def check_data(self, data: np.ndarray) -> None:
+        """Validate data-word shape."""
+        if data.shape != (self.data_bits,):
+            raise ValueError(f"expected {self.data_bits} data bits, got shape {data.shape}")
+
+    def check_codeword(self, codeword: np.ndarray) -> None:
+        """Validate codeword shape."""
+        if codeword.shape != (self.code_bits,):
+            raise ValueError(f"expected {self.code_bits} code bits, got shape {codeword.shape}")
+
+
+def classify_against_truth(result: DecodeResult, true_data: np.ndarray) -> DecodeStatus:
+    """Reclassify a decode using ground truth (exposes miscorrections)."""
+    if result.status == DecodeStatus.DETECTED_UNCORRECTABLE:
+        return result.status
+    if np.array_equal(result.data, true_data):
+        return result.status
+    return DecodeStatus.MISCORRECTED

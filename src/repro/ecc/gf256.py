@@ -1,0 +1,60 @@
+"""GF(2^8) arithmetic for the symbol-correcting code.
+
+Uses the AES/Reed-Solomon-standard primitive polynomial
+x^8 + x^4 + x^3 + x^2 + 1 (0x11D) and exp/log tables for O(1)
+multiply/divide.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_PRIM = 0x11D
+
+EXP = np.zeros(512, dtype=np.int64)
+LOG = np.zeros(256, dtype=np.int64)
+
+
+def _build_tables() -> None:
+    x = 1
+    for i in range(255):
+        EXP[i] = x
+        LOG[x] = i
+        x <<= 1
+        if x & 0x100:
+            x ^= _PRIM
+    for i in range(255, 512):
+        EXP[i] = EXP[i - 255]
+
+
+_build_tables()
+
+
+def gf_mul(a: int, b: int) -> int:
+    """Multiply in GF(256)."""
+    if a == 0 or b == 0:
+        return 0
+    return int(EXP[LOG[a] + LOG[b]])
+
+
+def gf_div(a: int, b: int) -> int:
+    """Divide in GF(256); raises on division by zero."""
+    if b == 0:
+        raise ZeroDivisionError("GF(256) division by zero")
+    if a == 0:
+        return 0
+    return int(EXP[(LOG[a] - LOG[b]) % 255])
+
+
+def gf_pow(a: int, n: int) -> int:
+    """Raise ``a`` to the ``n``-th power in GF(256)."""
+    if a == 0:
+        return 0 if n else 1
+    return int(EXP[(LOG[a] * n) % 255])
+
+
+def gf_inv(a: int) -> int:
+    """Multiplicative inverse in GF(256)."""
+    if a == 0:
+        raise ZeroDivisionError("0 has no inverse in GF(256)")
+    return int(EXP[255 - LOG[a]])

@@ -1,0 +1,35 @@
+"""Detect-only even-parity code (the weakest rung of the ECC ladder)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ecc.base import DecodeResult, DecodeStatus, EccCode
+from repro.ecc.bitops import parity
+
+
+class ParityCode(EccCode):
+    """Single even-parity bit over ``data_bits`` data bits.
+
+    Detects any odd number of flips; corrects nothing; even flip
+    counts pass silently (reported CLEAN, i.e. silent corruption).
+    """
+
+    def __init__(self, data_bits: int = 64) -> None:
+        if data_bits < 1:
+            raise ValueError("data_bits must be >= 1")
+        self.data_bits = data_bits
+        self.code_bits = data_bits + 1
+
+    def encode(self, data: np.ndarray) -> np.ndarray:
+        """Append one even-parity bit."""
+        self.check_data(data)
+        return np.concatenate([data.astype(np.uint8), [parity(data)]])
+
+    def decode(self, codeword: np.ndarray) -> DecodeResult:
+        """Report DETECTED_UNCORRECTABLE on parity mismatch, CLEAN otherwise."""
+        self.check_codeword(codeword)
+        data = codeword[: self.data_bits].copy()
+        if parity(codeword) != 0:
+            return DecodeResult(data=data, status=DecodeStatus.DETECTED_UNCORRECTABLE)
+        return DecodeResult(data=data, status=DecodeStatus.CLEAN)

@@ -1,0 +1,130 @@
+"""RRAM crossbar model: half-select disturb — a RowHammer analogue.
+
+§III lists RRAM/memristors among the emerging technologies whose
+reliability problems may surface as security problems.  The structural
+parallel to RowHammer is striking: in a crossbar, accessing one cell
+puts *half* the select voltage across every other cell sharing its row
+or column.  Each half-select event weakly stresses those neighbors;
+enough repeated accesses to one address drift a shared-line neighbor's
+filament across the read margin — repeatedly accessing one address
+corrupts data at other addresses, the exact isolation violation of
+§II-A, in a different technology.
+
+The model mirrors the DRAM disturbance machinery: per-cell half-select
+endurance thresholds (lognormal), accumulated stress per shared-line
+access, reset on rewrite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.utils.rng import derive_rng
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class RramParams:
+    """Crossbar disturb parameters.
+
+    Attributes:
+        hs_threshold_median: median half-select events to flip a cell.
+        hs_threshold_sigma: lognormal spread.
+        hs_threshold_min: weakest-cell floor.
+    """
+
+    hs_threshold_median: float = 5e6
+    hs_threshold_sigma: float = 0.6
+    hs_threshold_min: float = 2e5
+
+    def __post_init__(self) -> None:
+        check_positive("hs_threshold_median", self.hs_threshold_median)
+        check_positive("hs_threshold_min", self.hs_threshold_min)
+        if self.hs_threshold_min > self.hs_threshold_median:
+            raise ValueError("hs_threshold_min must not exceed the median")
+
+
+class RramCrossbar:
+    """One crossbar tile with half-select disturb accounting.
+
+    Args:
+        rows, cols: tile dimensions.
+        params: disturb parameters.
+        seed: per-tile threshold draw.
+    """
+
+    def __init__(self, rows: int = 256, cols: int = 256, params: RramParams = RramParams(), seed: int = 0) -> None:
+        check_positive("rows", rows)
+        check_positive("cols", cols)
+        rng = derive_rng(seed, "rram")
+        self.rows = rows
+        self.cols = cols
+        self.params = params
+        mu = np.log(params.hs_threshold_median)
+        thresholds = np.exp(rng.normal(mu, params.hs_threshold_sigma, size=(rows, cols)))
+        self.thresholds = np.maximum(thresholds, params.hs_threshold_min)
+        self.stress = np.zeros((rows, cols), dtype=np.float64)
+        self.flipped = np.zeros((rows, cols), dtype=bool)
+
+    def access(self, row: int, col: int, count: int = 1) -> None:
+        """``count`` full-select accesses of one cell.
+
+        Row- and column-sharing cells each take ``count`` half-select
+        events; the accessed cell itself is fully re-biased (its
+        accumulated stress resets, like a DRAM row's own activation).
+        """
+        if not 0 <= row < self.rows or not 0 <= col < self.cols:
+            raise IndexError("cell out of range")
+        if count < 0:
+            raise ValueError("count must be >= 0")
+        self.stress[row, :] += count
+        self.stress[:, col] += count
+        self.stress[row, col] = 0.0
+        self._materialize()
+
+    def rewrite(self, row: int, col: int) -> None:
+        """Rewrite one cell: clears its flip and its accumulated stress."""
+        self.stress[row, col] = 0.0
+        self.flipped[row, col] = False
+
+    def _materialize(self) -> None:
+        self.flipped |= self.stress >= self.thresholds
+
+    def flipped_cells(self) -> List[Tuple[int, int]]:
+        """Coordinates of disturbed cells."""
+        rows, cols = np.nonzero(self.flipped)
+        return list(zip(rows.tolist(), cols.tolist()))
+
+    def flip_count(self) -> int:
+        return int(self.flipped.sum())
+
+
+def crossbar_hammer_study(
+    accesses=(1e5, 1e6, 1e7),
+    rows: int = 256,
+    cols: int = 256,
+    seed: int = 0,
+) -> List[dict]:
+    """Hammer one crossbar address; count shared-line victims.
+
+    The RowHammer-shaped result: victims appear once the access count
+    crosses the weakest shared-line cell's threshold, and they are all
+    in the aggressor's row or column — never elsewhere.
+    """
+    out = []
+    for count in accesses:
+        tile = RramCrossbar(rows=rows, cols=cols, seed=seed)
+        tile.access(rows // 2, cols // 2, int(count))
+        victims = tile.flipped_cells()
+        on_shared_lines = all(r == rows // 2 or c == cols // 2 for r, c in victims)
+        out.append(
+            {
+                "accesses": int(count),
+                "victims": len(victims),
+                "all_on_shared_lines": on_shared_lines,
+            }
+        )
+    return out

@@ -1,0 +1,35 @@
+"""Synthetic field study: the 129-module campaign behind Figure 1."""
+
+from repro.fieldstudy.campaign import (
+    CampaignSummary,
+    ModuleTestResult,
+    run_campaign,
+    scan_module_rows,
+    victim_pressure,
+    whole_module_errors,
+)
+from repro.fieldstudy.fleet import FleetExposure, fleet_exposure, patch_rollout_study
+from repro.fieldstudy.population import (
+    POPULATION_BUCKETS,
+    ModuleSpec,
+    build_population,
+    instantiate,
+    population_size,
+)
+
+__all__ = [
+    "CampaignSummary",
+    "ModuleTestResult",
+    "run_campaign",
+    "scan_module_rows",
+    "victim_pressure",
+    "whole_module_errors",
+    "FleetExposure",
+    "fleet_exposure",
+    "patch_rollout_study",
+    "POPULATION_BUCKETS",
+    "ModuleSpec",
+    "build_population",
+    "instantiate",
+    "population_size",
+]

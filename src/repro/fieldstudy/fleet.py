@@ -1,0 +1,120 @@
+"""Fleet-scale exposure: what the module mix means for a data center.
+
+§III opens with the large-scale field studies ([76, 75]) showing
+memory reliability degrading in production fleets.  This model turns
+the per-module campaign into fleet-level security exposure: given a
+fleet whose modules are drawn from a vintage mix, what fraction of
+servers is RowHammer-compromisable, and how does replacing old stock
+(or deploying a refresh-multiplier patch) move that number?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.fieldstudy.campaign import run_campaign
+from repro.fieldstudy.population import build_population
+from repro.utils.rng import derive_rng
+from repro.utils.validation import check_positive, check_probability
+
+
+@dataclass
+class FleetExposure:
+    """Fleet vulnerability summary.
+
+    Attributes:
+        servers: fleet size.
+        vulnerable_servers: servers whose module shows RowHammer errors.
+        compromised_servers: vulnerable servers that an attacker with
+            the given prevalence actually reached.
+        by_year: vulnerable-server count per module vintage year.
+    """
+
+    servers: int
+    vulnerable_servers: int
+    compromised_servers: int
+    by_year: Dict[int, int]
+
+    @property
+    def vulnerable_fraction(self) -> float:
+        return self.vulnerable_servers / self.servers if self.servers else 0.0
+
+
+def fleet_exposure(
+    servers: int = 2000,
+    vintage_weights: Optional[Dict[int, float]] = None,
+    attack_prevalence: float = 0.05,
+    refresh_multiplier: float = 1.0,
+    seed: int = 0,
+) -> FleetExposure:
+    """Draw a fleet from the vintage mix and compute its exposure.
+
+    Args:
+        servers: number of servers (one module each).
+        vintage_weights: {year: weight} module-age mix; default is a
+            2014-era fleet skewed toward recent (vulnerable) stock.
+        attack_prevalence: probability a given server runs attacker-
+            controllable code (multi-tenant exposure).
+        refresh_multiplier: deployed mitigation patch, if any.
+        seed: fleet draw.
+    """
+    check_positive("servers", servers)
+    check_probability("attack_prevalence", attack_prevalence)
+    if vintage_weights is None:
+        vintage_weights = {2009: 0.05, 2010: 0.1, 2011: 0.15, 2012: 0.3, 2013: 0.3, 2014: 0.1}
+    rng = derive_rng(seed, "fleet")
+
+    # One campaign gives the per-(vintage, manufacturer) verdicts; fleet
+    # modules sample from the matching campaign entries.
+    summary = run_campaign(seed=seed, refresh_multiplier=refresh_multiplier)
+    by_year_pool: Dict[int, list] = {}
+    for result in summary.results:
+        by_year_pool.setdefault(result.year, []).append(result)
+
+    years = sorted(vintage_weights)
+    weights = np.array([vintage_weights[y] for y in years], dtype=float)
+    weights /= weights.sum()
+    picks = rng.choice(len(years), size=servers, p=weights)
+
+    vulnerable = 0
+    compromised = 0
+    by_year: Dict[int, int] = {}
+    for pick in picks:
+        year = years[int(pick)]
+        pool = by_year_pool.get(year)
+        if not pool:
+            continue
+        module_result = pool[int(rng.integers(0, len(pool)))]
+        if module_result.vulnerable:
+            vulnerable += 1
+            by_year[year] = by_year.get(year, 0) + 1
+            if rng.random() < attack_prevalence:
+                compromised += 1
+    return FleetExposure(
+        servers=servers,
+        vulnerable_servers=vulnerable,
+        compromised_servers=compromised,
+        by_year=dict(sorted(by_year.items())),
+    )
+
+
+def patch_rollout_study(
+    multipliers: Sequence[float] = (1.0, 2.0, 4.0, 8.0),
+    servers: int = 2000,
+    seed: int = 0,
+) -> list:
+    """Fleet exposure vs deployed refresh multiplier (the vendor patch)."""
+    out = []
+    for k in multipliers:
+        exposure = fleet_exposure(servers=servers, refresh_multiplier=k, seed=seed)
+        out.append(
+            {
+                "multiplier": k,
+                "vulnerable_fraction": exposure.vulnerable_fraction,
+                "compromised_servers": exposure.compromised_servers,
+            }
+        )
+    return out

@@ -1,0 +1,280 @@
+"""One NAND flash block: wordlines of MLC cells with full error physics.
+
+State kept per cell: its current Vth, plus three *persistent, per-cell*
+characteristics drawn once from the block seed — leak rate (retention),
+read-disturb susceptibility, and wordline-coupling ratio — giving the
+wide cell-to-cell variation §III-B builds its recovery mechanisms on.
+
+Time is explicit: :meth:`FlashBlock.age_retention` advances retention
+loss; reads apply disturb; programming applies interference to
+neighbor wordlines.  Wear (``pe_cycles``) can be set directly for
+accelerated-aging experiments (the standard shortcut for lifetime
+studies; cycling loops would be prohibitive at 10K+ cycles).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.flash.params import FlashParams
+from repro.flash.vth import (
+    read_lsb,
+    read_lsb_partial,
+    read_msb,
+    state_from_bits,
+)
+from repro.utils.rng import derive_rng
+from repro.utils.validation import check_positive
+
+#: log-time softening constant for retention loss (days).
+_RETENTION_T0_DAYS = 0.1
+
+
+@dataclass
+class WordlineState:
+    """Programming status of one wordline."""
+
+    lsb_programmed: bool = False
+    msb_programmed: bool = False
+    true_lsb: Optional[np.ndarray] = None
+    true_msb: Optional[np.ndarray] = None
+
+
+class FlashBlock:
+    """An MLC NAND block.
+
+    Args:
+        wordlines: number of wordlines (each holds an LSB and MSB page).
+        cells: cells per wordline (page size in bits).
+        params: device parameters.
+        seed: per-block seed for persistent cell characteristics.
+    """
+
+    def __init__(
+        self,
+        wordlines: int = 64,
+        cells: int = 2048,
+        params: FlashParams = FlashParams(),
+        seed: int = 0,
+    ) -> None:
+        check_positive("wordlines", wordlines)
+        check_positive("cells", cells)
+        self.wordlines = wordlines
+        self.cells = cells
+        self.params = params
+        self.seed = seed
+        rng = derive_rng(seed, "flash-block")
+        shape = (wordlines, cells)
+        # Persistent per-cell characteristics (the variation RFR/NAC use).
+        self.leak_rate = np.exp(rng.normal(0.0, params.leak_sigma, size=shape))
+        self.rd_susceptibility = np.exp(rng.normal(0.0, params.read_disturb_sigma, size=shape))
+        self.coupling = np.clip(
+            rng.normal(params.coupling_mean, params.coupling_sigma, size=shape), 0.0, None
+        )
+        self.pe_cycles = 0
+        self._program_rng = derive_rng(seed, "flash-noise")
+        self.vth = np.empty(shape, dtype=np.float64)
+        self.wl_state: Dict[int, WordlineState] = {}
+        self.retention_days = 0.0
+        self.reads_seen = 0
+        self._erase_fill()
+
+    # ------------------------------------------------------------------
+    # Wear management
+    # ------------------------------------------------------------------
+    def set_pe_cycles(self, pe_cycles: int) -> None:
+        """Set the wear level directly (accelerated aging)."""
+        if pe_cycles < 0:
+            raise ValueError("pe_cycles must be >= 0")
+        self.pe_cycles = pe_cycles
+
+    def _erase_fill(self) -> None:
+        er_mean = self.params.state_means[0]
+        self.vth[:] = self._program_rng.normal(
+            er_mean, self.params.er_sigma, size=self.vth.shape
+        )
+
+    def erase(self) -> None:
+        """Erase the block (one P/E cycle)."""
+        self.pe_cycles += 1
+        self._erase_fill()
+        self.wl_state.clear()
+        self.retention_days = 0.0
+
+    # ------------------------------------------------------------------
+    # Programming (two-step)
+    # ------------------------------------------------------------------
+    def _state(self, wordline: int) -> WordlineState:
+        if not 0 <= wordline < self.wordlines:
+            raise IndexError(f"wordline {wordline} out of range")
+        return self.wl_state.setdefault(wordline, WordlineState())
+
+    def _program_noise(self, size: int) -> np.ndarray:
+        sigma = self.params.program_sigma_at(self.pe_cycles)
+        return self._program_rng.normal(0.0, sigma, size=size)
+
+    def _apply_interference(self, wordline: int, delta: np.ndarray) -> None:
+        """Couple a programming voltage swing into adjacent wordlines."""
+        for neighbor in (wordline - 1, wordline + 1):
+            if not 0 <= neighbor < self.wordlines:
+                continue
+            state = self.wl_state.get(neighbor)
+            if state is None or not state.lsb_programmed:
+                continue  # erased neighbors are re-programmed later anyway
+            self.vth[neighbor] += self.coupling[neighbor] * np.maximum(delta, 0.0)
+
+    def program_lsb(self, wordline: int, bits: np.ndarray) -> None:
+        """First programming step: LSB page -> ER (1) or LM (0) state."""
+        state = self._state(wordline)
+        if state.lsb_programmed:
+            raise RuntimeError(f"wordline {wordline} LSB already programmed")
+        bits = np.asarray(bits, dtype=np.uint8)
+        if bits.shape != (self.cells,):
+            raise ValueError(f"LSB page must have {self.cells} bits")
+        old = self.vth[wordline].copy()
+        wear_mult = self.params.program_sigma_at(self.pe_cycles) / self.params.program_sigma
+        lm_noise = self._program_rng.normal(0.0, self.params.lm_sigma * wear_mult, size=self.cells)
+        self.vth[wordline] = np.where(
+            bits == 1, self.vth[wordline], self.params.lm_mean + lm_noise
+        )
+        state.lsb_programmed = True
+        state.true_lsb = bits.copy()
+        self._apply_interference(wordline, self.vth[wordline] - old)
+
+    def program_msb(self, wordline: int, bits: np.ndarray, supplied_lsb: Optional[np.ndarray] = None) -> None:
+        """Second programming step: MSB page, finalizing the 4-level state.
+
+        The device must know each cell's LSB to pick the final state.
+        By default it performs the **internal partial read** (the
+        fragile step [24] exploits); a controller-side mitigation can
+        pass ``supplied_lsb`` (buffered truth) instead.
+        """
+        state = self._state(wordline)
+        if not state.lsb_programmed:
+            raise RuntimeError(f"wordline {wordline} LSB not yet programmed")
+        if state.msb_programmed:
+            raise RuntimeError(f"wordline {wordline} MSB already programmed")
+        bits = np.asarray(bits, dtype=np.uint8)
+        if bits.shape != (self.cells,):
+            raise ValueError(f"MSB page must have {self.cells} bits")
+        if supplied_lsb is None:
+            lsb_seen = read_lsb_partial(self.vth[wordline], self.params.lm_read_ref)
+        else:
+            lsb_seen = np.asarray(supplied_lsb, dtype=np.uint8)
+        old = self.vth[wordline].copy()
+        targets = state_from_bits(lsb_seen, bits)
+        means = np.asarray(self.params.state_means)[targets]
+        # ER-target cells are not programmed (stay at their erased Vth).
+        programmed = targets != 0
+        new = np.where(
+            programmed,
+            means + self._program_noise(self.cells),
+            self.vth[wordline],
+        )
+        self.vth[wordline] = new
+        state.msb_programmed = True
+        state.true_msb = bits.copy()
+        self._apply_interference(wordline, self.vth[wordline] - old)
+
+    def program_full(self, wordline: int, lsb: np.ndarray, msb: np.ndarray) -> None:
+        """Both steps back-to-back (no exposure window)."""
+        self.program_lsb(wordline, lsb)
+        self.program_msb(wordline, msb)
+
+    # ------------------------------------------------------------------
+    # Error mechanisms
+    # ------------------------------------------------------------------
+    def age_retention(self, days: float) -> None:
+        """Advance retention loss by ``days`` (charged cells drift toward ER).
+
+        The loss is logarithmic in time, proportional to the cell's
+        stored charge, scaled by its persistent leak rate and by wear.
+        """
+        if days < 0:
+            raise ValueError("days must be >= 0")
+        if days == 0:
+            return
+        params = self.params
+        er_mean = params.state_means[0]
+        span = params.state_means[3] - er_mean
+        prev = np.log1p(self.retention_days / _RETENTION_T0_DAYS)
+        self.retention_days += days
+        now = np.log1p(self.retention_days / _RETENTION_T0_DAYS)
+        log_gain = now - prev
+        scale = params.retention_scale * params.retention_factor(self.pe_cycles)
+        charge = np.clip((self.vth - er_mean) / span, 0.0, None)
+        self.vth -= self.leak_rate * scale * log_gain * charge * span
+
+    def apply_read_disturb(self, reads: int = 1) -> None:
+        """Apply ``reads`` block-level read-disturb events."""
+        if reads < 0:
+            raise ValueError("reads must be >= 0")
+        if reads == 0:
+            return
+        params = self.params
+        er_mean = params.state_means[0]
+        top = params.state_means[3]
+        weight = np.clip((top - self.vth) / (top - er_mean), 0.0, 1.0)
+        self.vth += reads * params.read_disturb_step * self.rd_susceptibility * weight
+        self.reads_seen += reads
+
+    # ------------------------------------------------------------------
+    # Reads and error accounting
+    # ------------------------------------------------------------------
+    def read_page(self, wordline: int, which: str, read_refs=None, disturb: bool = True) -> np.ndarray:
+        """Read the LSB or MSB page of a wordline.
+
+        Args:
+            wordline: target wordline.
+            which: ``"lsb"`` or ``"msb"``.
+            read_refs: optional tuned references (default: factory).
+            disturb: whether this read disturbs the block.
+        """
+        state = self._state(wordline)
+        refs = read_refs if read_refs is not None else self.params.read_refs
+        if which == "lsb":
+            if not state.lsb_programmed:
+                raise RuntimeError("LSB page not programmed")
+            bits = (
+                read_lsb(self.vth[wordline], refs)
+                if state.msb_programmed
+                else read_lsb_partial(self.vth[wordline], self.params.lm_read_ref)
+            )
+        elif which == "msb":
+            if not state.msb_programmed:
+                raise RuntimeError("MSB page not programmed")
+            bits = read_msb(self.vth[wordline], refs)
+        else:
+            raise ValueError("which must be 'lsb' or 'msb'")
+        if disturb:
+            self.apply_read_disturb(1)
+        return bits
+
+    def page_errors(self, wordline: int, which: str, read_refs=None) -> int:
+        """Raw bit errors of one page versus its programmed truth."""
+        state = self._state(wordline)
+        truth = state.true_lsb if which == "lsb" else state.true_msb
+        if truth is None:
+            raise RuntimeError(f"{which} page of wordline {wordline} not programmed")
+        bits = self.read_page(wordline, which, read_refs=read_refs, disturb=False)
+        return int(np.count_nonzero(bits != truth))
+
+    def rber(self, read_refs=None) -> float:
+        """Raw bit error rate across all fully programmed wordlines."""
+        errors = 0
+        bits = 0
+        for wl, state in self.wl_state.items():
+            if state.msb_programmed:
+                errors += self.page_errors(wl, "lsb", read_refs)
+                errors += self.page_errors(wl, "msb", read_refs)
+                bits += 2 * self.cells
+        if bits == 0:
+            return 0.0
+        return errors / bits
+
+    def programmed_wordlines(self):
+        """Wordlines with both pages programmed."""
+        return sorted(wl for wl, s in self.wl_state.items() if s.msb_programmed)

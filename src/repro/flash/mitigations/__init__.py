@@ -1,0 +1,20 @@
+"""Flash-controller error mitigation and recovery mechanisms."""
+
+from repro.flash.mitigations.fcr import FcrPoint, fcr_sweep, lifetime_multiplier
+from repro.flash.mitigations.nac import NacOutcome, correct_wordline, expected_neighbor_swing
+from repro.flash.mitigations.rfr import RfrOutcome, read_disturb_recovery, recover_wordline
+from repro.flash.mitigations.warm import WarmOutcome, warm_study
+
+__all__ = [
+    "FcrPoint",
+    "fcr_sweep",
+    "lifetime_multiplier",
+    "NacOutcome",
+    "correct_wordline",
+    "expected_neighbor_swing",
+    "RfrOutcome",
+    "read_disturb_recovery",
+    "recover_wordline",
+    "WarmOutcome",
+    "warm_study",
+]

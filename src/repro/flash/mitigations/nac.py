@@ -1,0 +1,77 @@
+"""Neighbor-Cell Assisted Correction (Cai+, SIGMETRICS 2014; §III-B).
+
+Program interference shifts a victim cell's Vth upward in proportion
+to the voltage swing its directly adjacent (next-wordline) cell made
+when programmed.  Since the controller can *read the neighbor page*,
+it knows each aggressor's final state and can compensate: re-classify
+the victim with a per-cell reference shifted by the expected coupling
+for that neighbor state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.flash.block import FlashBlock
+from repro.flash.vth import classify, state_from_bits
+from repro.utils.rng import derive_rng
+
+
+@dataclass
+class NacOutcome:
+    """Error counts before/after neighbor-assisted correction."""
+
+    errors_before: int
+    errors_after: int
+
+    @property
+    def reduction_fraction(self) -> float:
+        if self.errors_before == 0:
+            return 0.0
+        return 1.0 - self.errors_after / self.errors_before
+
+
+def expected_neighbor_swing(block: FlashBlock, neighbor_wordline: int) -> np.ndarray:
+    """Expected **MSB-step** voltage swing of each neighbor cell,
+    reconstructed from its *read* state (controller-observable).
+
+    In the shadow programming order, the only neighbor disturbance a
+    finalized wordline suffers is the upper neighbor's MSB step; that
+    step starts from ER for final states ER/P1 (lsb=1) and from the LM
+    state for P2/P3 (lsb=0)."""
+    params = block.params
+    state = block.wl_state.get(neighbor_wordline)
+    if state is None or not state.msb_programmed:
+        return np.zeros(block.cells)
+    neighbor_states = classify(block.vth[neighbor_wordline], params.read_refs)
+    means = np.asarray(params.state_means)
+    start = np.where(neighbor_states <= 1, means[0], params.lm_mean)
+    return np.clip(means[neighbor_states] - start, 0.0, None)
+
+
+def correct_wordline(
+    block: FlashBlock,
+    wordline: int,
+    measurement_sigma: float = 0.01,
+    seed: int = 0,
+) -> NacOutcome:
+    """Apply NAC to one victim wordline (neighbor = wordline + 1)."""
+    state = block.wl_state.get(wordline)
+    if state is None or not state.msb_programmed:
+        raise RuntimeError("victim wordline must be fully programmed")
+    params = block.params
+    rng = derive_rng(seed, "nac", wordline)
+    true_states = state_from_bits(state.true_lsb, state.true_msb)
+    v = block.vth[wordline] + rng.normal(0.0, measurement_sigma, size=block.cells)
+    errors_before = int(np.count_nonzero(classify(v, params.read_refs) != true_states))
+
+    # In shadow order only the upper neighbor's MSB step lands after the
+    # victim is finalized; compensate for exactly that swing.
+    compensation = np.zeros(block.cells)
+    if wordline + 1 < block.wordlines:
+        compensation = params.coupling_mean * expected_neighbor_swing(block, wordline + 1)
+    v_corr = v - compensation
+    errors_after = int(np.count_nonzero(classify(v_corr, params.read_refs) != true_states))
+    return NacOutcome(errors_before=errors_before, errors_after=errors_after)

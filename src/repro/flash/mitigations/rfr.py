@@ -1,0 +1,161 @@
+"""Retention Failure Recovery (Cai+, DSN 2015; §III-A2).
+
+After an uncorrectable retention error, the controller can still
+recover data offline by exploiting the wide variation in cell leak
+rates: re-reading the page after an extra controlled retention period
+reveals which cells are fast leakers; risky cells (those near a read
+reference) are then extrapolated back to their pre-leak voltage and
+reclassified.
+
+The paper's security observation is the flip side: the same procedure
+lets an *attacker* with a failed (discarded) device probabilistically
+reconstruct its contents — data thought destroyed by retention loss is
+recoverable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.flash.block import _RETENTION_T0_DAYS, FlashBlock
+from repro.flash.vth import classify
+from repro.utils.rng import derive_rng
+from repro.utils.validation import check_positive
+
+
+@dataclass
+class RfrOutcome:
+    """Error counts before and after recovery for one wordline.
+
+    Attributes:
+        errors_before: raw state misclassifications pre-recovery.
+        errors_after: misclassifications after RFR reclassification.
+    """
+
+    errors_before: int
+    errors_after: int
+
+    @property
+    def reduction_fraction(self) -> float:
+        if self.errors_before == 0:
+            return 0.0
+        return 1.0 - self.errors_after / self.errors_before
+
+
+def _expected_log_gain(t_from: float, t_to: float) -> float:
+    return np.log1p(t_to / _RETENTION_T0_DAYS) - np.log1p(t_from / _RETENTION_T0_DAYS)
+
+
+def recover_wordline(
+    block: FlashBlock,
+    wordline: int,
+    extra_bake_days: float = 3.0,
+    bake_acceleration: float = 60.0,
+    risky_margin: float = 0.45,
+    measurement_sigma: float = 0.004,
+    seed: int = 0,
+) -> RfrOutcome:
+    """Run RFR on one (retention-damaged) wordline.
+
+    Procedure (uses only controller-observable quantities):
+
+    1. measure each cell's Vth via read-retry sweeps (small measurement
+       noise), at the current age t1;
+    2. bake for ``extra_bake_days`` at elevated temperature — Arrhenius
+       acceleration makes the bake equivalent to
+       ``extra_bake_days * bake_acceleration`` days of room-temperature
+       retention, so the second measurement sees a usable drop even at
+       the flat end of the log-time curve;
+    3. the per-cell drop estimates its leak rate; cells within
+       ``risky_margin`` of a read reference are extrapolated back to
+       their age-zero Vth and reclassified.
+
+    Returns state-level error counts before/after against ground truth.
+    """
+    check_positive("extra_bake_days", extra_bake_days)
+    check_positive("bake_acceleration", bake_acceleration)
+    state = block.wl_state.get(wordline)
+    if state is None or not state.msb_programmed:
+        raise RuntimeError("wordline must be fully programmed")
+    params = block.params
+    rng = derive_rng(seed, "rfr", wordline)
+    true_states = _true_states(block, wordline)
+
+    t1 = block.retention_days
+    v1 = block.vth[wordline] + rng.normal(0.0, measurement_sigma, size=block.cells)
+    errors_before = int(np.count_nonzero(classify(v1, params.read_refs) != true_states))
+
+    # Accelerated bake, then second measurement.
+    block.age_retention(extra_bake_days * bake_acceleration)
+    t2 = block.retention_days
+    v2 = block.vth[wordline] + rng.normal(0.0, measurement_sigma, size=block.cells)
+
+    # Leak-rate estimate from the observed drop over the known bake.
+    er_mean = params.state_means[0]
+    span = params.state_means[3] - er_mean
+    charge = np.clip((v1 - er_mean) / span, 1e-3, None)
+    gain_bake = _expected_log_gain(t1, t2)
+    scale = params.retention_scale * params.retention_factor(block.pe_cycles)
+    leak_est = np.clip((v1 - v2) / (scale * gain_bake * charge * span), 0.0, None)
+
+    # Extrapolate back to age zero and reclassify risky cells.
+    gain_total = _expected_log_gain(0.0, t2)
+    v_orig = v2 + leak_est * scale * gain_total * charge * span
+    refs = np.asarray(params.read_refs)
+    dist = np.min(np.abs(v2[:, None] - refs[None, :]), axis=1)
+    risky = dist <= risky_margin
+    recovered = classify(v2, params.read_refs)
+    recovered[risky] = classify(v_orig[risky], params.read_refs)
+    errors_after = int(np.count_nonzero(recovered != true_states))
+    return RfrOutcome(errors_before=errors_before, errors_after=errors_after)
+
+
+def _true_states(block: FlashBlock, wordline: int) -> np.ndarray:
+    from repro.flash.vth import state_from_bits
+
+    state = block.wl_state[wordline]
+    return state_from_bits(state.true_lsb, state.true_msb)
+
+
+def read_disturb_recovery(
+    block: FlashBlock,
+    wordline: int,
+    risky_margin: float = 0.45,
+    seed: int = 0,
+    measurement_sigma: float = 0.01,
+) -> RfrOutcome:
+    """The read-disturb analogue (§III-B): susceptibility variation lets
+    the controller estimate each cell's accumulated upward disturb and
+    subtract it before classification.
+
+    The susceptibility estimate models the offline characterization the
+    DSN 2015 mechanism performs (a known-data disturb experiment on the
+    same cells), so it reads the block's persistent susceptibility with
+    estimation noise rather than inferring it from two bakes.
+    """
+    state = block.wl_state.get(wordline)
+    if state is None or not state.msb_programmed:
+        raise RuntimeError("wordline must be fully programmed")
+    params = block.params
+    rng = derive_rng(seed, "rdr", wordline)
+    true_states = _true_states(block, wordline)
+    v = block.vth[wordline] + rng.normal(0.0, measurement_sigma, size=block.cells)
+    errors_before = int(np.count_nonzero(classify(v, params.read_refs) != true_states))
+
+    susceptibility_est = block.rd_susceptibility[wordline] * np.exp(
+        rng.normal(0.0, 0.1, size=block.cells)
+    )
+    er_mean = params.state_means[0]
+    top = params.state_means[3]
+    weight = np.clip((top - v) / (top - er_mean), 0.0, 1.0)
+    disturb_est = block.reads_seen * params.read_disturb_step * susceptibility_est * weight
+    v_corr = v - disturb_est
+    refs = np.asarray(params.read_refs)
+    dist = np.min(np.abs(v[:, None] - refs[None, :]), axis=1)
+    risky = dist <= risky_margin
+    recovered = classify(v, params.read_refs)
+    recovered[risky] = classify(v_corr[risky], params.read_refs)
+    errors_after = int(np.count_nonzero(recovered != true_states))
+    return RfrOutcome(errors_before=errors_before, errors_after=errors_after)

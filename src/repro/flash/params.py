@@ -1,0 +1,115 @@
+"""MLC NAND flash model parameters.
+
+The model follows the threshold-voltage (Vth) abstraction used by the
+characterization papers §III cites (DATE 2012/2013, ICCD 2012/2013,
+HPCA 2015/2017): an MLC cell stores one of four states — ER (erased),
+P1, P2, P3 — as a Vth level; every error mechanism is a movement of
+Vth across a read reference.
+
+Mechanisms modeled (with their qualitative calibration targets):
+
+* **P/E cycling wear** widens program distributions and accelerates
+  leakage — the floor of the error-vs-cycles curves.
+* **Retention loss** (dominant at high P/E, per [16, 22]): charged
+  states drift down toward ER over time; per-cell *leak rates* vary
+  widely (the fast-/slow-leaker variation RFR exploits).
+* **Read disturb**: every read weakly programs the block's other
+  cells upward, mainly from the ER state; per-cell susceptibility
+  varies (exploited by the recovery mechanism of [23]).
+* **Program interference**: programming a wordline couples into its
+  neighbors' Vth proportionally to the voltage swing ([19, 21]).
+* **Two-step programming**: the LSB is programmed first into an
+  intermediate (LM) state that is *unverified and fragile* until the
+  MSB step; disturbance in that window corrupts data ([24]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import check_positive
+
+#: MLC state names, in ascending Vth order.
+STATE_NAMES = ("ER", "P1", "P2", "P3")
+
+#: Logical bit mapping (Gray-coded): index by state.
+LSB_OF_STATE = (1, 1, 0, 0)
+MSB_OF_STATE = (1, 0, 0, 1)
+
+
+@dataclass(frozen=True)
+class FlashParams:
+    """Device parameters of the MLC model (voltages are normalized).
+
+    Attributes:
+        state_means: target Vth of ER/P1/P2/P3.
+        er_sigma: erase-distribution width.
+        program_sigma: program-distribution width at zero wear.
+        read_refs: R1/R2/R3 hard read references.
+        lm_mean, lm_sigma: the intermediate (LSB-programmed) state.
+        lm_read_ref: internal reference separating ER from LM during the
+            two-step window.
+        wear_sigma_coef: program-sigma widening per 10K P/E cycles.
+        wear_retention_coef: leakage acceleration per 10K P/E cycles.
+        retention_scale: magnitude of Vth loss per log-day at 10K cycles.
+        leak_sigma: lognormal spread of per-cell leak rates.
+        read_disturb_step: mean upward Vth nudge per block read.
+        read_disturb_sigma: lognormal spread of per-cell susceptibility.
+        coupling_mean, coupling_sigma: wordline-to-wordline interference
+            ratio distribution.
+        pages_kb: user data per (half-)page in KiB, for ECC budgeting.
+    """
+
+    state_means: tuple = (-2.0, 1.0, 2.2, 3.4)
+    er_sigma: float = 0.42
+    program_sigma: float = 0.115
+    read_refs: tuple = (-0.5, 1.6, 2.8)
+    lm_mean: float = 1.3
+    lm_sigma: float = 0.16
+    lm_read_ref: float = -0.4
+    wear_sigma_coef: float = 0.55
+    wear_retention_coef: float = 1.4
+    retention_scale: float = 0.0045
+    leak_sigma: float = 0.6
+    read_disturb_step: float = 2.3e-5
+    read_disturb_sigma: float = 0.5
+    coupling_mean: float = 0.055
+    coupling_sigma: float = 0.018
+    pages_kb: int = 1
+
+    def __post_init__(self) -> None:
+        if len(self.state_means) != 4 or len(self.read_refs) != 3:
+            raise ValueError("need 4 state means and 3 read references")
+        if list(self.state_means) != sorted(self.state_means):
+            raise ValueError("state_means must ascend")
+        if list(self.read_refs) != sorted(self.read_refs):
+            raise ValueError("read_refs must ascend")
+        check_positive("er_sigma", self.er_sigma)
+        check_positive("program_sigma", self.program_sigma)
+        check_positive("retention_scale", self.retention_scale)
+
+    def program_sigma_at(self, pe_cycles: int) -> float:
+        """Program-distribution width after ``pe_cycles`` of wear."""
+        return self.program_sigma * (1.0 + self.wear_sigma_coef * pe_cycles / 10_000.0)
+
+    def retention_factor(self, pe_cycles: int) -> float:
+        """Leakage acceleration multiplier at ``pe_cycles``."""
+        return 1.0 + self.wear_retention_coef * pe_cycles / 10_000.0
+
+
+#: Planar 2X-nm-class MLC defaults.
+MLC_2XNM = FlashParams()
+
+#: A denser 1X-nm-class part: tighter window, faster wear — the
+#: scaling-trend instance used by the two-step experiments ([24] uses
+#: 1X-nm chips).
+MLC_1XNM = FlashParams(
+    state_means=(-1.8, 0.9, 1.95, 3.0),
+    read_refs=(-0.45, 1.42, 2.48),
+    program_sigma=0.125,
+    lm_mean=1.15,
+    wear_sigma_coef=0.75,
+    wear_retention_coef=1.9,
+    retention_scale=0.0055,
+    coupling_mean=0.08,
+)

@@ -1,0 +1,135 @@
+"""Two-step programming vulnerabilities (Cai+, HPCA 2017; §III-B).
+
+In MLC NAND the LSB is programmed first, into a fragile intermediate
+state that is not re-verified; the final 4-level state is only set at
+the MSB step, using an *internal read* of the intermediate state.  Any
+disturbance during the exposure window — read disturb from a co-located
+reader, program interference from neighboring writes (both of which a
+malicious tenant can generate on a shared SSD) — can corrupt the
+internal read and hence permanently corrupt the stored data.
+
+Mitigation modeled (from the paper's proposals): **LSB buffering** —
+the controller keeps the LSB data until the MSB step and supplies it
+directly, making the internal read irrelevant.  The experiments
+measure corrupted-at-finalization LSB errors with and without the
+mitigation, and the resulting lifetime gain (paper: ~16%).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.flash.block import FlashBlock
+from repro.flash.params import MLC_1XNM, FlashParams
+from repro.utils.rng import derive_rng
+from repro.utils.validation import check_positive
+
+
+@dataclass
+class TwoStepResult:
+    """LSB errors at finalization for one exposure experiment.
+
+    Attributes:
+        exposed_errors: errors with the vulnerable internal read.
+        mitigated_errors: errors with controller LSB buffering.
+        control_errors: errors with no exposure window (back-to-back
+            programming) — the noise floor.
+    """
+
+    exposed_errors: int
+    mitigated_errors: int
+    control_errors: int
+
+
+def _final_lsb_errors(block: FlashBlock, wordline: int) -> int:
+    return block.page_errors(wordline, "lsb")
+
+
+def _run_one(
+    params: FlashParams,
+    pe_cycles: int,
+    window_reads: int,
+    neighbor_writes: bool,
+    mitigated: bool,
+    exposure_window: bool,
+    cells: int,
+    seed: int,
+) -> int:
+    rng = derive_rng(seed, "twostep-data")
+    block = FlashBlock(wordlines=4, cells=cells, params=params, seed=seed)
+    block.set_pe_cycles(pe_cycles)
+    lsb = rng.integers(0, 2, size=cells).astype(np.uint8)
+    msb = rng.integers(0, 2, size=cells).astype(np.uint8)
+    block.program_lsb(1, lsb)
+    if exposure_window:
+        if neighbor_writes:
+            block.program_lsb(2, rng.integers(0, 2, size=cells).astype(np.uint8))
+            block.program_lsb(0, rng.integers(0, 2, size=cells).astype(np.uint8))
+        if window_reads:
+            block.apply_read_disturb(window_reads)
+    block.program_msb(1, msb, supplied_lsb=lsb if mitigated else None)
+    return _final_lsb_errors(block, 1)
+
+
+def exposure_experiment(
+    pe_cycles: int = 8000,
+    window_reads: int = 50_000,
+    neighbor_writes: bool = True,
+    params: FlashParams = MLC_1XNM,
+    cells: int = 4096,
+    seed: int = 0,
+) -> TwoStepResult:
+    """Measure LSB corruption through the two-step exposure window."""
+    check_positive("cells", cells)
+    exposed = _run_one(params, pe_cycles, window_reads, neighbor_writes, False, True, cells, seed)
+    mitigated = _run_one(params, pe_cycles, window_reads, neighbor_writes, True, True, cells, seed)
+    control = _run_one(params, pe_cycles, 0, False, False, False, cells, seed)
+    return TwoStepResult(
+        exposed_errors=exposed, mitigated_errors=mitigated, control_errors=control
+    )
+
+
+def lifetime_with_exposure(
+    error_budget: int,
+    mitigated: bool,
+    window_reads: int = 10_000,
+    params: FlashParams = MLC_1XNM,
+    cells: int = 4096,
+    seed: int = 0,
+    pe_hi: int = 40_000,
+    tolerance: int = 250,
+) -> int:
+    """Max P/E cycles keeping exposed-LSB errors within ``error_budget``."""
+
+    def errors_at(pe: int) -> int:
+        return _run_one(params, pe, window_reads, True, mitigated, True, cells, seed)
+
+    lo, hi = 0, pe_hi
+    if errors_at(0) > error_budget:
+        return 0
+    if errors_at(pe_hi) <= error_budget:
+        return pe_hi
+    while hi - lo > tolerance:
+        mid = (lo + hi) // 2
+        if errors_at(mid) <= error_budget:
+            lo = mid
+        else:
+            hi = mid
+    return lo
+
+
+def lifetime_gain_fraction(
+    error_budget: int = 160,
+    window_reads: int = 10_000,
+    params: FlashParams = MLC_1XNM,
+    cells: int = 4096,
+    seed: int = 0,
+) -> float:
+    """Fractional lifetime gain from the buffering mitigation (paper: ~16%)."""
+    base = lifetime_with_exposure(error_budget, mitigated=False, window_reads=window_reads, params=params, cells=cells, seed=seed)
+    hardened = lifetime_with_exposure(error_budget, mitigated=True, window_reads=window_reads, params=params, cells=cells, seed=seed)
+    if base == 0:
+        raise RuntimeError("baseline lifetime is zero; budget too tight")
+    return hardened / base - 1.0

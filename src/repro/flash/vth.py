@@ -1,0 +1,77 @@
+"""Threshold-voltage classification and bit mapping."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.flash.params import LSB_OF_STATE, MSB_OF_STATE, FlashParams
+
+LSB_ARR = np.array(LSB_OF_STATE, dtype=np.uint8)
+MSB_ARR = np.array(MSB_OF_STATE, dtype=np.uint8)
+
+#: state index by (lsb, msb) — inverse of LSB_OF_STATE/MSB_OF_STATE.
+_STATE_BY_BITS = {(1, 1): 0, (1, 0): 1, (0, 0): 2, (0, 1): 3}
+
+
+def state_from_bits(lsb: np.ndarray, msb: np.ndarray) -> np.ndarray:
+    """Target state index for each (lsb, msb) pair."""
+    out = np.empty(lsb.shape, dtype=np.int64)
+    for (l, m), state in _STATE_BY_BITS.items():
+        out[(lsb == l) & (msb == m)] = state
+    return out
+
+
+def classify(vth: np.ndarray, read_refs: Tuple[float, float, float]) -> np.ndarray:
+    """Hard-read state classification of Vth values."""
+    r1, r2, r3 = read_refs
+    return (
+        (vth >= r1).astype(np.int64)
+        + (vth >= r2).astype(np.int64)
+        + (vth >= r3).astype(np.int64)
+    )
+
+
+def read_lsb(vth: np.ndarray, read_refs: Tuple[float, float, float]) -> np.ndarray:
+    """LSB page read: one strobe at R2 (ER/P1 -> 1, P2/P3 -> 0)."""
+    return (vth < read_refs[1]).astype(np.uint8)
+
+
+def read_msb(vth: np.ndarray, read_refs: Tuple[float, float, float]) -> np.ndarray:
+    """MSB page read: strobes at R1 and R3 (ER/P3 -> 1, P1/P2 -> 0)."""
+    return ((vth < read_refs[0]) | (vth >= read_refs[2])).astype(np.uint8)
+
+
+def read_lsb_partial(vth: np.ndarray, lm_read_ref: float) -> np.ndarray:
+    """Internal LSB read during the two-step window (ER vs LM)."""
+    return (vth < lm_read_ref).astype(np.uint8)
+
+
+def bits_of_states(states: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """(lsb, msb) bit arrays encoded by the given states."""
+    return LSB_ARR[states], MSB_ARR[states]
+
+
+def optimal_read_refs(vth: np.ndarray, states: np.ndarray, params: FlashParams, grid: int = 41) -> Tuple[float, float, float]:
+    """Grid-search read references minimizing misclassifications.
+
+    Models the adaptive read-reference tuning of modern SSD
+    controllers: after retention shifts the distributions, the factory
+    references are no longer centered in the valleys; re-centering them
+    removes most retention errors.
+    """
+    refs = list(params.read_refs)
+    means = params.state_means
+    for boundary in range(3):
+        lo = means[boundary]
+        hi = means[boundary + 1]
+        candidates = np.linspace(lo, hi, grid)
+        best_ref, best_err = refs[boundary], None
+        for cand in candidates:
+            trial = tuple(refs[:boundary] + [float(cand)] + refs[boundary + 1:])
+            errors = int(np.count_nonzero(classify(vth, trial) != states))
+            if best_err is None or errors < best_err:
+                best_err, best_ref = errors, float(cand)
+        refs[boundary] = best_ref
+    return tuple(refs)

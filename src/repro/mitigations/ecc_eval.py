@@ -1,0 +1,101 @@
+"""ECC as a RowHammer mitigation: the §II-C SECDED (in)sufficiency study.
+
+Hammers a module, gathers the per-64-bit-word flip-count histogram of
+the induced errors, and scores a ladder of codes (none / parity /
+SECDED / single-symbol) against it.  The paper's claim C4 is that the
+histogram has mass at >= 2 flips per word, which SECDED cannot correct.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+from repro.dram.module import DramModule
+from repro.ecc.accounting import EccEvaluation, evaluate_code_against_histogram, flips_per_word
+from repro.ecc.base import EccCode
+from repro.utils.rng import derive_rng
+
+
+def hammer_flip_positions(
+    module: DramModule,
+    bank: int,
+    aggressor_pairs: Iterable[tuple],
+    pressure: float,
+) -> List[int]:
+    """Device-level hammer over aggressor pairs; return flipped bit positions.
+
+    Each ``(low, high)`` pair brackets a victim at ``low + 1``; both
+    aggressors receive ``pressure`` activations via the exact bulk path
+    and the bank is then settled.
+    """
+    dev_bank = module.bank(bank)
+    for low, high in aggressor_pairs:
+        dev_bank.bulk_activate(low, int(pressure), 0.0)
+        dev_bank.bulk_activate(high, int(pressure), 0.0)
+    dev_bank.settle()
+    return [bit for _row, bit, _t in dev_bank.stats.flip_log]
+
+
+def flip_histogram_from_hammer(
+    module: DramModule,
+    bank: int,
+    victim_count: int,
+    pressure: float,
+    start_row: int = 64,
+    word_bits: int = 64,
+) -> Dict[int, int]:
+    """Hammer ``victim_count`` disjoint victims; histogram flips per word."""
+    pairs = [(start_row + 3 * i, start_row + 3 * i + 2) for i in range(victim_count)]
+    dev_bank = module.bank(bank)
+    all_bits: List[int] = []
+    for low, high in pairs:
+        before = len(dev_bank.stats.flip_log)
+        dev_bank.bulk_activate(low, int(pressure), 0.0)
+        dev_bank.bulk_activate(high, int(pressure), 0.0)
+        dev_bank.settle()
+        # Offset each victim's bits so words of different rows don't merge.
+        for row, bit, _t in dev_bank.stats.flip_log[before:]:
+            all_bits.append(row * module.geometry.row_bits + bit)
+    return flips_per_word(all_bits, word_bits)
+
+
+@dataclass
+class EccLadderEntry:
+    """One code's score against a flip histogram."""
+
+    code_name: str
+    overhead_fraction: float
+    evaluation: EccEvaluation
+
+
+def evaluate_ladder(
+    histogram: Dict[int, int],
+    codes: Sequence[tuple],
+    seed: int = 0,
+    trials_per_class: int = 300,
+) -> List[EccLadderEntry]:
+    """Score (name, code) pairs against one flip histogram."""
+    out = []
+    for name, code in codes:
+        rng = derive_rng(seed, "ecc-eval", name)
+        evaluation = evaluate_code_against_histogram(code, histogram, rng, trials_per_class)
+        out.append(
+            EccLadderEntry(
+                code_name=name,
+                overhead_fraction=code.overhead_fraction,
+                evaluation=evaluation,
+            )
+        )
+    return out
+
+
+def multi_flip_word_fraction(histogram: Dict[int, int]) -> float:
+    """Fraction of erroneous words with >= 2 flips (the SECDED killer)."""
+    total = sum(histogram.values())
+    if total == 0:
+        return 0.0
+    multi = sum(count for flips, count in histogram.items() if flips >= 2)
+    return multi / total

@@ -1,0 +1,85 @@
+"""Post-manufacture victim-row retirement (solutions 4/5 of §II-C).
+
+A manufacturing-time (or user-level, during operation) test campaign
+hammers the array with a bounded activation budget and remaps every
+row in which a flip was observed to a spare region.  The structural
+weakness the paper implies: coverage is bounded by the *test* budget —
+weak cells whose thresholds exceed it survive retirement and remain
+exploitable by a field attacker with a larger effective budget (e.g.
+double-sided hammering vs a single-sided test).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence, Set
+
+from repro.dram.module import DramModule
+
+
+@dataclass
+class RetirementResult:
+    """Outcome of a test-and-retire campaign.
+
+    Attributes:
+        tested_rows: physical rows examined.
+        retired_rows: rows remapped to spares.
+        spare_budget: spare rows available.
+        spares_exhausted: whether retirement ran out of spares.
+    """
+
+    tested_rows: int = 0
+    retired_rows: Set[int] = field(default_factory=set)
+    spare_budget: int = 0
+    spares_exhausted: bool = False
+
+
+def retire_vulnerable_rows(
+    module: DramModule,
+    bank: int,
+    rows: Sequence[int],
+    test_pressure: float,
+    spare_budget: int = 256,
+) -> RetirementResult:
+    """Identify victim rows at ``test_pressure`` and retire them.
+
+    Uses the device-level fault model directly (the test controls the
+    array, so no controller is simulated): a row is retired if any of
+    its weak cells has a threshold within the test budget, using
+    worst-case aggressor data (the test writes adversarial patterns).
+    """
+    result = RetirementResult(spare_budget=spare_budget)
+    model = module.model
+    for row in rows:
+        result.tested_rows += 1
+        cells = model.weak_cells(bank, row)
+        if len(cells) and float(cells.hc_first.min()) <= test_pressure:
+            if len(result.retired_rows) >= spare_budget:
+                result.spares_exhausted = True
+                break
+            result.retired_rows.add(int(row))
+    return result
+
+
+def residual_flips(
+    module: DramModule,
+    bank: int,
+    rows: Sequence[int],
+    retired: Set[int],
+    field_pressure: float,
+) -> int:
+    """Weak cells an attacker with ``field_pressure`` still flips.
+
+    Counts threshold crossings in non-retired rows — the retirement
+    escapes.  ``field_pressure > test_pressure`` (double-sided attack,
+    longer window abuse) yields nonzero residuals.
+    """
+    model = module.model
+    escapes = 0
+    for row in rows:
+        if int(row) in retired:
+            continue
+        cells = model.weak_cells(bank, row)
+        if len(cells):
+            escapes += int((cells.hc_first <= field_pressure).sum())
+    return escapes

@@ -1,0 +1,85 @@
+"""x86-64-style page-table entries stored in simulated DRAM rows.
+
+The §II-B kernel exploit is, concretely, a *data reinterpretation*
+chain: page-table pages are ordinary DRAM rows whose 64-bit words the
+MMU interprets as PTEs; a disturbance flip in the PFN field of such a
+word silently retargets a virtual mapping.  This module provides the
+encode/decode layer: PTE words <-> row bit arrays, with the standard
+field layout (present bit 0, writable bit 1, PFN in bits 12..51).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+#: PTE geometry.
+PTE_BITS = 64
+PFN_SHIFT = 12
+PFN_WIDTH = 40
+PRESENT_BIT = 0
+WRITABLE_BIT = 1
+
+
+@dataclass(frozen=True)
+class Pte:
+    """One decoded page-table entry."""
+
+    present: bool
+    writable: bool
+    pfn: int
+
+    def encode(self) -> int:
+        """The 64-bit entry value."""
+        value = (self.pfn & ((1 << PFN_WIDTH) - 1)) << PFN_SHIFT
+        if self.present:
+            value |= 1 << PRESENT_BIT
+        if self.writable:
+            value |= 1 << WRITABLE_BIT
+        return value
+
+    @classmethod
+    def decode(cls, value: int) -> "Pte":
+        """Parse a 64-bit entry value."""
+        return cls(
+            present=bool(value & (1 << PRESENT_BIT)),
+            writable=bool(value & (1 << WRITABLE_BIT)),
+            pfn=(value >> PFN_SHIFT) & ((1 << PFN_WIDTH) - 1),
+        )
+
+
+def encode_pte_page(ptes: List[Pte], row_bits: int) -> np.ndarray:
+    """Pack PTEs into a row-sized bit array (LSB-first 64-bit words)."""
+    capacity = row_bits // PTE_BITS
+    if len(ptes) > capacity:
+        raise ValueError(f"row holds at most {capacity} PTEs, got {len(ptes)}")
+    bits = np.zeros(row_bits, dtype=np.uint8)
+    for index, pte in enumerate(ptes):
+        value = pte.encode()
+        base = index * PTE_BITS
+        for b in range(PTE_BITS):
+            bits[base + b] = (value >> b) & 1
+    return bits
+
+
+def decode_pte_page(bits: np.ndarray) -> List[Pte]:
+    """Parse a row bit array back into its PTEs."""
+    if bits.size % PTE_BITS:
+        raise ValueError("row size must be a multiple of 64 bits")
+    out = []
+    # Vectorized word assembly: reshape to (n, 64) then dot with powers of 2.
+    words = bits.reshape(-1, PTE_BITS).astype(np.uint64)
+    weights = (np.uint64(1) << np.arange(PTE_BITS, dtype=np.uint64))
+    values = (words * weights).sum(axis=1, dtype=np.uint64)
+    for value in values:
+        out.append(Pte.decode(int(value)))
+    return out
+
+
+def pte_diff(before: List[Pte], after: List[Pte]) -> List[int]:
+    """Indices of entries that changed."""
+    if len(before) != len(after):
+        raise ValueError("PTE lists must have equal length")
+    return [i for i, (a, b) in enumerate(zip(before, after)) if a != b]

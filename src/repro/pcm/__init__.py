@@ -1,0 +1,13 @@
+"""Phase-Change Memory: endurance, Start-Gap wear leveling, wear attacks."""
+
+from repro.pcm.array import PcmArray
+from repro.pcm.attacks import attacker_guess_logical, lifetime_under_mapping_aware_attack
+from repro.pcm.startgap import StartGap, lifetime_under_pinned_attack
+
+__all__ = [
+    "PcmArray",
+    "StartGap",
+    "attacker_guess_logical",
+    "lifetime_under_mapping_aware_attack",
+    "lifetime_under_pinned_attack",
+]

@@ -1,0 +1,89 @@
+"""Retention-time model parameters.
+
+Calibrated to the qualitative findings of the experimental DRAM
+retention studies the paper cites (ISCA 2013 [69], SIGMETRICS 2014
+[46], DSN 2015 [84]):
+
+* the vast majority of cells retain data for many seconds — orders of
+  magnitude beyond the 64 ms refresh standard;
+* a sparse tail of *weak* cells sits near or below typical multi-rate
+  refresh intervals (hundreds of ms);
+* Data Pattern Dependence (DPD): a cell's retention depends on the
+  data in neighboring cells — the worst-case pattern can cut retention
+  severalfold, so testing with the wrong pattern overestimates it;
+* Variable Retention Time (VRT): a small population of cells toggles
+  between a high- and a low-retention state via a memoryless process
+  with dwell times of minutes to hours, making them nearly impossible
+  to catch in a bounded test campaign.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import check_in_range, check_positive, check_probability
+
+
+@dataclass(frozen=True)
+class RetentionParams:
+    """Parameters of the per-cell retention-time population.
+
+    Attributes:
+        median_s: median retention time of the bulk lognormal (seconds).
+        sigma: lognormal shape of the bulk.
+        tail_fraction: fraction of cells in the weak tail.
+        tail_min_s: weakest tail retention (seconds).
+        tail_max_s: strongest tail retention (seconds).
+        dpd_fraction: fraction of cells whose retention is data-pattern
+            dependent.
+        dpd_min_factor: worst-case retention multiplier for DPD cells
+            (uniform in [dpd_min_factor, 1)).
+        vrt_fraction: fraction of cells exhibiting VRT.
+        vrt_low_factor: retention multiplier while in the VRT low state.
+        vrt_mean_dwell_s: mean dwell time in each VRT state (seconds).
+        vrt_low_occupancy: stationary probability of the low state.
+    """
+
+    median_s: float = 30.0
+    sigma: float = 0.8
+    tail_fraction: float = 3.0e-5
+    tail_min_s: float = 0.048
+    tail_max_s: float = 2.0
+    dpd_fraction: float = 0.5
+    dpd_min_factor: float = 0.3
+    vrt_fraction: float = 1.0e-5
+    vrt_low_factor: float = 0.15
+    vrt_mean_dwell_s: float = 1800.0
+    vrt_low_occupancy: float = 0.2
+
+    def __post_init__(self) -> None:
+        check_positive("median_s", self.median_s)
+        check_positive("sigma", self.sigma)
+        check_probability("tail_fraction", self.tail_fraction)
+        check_positive("tail_min_s", self.tail_min_s)
+        if self.tail_max_s < self.tail_min_s:
+            raise ValueError("tail_max_s must be >= tail_min_s")
+        check_probability("dpd_fraction", self.dpd_fraction)
+        check_in_range("dpd_min_factor", self.dpd_min_factor, 0.01, 1.0)
+        check_probability("vrt_fraction", self.vrt_fraction)
+        check_in_range("vrt_low_factor", self.vrt_low_factor, 0.01, 1.0)
+        check_positive("vrt_mean_dwell_s", self.vrt_mean_dwell_s)
+        check_probability("vrt_low_occupancy", self.vrt_low_occupancy)
+
+
+#: Default population resembling a scaled (vulnerable) DRAM node.
+DEFAULT_RETENTION = RetentionParams()
+
+#: An older, comfortable node: stronger cells, negligible tail.
+LEGACY_NODE = RetentionParams(median_s=90.0, tail_fraction=2.0e-6, tail_min_s=0.3, vrt_fraction=2.0e-6)
+
+#: An aggressively scaled node: bigger tail, more DPD/VRT — the trend
+#: direction the paper warns about.
+SCALED_NODE = RetentionParams(
+    median_s=12.0,
+    tail_fraction=1.2e-4,
+    tail_min_s=0.032,
+    dpd_fraction=0.7,
+    dpd_min_factor=0.2,
+    vrt_fraction=5.0e-5,
+)

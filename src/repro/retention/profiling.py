@@ -1,0 +1,126 @@
+"""Retention-time profiling: the multi-round test campaign.
+
+Models the manufacturing/system-level retention test the paper argues
+is fundamentally unreliable: write a pattern, pause refresh for the
+test interval, read back, record failing cells; repeat for several
+rounds and patterns.  Two escape mechanisms are captured:
+
+* **DPD escapes** — the test pattern exercised only a subset of cells'
+  worst-case coupling (modeled as each round revealing a DPD cell's
+  worst case only with probability ``pattern_coverage``);
+* **VRT escapes** — a VRT cell in its HIGH state passes every round,
+  then drops into its LOW state in the field.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Set
+
+import numpy as np
+
+from repro.retention.population import CellPopulation
+from repro.utils.rng import derive_rng
+from repro.utils.validation import check_positive, check_probability
+
+
+@dataclass
+class ProfilingResult:
+    """Outcome of a profiling campaign.
+
+    Attributes:
+        discovered: indices of cells observed to fail at least once.
+        rounds: number of rounds executed.
+        test_interval_s: the retention interval tested.
+        round_discoveries: newly discovered cells per round.
+        observed_retention_s: per-cell minimum retention *as observed by
+            the campaign* — ``inf``-free: cells never caught failing keep
+            their best-case (nominal) appearance.  This is what a
+            multi-rate refresh policy like RAIDR would bin rows with.
+    """
+
+    discovered: Set[int]
+    rounds: int
+    test_interval_s: float
+    round_discoveries: List[int] = field(default_factory=list)
+    observed_retention_s: np.ndarray = field(default_factory=lambda: np.empty(0))
+
+
+def profile_population(
+    population: CellPopulation,
+    test_interval_s: float,
+    rounds: int = 8,
+    pattern_coverage: float = 0.6,
+    round_spacing_s: float = 120.0,
+    seed: int = 0,
+) -> ProfilingResult:
+    """Run a multi-round retention test campaign.
+
+    Args:
+        population: cells under test.
+        test_interval_s: refresh-paused interval each round (e.g. a
+            guardbanded multiple of 64 ms).
+        rounds: number of write/wait/read rounds.
+        pattern_coverage: per-round probability that a DPD cell's
+            worst-case neighborhood is exercised by the round's pattern.
+        round_spacing_s: wall-clock spacing between rounds (VRT cells
+            evolve in between).
+        seed: test-pattern randomness.
+    """
+    check_positive("test_interval_s", test_interval_s)
+    check_positive("rounds", rounds)
+    check_probability("pattern_coverage", pattern_coverage)
+    rng = derive_rng(seed, "profiling")
+    discovered: Set[int] = set()
+    observed = population.nominal_s.copy()
+    result = ProfilingResult(
+        discovered=discovered,
+        rounds=rounds,
+        test_interval_s=test_interval_s,
+        observed_retention_s=observed,
+    )
+    for _ in range(rounds):
+        # VRT cells toggle between rounds; a cell LOW at any point during
+        # the test interval is at risk of being caught this round.
+        vrt_low = population.vrt.ever_low_during(round_spacing_s)
+        times = population.nominal_s.copy()
+        # This round's pattern hits each DPD cell's worst case with
+        # probability `pattern_coverage`; otherwise retention looks nominal.
+        dpd_hit = rng.random(population.n_cells) < pattern_coverage
+        times = np.where(dpd_hit, times * population.dpd_factor, times)
+        if len(population.vrt_indices):
+            low_cells = population.vrt_indices[vrt_low]
+            times[low_cells] *= population.params.vrt_low_factor
+        np.minimum(observed, times, out=observed)
+        failing = np.nonzero(times < test_interval_s)[0]
+        new = [int(i) for i in failing if int(i) not in discovered]
+        discovered.update(new)
+        result.round_discoveries.append(len(new))
+    return result
+
+
+def field_escapes(
+    population: CellPopulation,
+    profiling: ProfilingResult,
+    field_refresh_interval_s: float,
+    observation_s: float = 24 * 3600.0,
+    check_every_s: float = 600.0,
+) -> Set[int]:
+    """Cells that fail in the field despite passing profiling.
+
+    Simulates ``observation_s`` seconds of deployment with the
+    worst-case data pattern resident (runtime data is adversarial) and
+    the VRT ensemble evolving; any cell whose effective retention drops
+    below the deployed refresh interval, and which profiling did not
+    discover, is an escape.
+    """
+    check_positive("field_refresh_interval_s", field_refresh_interval_s)
+    escapes: Set[int] = set()
+    steps = max(1, int(observation_s / check_every_s))
+    for _ in range(steps):
+        vrt_low = population.vrt.ever_low_during(check_every_s)
+        failing = population.failing_cells(
+            field_refresh_interval_s, worst_case_pattern=True, vrt_low_mask=vrt_low
+        )
+        escapes.update(int(i) for i in failing if int(i) not in profiling.discovered)
+    return escapes

@@ -1,0 +1,91 @@
+"""Variable Retention Time: a two-state memoryless toggling process.
+
+Each VRT cell alternates between a HIGH-retention state and a
+LOW-retention state.  Dwell times are exponential (the paper calls the
+process "memoryless"; the underlying physics is trap-assisted
+gate-induced drain leakage).  The simulator keeps, per VRT cell, its
+current state and the time of its next transition, and advances the
+ensemble in (possibly large) time steps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class VrtProcess:
+    """Ensemble of two-state VRT cells.
+
+    Args:
+        n_cells: number of VRT cells tracked.
+        mean_dwell_s: mean exponential dwell time per state (seconds).
+        low_occupancy: stationary probability of the LOW state; the LOW
+            dwell mean is scaled so the chain is stationary at this
+            occupancy.
+        rng: randomness source.
+    """
+
+    def __init__(
+        self,
+        n_cells: int,
+        mean_dwell_s: float,
+        low_occupancy: float,
+        rng: np.random.Generator,
+    ) -> None:
+        if n_cells < 0:
+            raise ValueError("n_cells must be >= 0")
+        self.n_cells = n_cells
+        self.rng = rng
+        # Stationary occupancy pi_low = dwell_low / (dwell_low + dwell_high).
+        self.dwell_high_s = mean_dwell_s
+        self.dwell_low_s = mean_dwell_s * low_occupancy / max(1e-12, 1.0 - low_occupancy)
+        self.low = rng.random(n_cells) < low_occupancy
+        self.time_s = 0.0
+        self._next_transition = self.time_s + self._draw_dwell(self.low)
+
+    def _draw_dwell(self, low_mask: np.ndarray) -> np.ndarray:
+        if self.n_cells == 0:
+            return np.empty(0)
+        means = np.where(low_mask, self.dwell_low_s, self.dwell_high_s)
+        return self.rng.exponential(means)
+
+    def advance(self, dt_s: float) -> None:
+        """Advance simulated time by ``dt_s`` seconds, toggling cells whose
+        transitions fall in the window (possibly multiple times)."""
+        if dt_s < 0:
+            raise ValueError("dt_s must be >= 0")
+        target = self.time_s + dt_s
+        if self.n_cells == 0:
+            self.time_s = target
+            return
+        # Iterate: cells whose next transition is before `target` toggle and
+        # redraw.  A handful of iterations suffice for dwell >> dt.
+        pending = self._next_transition <= target
+        while np.any(pending):
+            idx = np.nonzero(pending)[0]
+            self.low[idx] = ~self.low[idx]
+            self._next_transition[idx] += self._draw_dwell(self.low[idx])
+            pending = self._next_transition <= target
+        self.time_s = target
+
+    def low_mask(self) -> np.ndarray:
+        """Boolean mask of cells currently in the LOW-retention state."""
+        return self.low.copy()
+
+    def ever_low_during(self, dt_s: float) -> np.ndarray:
+        """Advance by ``dt_s`` and report cells that were LOW at any point
+        in the window (the set at risk during one retention interval)."""
+        if self.n_cells == 0:
+            self.time_s += dt_s
+            return np.empty(0, dtype=bool)
+        target = self.time_s + dt_s
+        ever = self.low.copy()
+        pending = self._next_transition <= target
+        while np.any(pending):
+            idx = np.nonzero(pending)[0]
+            self.low[idx] = ~self.low[idx]
+            ever[idx] |= self.low[idx]
+            self._next_transition[idx] += self._draw_dwell(self.low[idx])
+            pending = self._next_transition <= target
+        self.time_s = target
+        return ever

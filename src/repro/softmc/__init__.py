@@ -1,0 +1,20 @@
+"""SoftMC-style programmable DRAM testing (the paper's footnote-1 infrastructure)."""
+
+from repro.softmc.interpreter import ExecutionResult, SoftMcInterpreter
+from repro.softmc.program import (
+    Instruction,
+    Opcode,
+    DramProgram,
+    hammer_program,
+    retention_program,
+)
+
+__all__ = [
+    "ExecutionResult",
+    "SoftMcInterpreter",
+    "Instruction",
+    "Opcode",
+    "DramProgram",
+    "hammer_program",
+    "retention_program",
+]

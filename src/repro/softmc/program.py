@@ -1,0 +1,178 @@
+"""SoftMC-style DRAM test programs.
+
+The paper's footnote 1 credits an FPGA-based experimental DRAM testing
+infrastructure — released as SoftMC (HPCA 2017) — for enabling the
+RowHammer and retention studies.  SoftMC's key idea is a tiny
+instruction set for composing DDR command sequences with explicit
+timing, freeing experiments from the memory controller's policies.
+
+This module reproduces that programming model: a
+:class:`DramProgram` is a list of instructions (ACT/PRE/RD/WR/REF/WAIT
+and a counted LOOP), built through a fluent API and executed by
+:class:`~repro.softmc.interpreter.SoftMcInterpreter` against a
+simulated module.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.utils.validation import check_positive
+
+
+class Opcode(enum.Enum):
+    """SoftMC instruction opcodes."""
+
+    ACT = "act"
+    PRE = "pre"
+    RD = "rd"
+    WR = "wr"
+    REF = "ref"
+    WAIT = "wait"
+    LOOP = "loop"
+    END = "end"
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One SoftMC instruction.
+
+    Attributes:
+        opcode: the operation.
+        bank: target bank (ACT/PRE/RD/WR).
+        row: target row (ACT/RD/WR).
+        ns: wait duration (WAIT).
+        count: iteration count (LOOP).
+        pattern: data pattern name (WR).
+    """
+
+    opcode: Opcode
+    bank: int = 0
+    row: int = 0
+    ns: float = 0.0
+    count: int = 0
+    pattern: Optional[str] = None
+
+
+class DramProgram:
+    """A composable SoftMC command program.
+
+    Example::
+
+        program = (DramProgram("double-sided")
+                   .loop(100_000)
+                   .act(0, 99).pre(0)
+                   .act(0, 101).pre(0)
+                   .end_loop())
+    """
+
+    def __init__(self, name: str = "program") -> None:
+        self.name = name
+        self.instructions: List[Instruction] = []
+        self._open_loops = 0
+
+    # ------------------------------------------------------------------
+    # Builder API
+    # ------------------------------------------------------------------
+    def act(self, bank: int, row: int) -> "DramProgram":
+        """Activate a row."""
+        self.instructions.append(Instruction(Opcode.ACT, bank=bank, row=row))
+        return self
+
+    def pre(self, bank: int) -> "DramProgram":
+        """Precharge a bank."""
+        self.instructions.append(Instruction(Opcode.PRE, bank=bank))
+        return self
+
+    def rd(self, bank: int, row: int) -> "DramProgram":
+        """Activate-and-read a row (captures data into the read buffer)."""
+        self.instructions.append(Instruction(Opcode.RD, bank=bank, row=row))
+        return self
+
+    def wr(self, bank: int, row: int, pattern: str = "solid1") -> "DramProgram":
+        """Activate-and-write a named data pattern into a row."""
+        self.instructions.append(Instruction(Opcode.WR, bank=bank, row=row, pattern=pattern))
+        return self
+
+    def ref(self) -> "DramProgram":
+        """Issue one auto-refresh command."""
+        self.instructions.append(Instruction(Opcode.REF))
+        return self
+
+    def wait(self, ns: float) -> "DramProgram":
+        """Idle for ``ns`` nanoseconds (retention testing)."""
+        check_positive("ns", ns)
+        self.instructions.append(Instruction(Opcode.WAIT, ns=ns))
+        return self
+
+    def loop(self, count: int) -> "DramProgram":
+        """Open a counted loop (closed by :meth:`end_loop`)."""
+        check_positive("count", count)
+        self.instructions.append(Instruction(Opcode.LOOP, count=count))
+        self._open_loops += 1
+        return self
+
+    def end_loop(self) -> "DramProgram":
+        """Close the innermost loop."""
+        if self._open_loops == 0:
+            raise ValueError("end_loop without a matching loop")
+        self.instructions.append(Instruction(Opcode.END))
+        self._open_loops -= 1
+        return self
+
+    def validate(self) -> None:
+        """Raise if loops are unbalanced."""
+        depth = 0
+        for ins in self.instructions:
+            if ins.opcode == Opcode.LOOP:
+                depth += 1
+            elif ins.opcode == Opcode.END:
+                depth -= 1
+                if depth < 0:
+                    raise ValueError("END without matching LOOP")
+        if depth != 0:
+            raise ValueError(f"{depth} unclosed LOOP(s)")
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+
+# ----------------------------------------------------------------------
+# Canned experiment programs (the SoftMC paper's two showcase studies)
+# ----------------------------------------------------------------------
+def hammer_program(
+    bank: int,
+    aggressors: Sequence[int],
+    iterations: int,
+    victims_to_init: Sequence[int] = (),
+    pattern: str = "rowstripe",
+) -> DramProgram:
+    """The RowHammer test: init victims, hammer aggressors, read back."""
+    program = DramProgram("hammer")
+    for victim in victims_to_init:
+        program.wr(bank, victim, pattern)
+    program.loop(iterations)
+    for aggressor in aggressors:
+        program.act(bank, aggressor).pre(bank)
+    program.end_loop()
+    for victim in victims_to_init:
+        program.rd(bank, victim)
+    return program
+
+
+def retention_program(
+    bank: int,
+    rows: Sequence[int],
+    wait_ns: float,
+    pattern: str = "solid1",
+) -> DramProgram:
+    """The retention test: write, disable refresh (wait), read back."""
+    program = DramProgram("retention")
+    for row in rows:
+        program.wr(bank, row, pattern)
+    program.wait(wait_ns)
+    for row in rows:
+        program.rd(bank, row)
+    return program

@@ -1,0 +1,27 @@
+"""Small argument-validation helpers shared by public constructors."""
+
+from __future__ import annotations
+
+
+def check_positive(name: str, value: float) -> None:
+    """Raise :class:`ValueError` unless ``value`` is strictly positive."""
+    if not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+
+
+def check_probability(name: str, value: float) -> None:
+    """Raise :class:`ValueError` unless ``value`` lies in [0, 1]."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+
+
+def check_in_range(name: str, value: float, low: float, high: float) -> None:
+    """Raise :class:`ValueError` unless ``low <= value <= high``."""
+    if not low <= value <= high:
+        raise ValueError(f"{name} must be in [{low}, {high}], got {value!r}")
+
+
+def check_power_of_two(name: str, value: int) -> None:
+    """Raise :class:`ValueError` unless ``value`` is a positive power of two."""
+    if value <= 0 or value & (value - 1):
+        raise ValueError(f"{name} must be a positive power of two, got {value!r}")

@@ -1,0 +1,19 @@
+"""Benign and adversarial access-stream generators."""
+
+from repro.workloads.generators import (
+    Trace,
+    attacker_rounds,
+    hotspot,
+    mixed_with_attacker,
+    random_access,
+    sequential_stream,
+)
+
+__all__ = [
+    "Trace",
+    "attacker_rounds",
+    "hotspot",
+    "mixed_with_attacker",
+    "random_access",
+    "sequential_stream",
+]

@@ -1,0 +1,102 @@
+"""Tests for hammer patterns and memory-isolation invariants."""
+
+import pytest
+
+from repro.attacks import (
+    check_read_isolation,
+    check_write_isolation,
+    double_sided_device,
+    hammer_via_controller,
+    many_sided_device,
+    max_double_sided_budget,
+    single_sided_device,
+)
+from repro.controller import MemoryController
+from repro.dram import DramGeometry, DramModule, VulnerabilityProfile
+from repro.dram.timing import DDR3_1333
+
+GEO = DramGeometry(banks=2, rows=512, row_bytes=256)
+PROFILE = VulnerabilityProfile(weak_cell_density=0.05, hc_first_median=3_000, hc_first_min=800)
+
+
+def make_module(seed=10):
+    return DramModule(geometry=GEO, timing=DDR3_1333, profile=PROFILE, seed=seed)
+
+
+class TestHammerDevice:
+    def test_single_sided_flips_neighbors_only(self):
+        module = make_module()
+        result = single_sided_device(module, 0, aggressor=100, count=50_000)
+        assert result.flip_count > 0
+        for row in result.victim_rows():
+            assert row != 100
+            assert abs(row - 100) <= 2
+
+    def test_double_sided_concentrates_on_victim(self):
+        module = make_module()
+        result = double_sided_device(module, 0, victim=100, count=25_000)
+        victims = result.victim_rows()
+        assert 100 in victims
+
+    def test_double_beats_single_per_victim(self):
+        m1 = make_module(seed=77)
+        single = single_sided_device(m1, 0, aggressor=99, count=2_000)
+        single_on_100 = sum(1 for r, _ in single.flips if r == 100)
+        m2 = make_module(seed=77)
+        double = double_sided_device(m2, 0, victim=100, count=2_000)
+        double_on_100 = sum(1 for r, _ in double.flips if r == 100)
+        assert double_on_100 >= single_on_100
+
+    def test_many_sided(self):
+        module = make_module()
+        result = many_sided_device(module, 0, aggressors=[50, 52, 54], count=50_000)
+        assert result.flip_count > 0
+        assert result.aggressors == (50, 52, 54)
+
+    def test_edge_victim(self):
+        module = make_module()
+        result = double_sided_device(module, 0, victim=0, count=10_000)
+        assert result.aggressors == (1,)
+
+    def test_budget_helper(self):
+        module = make_module()
+        assert max_double_sided_budget(module) == pytest.approx(
+            module.timing.tREFW / module.timing.tRC / 2, abs=1
+        )
+        assert max_double_sided_budget(module, 2.0) == pytest.approx(
+            max_double_sided_budget(module) / 2, abs=1
+        )
+
+    def test_controller_path_counts_post_mitigation(self):
+        module = make_module()
+        ctrl = MemoryController(module)
+        flips = hammer_via_controller(ctrl, 0, [99, 101], 3_000)
+        assert flips > 0
+
+
+class TestIsolationInvariants:
+    def test_reads_corrupt_other_rows(self):
+        module = make_module()
+        report = check_read_isolation(module, 0, accessed_row=100, read_count=100_000)
+        assert report.violated
+        assert not report.accessed_row_changed
+        assert all(row != 100 for row in report.corrupted_rows)
+
+    def test_writes_corrupt_other_rows(self):
+        module = make_module()
+        report = check_write_isolation(module, 0, accessed_row=100, write_count=100_000)
+        assert report.violated
+        assert not report.accessed_row_changed
+
+    def test_no_hammer_no_violation(self):
+        module = make_module()
+        report = check_read_isolation(module, 0, accessed_row=100, read_count=10)
+        assert not report.violated
+        assert report.total_corrupted_bits == 0
+
+    def test_invulnerable_module_clean(self):
+        from repro.dram import INVULNERABLE
+
+        module = DramModule(geometry=GEO, timing=DDR3_1333, profile=INVULNERABLE, seed=1)
+        report = check_read_isolation(module, 0, accessed_row=100, read_count=1_000_000)
+        assert not report.violated

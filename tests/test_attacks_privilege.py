@@ -1,0 +1,108 @@
+"""Tests for the exploitation models."""
+
+import pytest
+
+from repro.attacks import (
+    FlipTemplate,
+    default_ffs_predicate,
+    drammer_success_probability,
+    flip_feng_shui_templates,
+    javascript_success_probability,
+    pte_spray_success_probability,
+    scan_templates,
+)
+from repro.dram import DramGeometry, DramModule, INVULNERABLE, VulnerabilityProfile
+from repro.dram.timing import DDR3_1333
+
+# 4 KiB rows so template byte offsets span a whole OS page.
+GEO = DramGeometry(banks=2, rows=1024, row_bytes=4096)
+PROFILE = VulnerabilityProfile(weak_cell_density=0.002, hc_first_median=50_000, hc_first_min=10_000)
+
+
+def make_templates(seed=0, rows=300, pressure=200_000):
+    module = DramModule(geometry=GEO, timing=DDR3_1333, profile=PROFILE, seed=seed)
+    return scan_templates(module, 0, range(10, 10 + rows), pressure)
+
+
+class TestScanTemplates:
+    def test_scan_finds_templates(self):
+        templates = make_templates()
+        assert len(templates) > 0
+
+    def test_pressure_monotonic(self):
+        few = make_templates(pressure=12_000)
+        many = make_templates(pressure=500_000)
+        assert len(many) > len(few)
+
+    def test_invulnerable_yields_none(self):
+        module = DramModule(geometry=GEO, timing=DDR3_1333, profile=INVULNERABLE, seed=0)
+        assert scan_templates(module, 0, range(100), 1e9) == []
+
+    def test_directions_consistent_with_polarity(self):
+        templates = make_templates()
+        assert {t.direction for t in templates} <= {"1to0", "0to1"}
+
+    def test_word_bit_offset(self):
+        t = FlipTemplate(bank=0, row=1, bit=130, direction="1to0", hc_first=1.0)
+        assert t.word_bit_offset == 2
+
+
+class TestPteSpray:
+    def test_more_spray_more_success(self):
+        # A handful of templates so neither setting saturates at 1.0.
+        templates = make_templates(rows=6)
+        low = pte_spray_success_probability(templates, spray_fraction=0.05, seed=1)
+        high = pte_spray_success_probability(templates, spray_fraction=0.6, seed=1)
+        assert high > low
+
+    def test_no_templates_no_success(self):
+        assert pte_spray_success_probability([], 0.5) == 0.0
+
+    def test_bit_offset_filter(self):
+        # A template outside the PFN field is useless.
+        useless = [FlipTemplate(bank=0, row=1, bit=0, direction="1to0", hc_first=1.0)]
+        assert pte_spray_success_probability(useless, 0.9) == 0.0
+        useful = [FlipTemplate(bank=0, row=1, bit=20, direction="1to0", hc_first=1.0)]
+        assert pte_spray_success_probability(useful, 0.9, trials=500) > 0.5
+
+    def test_spray_fraction_validated(self):
+        with pytest.raises(ValueError):
+            pte_spray_success_probability([], 1.5)
+
+
+class TestFlipFengShui:
+    def test_predicate_filters(self):
+        inside = FlipTemplate(bank=0, row=1, bit=1500 * 8, direction="1to0", hc_first=1.0)
+        outside = FlipTemplate(bank=0, row=1, bit=10, direction="1to0", hc_first=1.0)
+        assert default_ffs_predicate(inside)
+        assert not default_ffs_predicate(outside)
+        usable = flip_feng_shui_templates([inside, outside])
+        assert usable == [inside]
+
+    def test_dedup_placement_deterministic_success(self):
+        templates = make_templates()
+        usable = flip_feng_shui_templates(templates)
+        # On a vulnerable 2013-class module there is always a usable spot.
+        assert len(usable) > 0
+
+
+class TestDrammerAndJs:
+    def test_bigger_chunk_more_success(self):
+        templates = make_templates()
+        small = drammer_success_probability(templates, total_rows=1024, chunk_rows=8, seed=2)
+        big = drammer_success_probability(templates, total_rows=1024, chunk_rows=512, seed=2)
+        assert big > small
+
+    def test_chunk_too_small_fails(self):
+        templates = make_templates()
+        assert drammer_success_probability(templates, total_rows=1024, chunk_rows=2) == 0.0
+
+    def test_js_more_attempts_more_success(self):
+        templates = make_templates()
+        one = javascript_success_probability(templates, total_rows=1024, aggressor_attempts=1, seed=3)
+        many = javascript_success_probability(templates, total_rows=1024, aggressor_attempts=200, seed=3)
+        assert many > one
+
+    def test_empty_templates(self):
+        assert drammer_success_probability([], 1024, 64) == 0.0
+        assert javascript_success_probability([], 1024, 10) == 0.0

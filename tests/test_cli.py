@@ -1,0 +1,92 @@
+"""Tests for the experiment CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_requires_known_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "nonexistent"])
+
+    def test_run_flags(self):
+        args = build_parser().parse_args(["run", "c5", "--seed", "7", "--json"])
+        assert args.name == "c5" and args.seed == 7 and args.json
+
+
+class TestCommands:
+    def test_list_prints_all(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_describe(self, capsys):
+        assert main(["describe", "c5"]) == 0
+        out = capsys.readouterr().out
+        assert "PARA" in out
+
+    def test_run_text(self, capsys):
+        assert main(["run", "c5"]) == 0
+        out = capsys.readouterr().out
+        assert "rows" in out and "disk_afr" in out
+
+    def test_run_json_parses(self, capsys):
+        assert main(["run", "c5", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "rows" in payload
+        assert payload["rows"][0]["p"] == pytest.approx(2e-4)
+
+    def test_run_seed_forwarded(self, capsys):
+        assert main(["run", "sidedness", "--seed", "3", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["double_flips"] > 0
+
+    def test_registry_covers_every_bench_family(self):
+        # Every experiment index entry (F1, C2..C14) has a CLI entry.
+        names = set(EXPERIMENTS)
+        for required in ("f1", "c2", "c3", "c4", "c5", "c6", "c7", "c8",
+                         "c9", "c10-c11", "c12", "c13", "c14"):
+            assert required in names
+
+
+class TestNewSubcommands:
+    def test_test_module_vulnerable_exit_code(self, capsys):
+        assert main(["test-module", "--manufacturer", "B", "--date", "2013.0"]) == 1
+        out = capsys.readouterr().out
+        assert "VULNERABLE" in out
+
+    def test_test_module_clean_exit_code(self, capsys):
+        assert main(["test-module", "--manufacturer", "A", "--date", "2009.0"]) == 0
+        out = capsys.readouterr().out
+        assert "no RowHammer errors" in out
+
+    def test_test_module_refresh_multiplier_helps(self, capsys):
+        main(["test-module", "--manufacturer", "B", "--date", "2013.0"])
+        base = capsys.readouterr().out
+        main(["test-module", "--manufacturer", "B", "--date", "2013.0",
+              "--refresh-multiplier", "8"])
+        scaled = capsys.readouterr().out
+        base_errors = int(base.split("errors: ")[1].split(" ")[0])
+        scaled_errors = int(scaled.split("errors: ")[1].split(" ")[0])
+        assert scaled_errors < base_errors
+
+    def test_report_writes_markdown(self, tmp_path, capsys):
+        output = tmp_path / "report.md"
+        assert main(["report", "c5", "--output", str(output)]) == 0
+        text = output.read_text()
+        assert text.startswith("# repro experiment report")
+        assert "## c5" in text
+
+    def test_vref_experiment_registered(self, capsys):
+        assert main(["run", "vref", "--json"]) == 0
+        import json as _json
+        payload = _json.loads(capsys.readouterr().out)
+        assert payload["tuned_errors"] < payload["factory_errors"]

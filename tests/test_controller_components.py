@@ -1,0 +1,133 @@
+"""Tests for controller components: requests, energy, counters, refresh."""
+
+import pytest
+
+from repro.controller import (
+    EnergyAccount,
+    EnergyParams,
+    MemRequest,
+    PerfCounters,
+    RefreshEngine,
+)
+from repro.dram import DramGeometry, DramModule, VulnerabilityProfile
+from repro.dram.timing import DDR3_1333
+
+GEO = DramGeometry(banks=2, rows=128, row_bytes=256)
+PROFILE = VulnerabilityProfile(weak_cell_density=0.02, hc_first_median=5_000, hc_first_min=1_000)
+
+
+def make_module():
+    return DramModule(geometry=GEO, timing=DDR3_1333, profile=PROFILE, seed=2)
+
+
+class TestMemRequest:
+    def test_ordering_by_arrival(self):
+        a = MemRequest(arrival_ns=5.0, bank=0, row=1)
+        b = MemRequest(arrival_ns=2.0, bank=1, row=9)
+        assert sorted([a, b])[0] is b
+
+    def test_latency_requires_completion(self):
+        req = MemRequest(arrival_ns=0.0, bank=0, row=0)
+        with pytest.raises(ValueError):
+            _ = req.latency_ns
+        req.completed_ns = 30.0
+        assert req.latency_ns == 30.0
+
+
+class TestEnergyAccount:
+    def test_dynamic_energy_sums(self):
+        acct = EnergyAccount(params=EnergyParams(act_nj=2.0, pre_nj=1.0))
+        acct.record("act", 3)
+        acct.record("pre", 3)
+        assert acct.dynamic_nj == pytest.approx(9.0)
+
+    def test_unknown_command_rejected(self):
+        acct = EnergyAccount()
+        with pytest.raises(KeyError):
+            acct.record("bogus")
+
+    def test_refresh_share(self):
+        acct = EnergyAccount()
+        acct.record("refresh_row", 10)
+        acct.record("act", 1)
+        assert 0 < acct.refresh_share() < 1
+
+    def test_background_energy(self):
+        acct = EnergyAccount()
+        acct.advance(1000.0)
+        assert acct.background_nj == pytest.approx(1000.0 * acct.params.background_nw_per_ns)
+
+
+class TestPerfCounters:
+    def test_windows_close_on_time(self):
+        perf = PerfCounters(window_ns=100.0, top_k=2)
+        perf.record_activate(0, 1, 10.0)
+        perf.record_activate(0, 1, 50.0)
+        perf.record_activate(0, 2, 150.0)  # closes first window
+        assert len(perf.samples) == 1
+        assert perf.samples[0].total_activations == 2
+        assert perf.samples[0].hot_rows[0] == ((0, 1), 2)
+
+    def test_flush(self):
+        perf = PerfCounters(window_ns=100.0)
+        perf.record_activate(0, 1, 10.0)
+        perf.flush(350.0)
+        assert len(perf.samples) == 3
+        assert perf.samples[0].peak_row_count == 1
+        assert perf.samples[1].total_activations == 0
+
+    def test_top_k_limits_visibility(self):
+        perf = PerfCounters(window_ns=100.0, top_k=1)
+        for row in range(5):
+            perf.record_activate(0, row, 1.0)
+        perf.flush(150.0)
+        assert len(perf.samples[0].hot_rows) == 1
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            PerfCounters(window_ns=0)
+
+
+class TestRefreshEngine:
+    def test_covers_all_rows_each_window(self):
+        module = make_module()
+        engine = RefreshEngine(module, multiplier=1.0)
+        window = module.timing.tREFW
+        engine.tick(window * 1.001)
+        # Every row in every bank refreshed at least once per window.
+        assert engine.stats.rows_refreshed >= GEO.rows * GEO.banks
+
+    def test_multiplier_scales_rate(self):
+        module = make_module()
+        base = RefreshEngine(module, multiplier=1.0)
+        fast = RefreshEngine(make_module(), multiplier=4.0)
+        assert fast.interval_ns == pytest.approx(base.interval_ns / 4)
+        assert fast.refresh_ops_per_second() == pytest.approx(4 * base.refresh_ops_per_second(), rel=0.01)
+
+    def test_refresh_interrupts_hammering(self):
+        module = make_module()
+        engine = RefreshEngine(module, multiplier=1.0)
+        bank = module.bank(0)
+        # Accumulate pressure below thresholds, tick a full window of
+        # refreshes, continue: no flips because refresh reset victims.
+        for chunk in range(4):
+            bank.bulk_activate(60, 400)
+            engine.tick(engine.next_ref_ns + engine.effective_window_ns)
+        module.settle()
+        assert module.total_flips() == 0
+
+    def test_bandwidth_overhead_scales(self):
+        module = make_module()
+        engine = RefreshEngine(module, multiplier=7.0)
+        base = RefreshEngine(make_module(), multiplier=1.0)
+        assert engine.bandwidth_overhead_fraction() == pytest.approx(
+            7 * base.bandwidth_overhead_fraction(), rel=0.01
+        )
+
+    def test_due_and_tick_consume(self):
+        module = make_module()
+        engine = RefreshEngine(module)
+        t = engine.next_ref_ns
+        assert engine.due(t)
+        engine.tick(t)
+        assert not engine.due(t)

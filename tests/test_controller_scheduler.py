@@ -1,0 +1,59 @@
+"""Tests for the command scheduler (performance model)."""
+
+import pytest
+
+from repro.controller import CommandScheduler, EnergyAccount, MemRequest
+from repro.dram.timing import DDR3_1333
+from repro.workloads import random_access, sequential_stream
+
+
+class TestScheduler:
+    def test_row_hits_faster_than_misses(self):
+        hits = CommandScheduler(banks=4, timing=DDR3_1333)
+        same_row = [MemRequest(arrival_ns=i * 50.0, bank=0, row=7) for i in range(50)]
+        hit_stats = hits.execute(same_row)
+        misses = CommandScheduler(banks=4, timing=DDR3_1333)
+        alt_rows = [MemRequest(arrival_ns=i * 50.0, bank=0, row=i % 2 * 40) for i in range(50)]
+        miss_stats = misses.execute(alt_rows)
+        assert hit_stats.avg_latency_ns < miss_stats.avg_latency_ns
+        assert hit_stats.hit_rate > miss_stats.hit_rate
+
+    def test_higher_refresh_rate_hurts_latency(self):
+        trace = sequential_stream(3000, banks=4, rows=1024, request_interval_ns=15.0)
+        base = CommandScheduler(banks=4, timing=DDR3_1333, refresh_multiplier=1.0).execute(trace)
+        trace2 = sequential_stream(3000, banks=4, rows=1024, request_interval_ns=15.0)
+        heavy = CommandScheduler(banks=4, timing=DDR3_1333, refresh_multiplier=8.0).execute(trace2)
+        assert heavy.avg_latency_ns > base.avg_latency_ns
+        assert heavy.refresh_stall_ns > base.refresh_stall_ns
+
+    def test_all_requests_completed_in_order_time(self):
+        sched = CommandScheduler(banks=2, timing=DDR3_1333)
+        trace = random_access(200, banks=2, rows=64, seed=3)
+        stats = sched.execute(trace)
+        assert stats.requests == 200
+        assert all(r.completed_ns >= r.arrival_ns for r in trace)
+
+    def test_bank_parallelism_beats_single_bank(self):
+        n = 400
+        multi = [MemRequest(arrival_ns=i * 5.0, bank=i % 4, row=i) for i in range(n)]
+        single = [MemRequest(arrival_ns=i * 5.0, bank=0, row=i) for i in range(n)]
+        multi_stats = CommandScheduler(banks=4, timing=DDR3_1333).execute(multi)
+        single_stats = CommandScheduler(banks=4, timing=DDR3_1333).execute(single)
+        assert multi_stats.finish_ns < single_stats.finish_ns
+
+    def test_energy_charged(self):
+        acct = EnergyAccount()
+        sched = CommandScheduler(banks=2, timing=DDR3_1333, energy=acct)
+        sched.execute(random_access(100, banks=2, rows=64, seed=1))
+        assert acct.dynamic_nj > 0
+        assert acct.counts["act"] > 0
+
+    def test_bank_bounds(self):
+        sched = CommandScheduler(banks=2, timing=DDR3_1333)
+        with pytest.raises(IndexError):
+            sched.execute([MemRequest(arrival_ns=0.0, bank=5, row=0)])
+
+    def test_throughput_positive(self):
+        sched = CommandScheduler(banks=2, timing=DDR3_1333)
+        stats = sched.execute(random_access(50, banks=2, rows=64, seed=2))
+        assert stats.throughput_rps > 0

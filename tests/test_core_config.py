@@ -1,0 +1,64 @@
+"""Tests for the serializable SystemConfig."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import SystemConfig
+
+
+class TestSystemConfig:
+    def test_roundtrip_dict(self):
+        config = SystemConfig(mitigation="para", mitigation_kwargs={"p": 0.02})
+        assert SystemConfig.from_dict(config.to_dict()) == config
+
+    def test_roundtrip_json(self):
+        config = SystemConfig(manufacturer="A", date=2012.5, refresh_multiplier=4.0)
+        assert SystemConfig.from_json(config.to_json()) == config
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown config keys"):
+            SystemConfig.from_dict({"bogus": 1})
+
+    def test_invalid_manufacturer(self):
+        with pytest.raises(ValueError):
+            SystemConfig(manufacturer="Z")
+
+    def test_invalid_mitigation(self):
+        with pytest.raises(ValueError):
+            SystemConfig(mitigation="magic")
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            SystemConfig(scale=0)
+
+    def test_build_produces_working_system(self):
+        config = SystemConfig(mitigation="para", mitigation_kwargs={"p": 0.05}, seed=3)
+        system = config.build()
+        flips = system.hammer_double_sided(victim=500, iterations=5_000)
+        assert flips == 0
+        assert system.report().mitigation_refreshes > 0
+
+    def test_build_deterministic_given_config(self):
+        config = SystemConfig(seed=9)
+        a = config.build().hammer_double_sided(victim=600, iterations=30_000)
+        b = config.build().hammer_double_sided(victim=600, iterations=30_000)
+        assert a == b
+
+    @given(
+        st.sampled_from(["A", "B", "C"]),
+        st.floats(min_value=2008.0, max_value=2014.9),
+        st.sampled_from(["none", "para", "cra", "anvil", "trr"]),
+        st.floats(min_value=0.5, max_value=8.0),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=30)
+    def test_json_roundtrip_property(self, mfr, date, mitigation, multiplier, seed):
+        config = SystemConfig(
+            manufacturer=mfr,
+            date=date,
+            mitigation=mitigation,
+            refresh_multiplier=multiplier,
+            seed=seed,
+        )
+        assert SystemConfig.from_json(config.to_json()) == config

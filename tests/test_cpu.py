@@ -1,0 +1,115 @@
+"""Tests for the CPU cache substrate and user-level attack programs."""
+
+import pytest
+
+from repro.core.scenarios import scaled_scenario
+from repro.cpu import CpuMemorySystem, SetAssociativeCache, build_eviction_set
+
+
+class TestCache:
+    def test_hit_after_fill(self):
+        cache = SetAssociativeCache(size_bytes=4096, line_bytes=64, ways=2)
+        assert not cache.access(0)
+        assert cache.access(0)
+
+    def test_lru_eviction(self):
+        cache = SetAssociativeCache(size_bytes=4096, line_bytes=64, ways=2)
+        sets = cache.n_sets
+        stride = 64 * sets  # same set, different tags
+        cache.access(0)
+        cache.access(stride)
+        cache.access(2 * stride)  # evicts tag of address 0 (LRU)
+        assert not cache.contains(0)
+        assert cache.contains(stride)
+        assert cache.contains(2 * stride)
+
+    def test_access_refreshes_lru(self):
+        cache = SetAssociativeCache(size_bytes=4096, line_bytes=64, ways=2)
+        stride = 64 * cache.n_sets
+        cache.access(0)
+        cache.access(stride)
+        cache.access(0)             # 0 becomes MRU
+        cache.access(2 * stride)    # evicts `stride`, not 0
+        assert cache.contains(0)
+        assert not cache.contains(stride)
+
+    def test_flush(self):
+        cache = SetAssociativeCache(size_bytes=4096, line_bytes=64, ways=2)
+        cache.access(128)
+        assert cache.flush(128)
+        assert not cache.contains(128)
+        assert not cache.flush(128)
+
+    def test_miss_rate(self):
+        cache = SetAssociativeCache(size_bytes=4096, line_bytes=64, ways=2)
+        cache.access(0)
+        cache.access(0)
+        assert cache.miss_rate == pytest.approx(0.5)
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(size_bytes=100, line_bytes=64, ways=2)
+
+    def test_eviction_set_congruent(self):
+        cache = SetAssociativeCache(size_bytes=64 * 1024, line_bytes=64, ways=4)
+        target = 4096
+        ev_set = build_eviction_set(cache, target, region_base=1 << 20, region_bytes=1 << 22)
+        assert len(ev_set) == cache.ways
+        assert all(cache.set_index(a) == cache.set_index(target) for a in ev_set)
+        assert target not in ev_set
+
+    def test_eviction_set_region_too_small(self):
+        cache = SetAssociativeCache(size_bytes=1 << 20, line_bytes=64, ways=16)
+        with pytest.raises(ValueError):
+            build_eviction_set(cache, 0, region_base=1 << 20, region_bytes=4096)
+
+    def test_eviction_set_actually_evicts(self):
+        cache = SetAssociativeCache(size_bytes=64 * 1024, line_bytes=64, ways=4)
+        target = 4096
+        ev_set = build_eviction_set(cache, target, region_base=1 << 20, region_bytes=1 << 22)
+        cache.access(target)
+        for address in ev_set:
+            cache.access(address)
+        assert not cache.contains(target)
+
+
+class TestUserLevelHammer:
+    @pytest.fixture(scope="class")
+    def scenario(self):
+        return scaled_scenario(scale=20.0)
+
+    def _system(self, scenario, seed=7):
+        return CpuMemorySystem(
+            scenario.make_module(serial="cpu-test", seed=seed),
+            cache=SetAssociativeCache(size_bytes=1 << 20, ways=8),
+        )
+
+    def test_naive_loads_absorbed_by_cache(self, scenario):
+        stats = self._system(scenario).naive_hammer(0, [999, 1001], 5_000)
+        assert stats.target_activations <= len([999, 1001])
+        assert stats.flips == 0
+
+    def test_flush_hammer_reaches_dram_every_load(self, scenario):
+        stats = self._system(scenario).flush_hammer(
+            0, [999, 1001], 10**9, time_budget_ns=scenario.timing.tREFW
+        )
+        assert stats.activation_efficiency == pytest.approx(1.0)
+        assert stats.flips > 0
+
+    def test_eviction_hammer_pays_rate_penalty(self, scenario):
+        window = scenario.timing.tREFW
+        flush = self._system(scenario).flush_hammer(0, [999, 1001], 10**9, time_budget_ns=window)
+        evict = self._system(scenario).eviction_hammer(0, [999, 1001], 10**9, time_budget_ns=window)
+        assert 0 < evict.activation_efficiency < 0.5
+        assert evict.target_activations < flush.target_activations / 3
+
+    def test_time_budget_respected(self, scenario):
+        window = scenario.timing.tREFW
+        stats = self._system(scenario).flush_hammer(0, [999, 1001], 10**9, time_budget_ns=window)
+        assert stats.elapsed_ns <= window * 1.01
+
+    def test_row_address_roundtrip(self, scenario):
+        system = self._system(scenario)
+        address = system.row_address(1, 42)
+        coord = system.mapping.decode(address)
+        assert (coord.bank, coord.row) == (1, 42)

@@ -1,0 +1,41 @@
+"""Tests for DRAM geometry."""
+
+import pytest
+
+from repro.dram import DDR3_2GB, TINY_GEOMETRY, DramGeometry
+
+
+class TestDramGeometry:
+    def test_defaults_capacity(self):
+        geo = DDR3_2GB
+        assert geo.capacity_bytes == 2 * 1024**3
+
+    def test_row_bits(self):
+        assert TINY_GEOMETRY.row_bits == 128 * 8
+
+    def test_cells_per_bank(self):
+        geo = DramGeometry(banks=2, rows=4, row_bytes=16)
+        assert geo.cells_per_bank == 4 * 16 * 8
+
+    def test_total_cells(self):
+        geo = DramGeometry(banks=2, rows=4, row_bytes=16)
+        assert geo.total_cells == 2 * 4 * 16 * 8
+
+    def test_check_bank_accepts(self):
+        TINY_GEOMETRY.check_bank(1)
+
+    def test_check_bank_rejects(self):
+        with pytest.raises(IndexError):
+            TINY_GEOMETRY.check_bank(2)
+
+    def test_check_row_rejects_negative(self):
+        with pytest.raises(IndexError):
+            TINY_GEOMETRY.check_row(-1)
+
+    def test_rows_must_be_power_of_two(self):
+        with pytest.raises(ValueError):
+            DramGeometry(rows=1000)
+
+    def test_banks_must_be_power_of_two(self):
+        with pytest.raises(ValueError):
+            DramGeometry(banks=3)

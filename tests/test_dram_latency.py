@@ -1,0 +1,65 @@
+"""Tests for the adaptive-latency margin model."""
+
+import pytest
+
+from repro.dram.latency import (
+    SPEC_TRCD_NS,
+    LatencyMarginModel,
+    LatencyMarginParams,
+    aldram_study,
+)
+
+
+class TestLatencyMarginModel:
+    def test_spec_timing_is_safe(self):
+        model = LatencyMarginModel(seed=1)
+        assert model.error_rate_at(SPEC_TRCD_NS) == 0.0
+
+    def test_error_rate_monotone_in_trcd(self):
+        model = LatencyMarginModel(seed=2)
+        assert model.error_rate_at(7.0) >= model.error_rate_at(9.0) >= model.error_rate_at(12.0)
+
+    def test_aggressive_timing_fails_cells(self):
+        model = LatencyMarginModel(seed=3)
+        assert model.error_rate_at(7.5) > 0.0
+
+    def test_safe_trcd_below_spec(self):
+        # The AL-DRAM observation: profiled modules run faster than spec.
+        model = LatencyMarginModel(seed=4)
+        assert model.safe_trcd() < SPEC_TRCD_NS
+
+    def test_safe_trcd_actually_safe(self):
+        model = LatencyMarginModel(seed=5)
+        assert model.error_rate_at(model.safe_trcd()) == 0.0
+
+    def test_relaxed_target_allows_faster(self):
+        model = LatencyMarginModel(seed=6)
+        strict = model.safe_trcd(0.0)
+        relaxed = model.safe_trcd(1e-3)
+        assert relaxed <= strict
+
+    def test_modules_differ(self):
+        safes = {LatencyMarginModel(seed=s).safe_trcd() for s in range(6)}
+        assert len(safes) > 1
+
+    def test_validation(self):
+        model = LatencyMarginModel(seed=0)
+        with pytest.raises(ValueError):
+            model.error_rate_at(0)
+        with pytest.raises(ValueError):
+            model.safe_trcd(target_error_rate=2.0)
+
+
+class TestAldramStudy:
+    def test_study_shape(self):
+        rows = aldram_study(n_modules=8, seed=0)
+        assert len(rows) == 8
+        for row in rows:
+            assert row["error_rate_at_spec"] == 0.0
+            assert 0.0 <= row["speedup_fraction"] < 0.5
+
+    def test_mean_speedup_meaningful(self):
+        rows = aldram_study(n_modules=12, seed=1)
+        mean_speedup = sum(r["speedup_fraction"] for r in rows) / len(rows)
+        # AL-DRAM-class result: double-digit percentage latency headroom.
+        assert mean_speedup > 0.10

@@ -1,0 +1,66 @@
+"""Tests for physical-address <-> DRAM-coordinate mapping."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dram import AddressMapping, DramCoordinate, DramGeometry
+
+GEO = DramGeometry(banks=4, rows=256, row_bytes=256)
+
+
+class TestAddressMappingBasics:
+    def test_decode_zero(self):
+        m = AddressMapping(GEO)
+        c = m.decode(0)
+        assert (c.channel, c.rank, c.bank, c.row, c.column) == (0, 0, 0, 0, 0)
+
+    def test_row_interleaved_bank_rotates_after_row(self):
+        m = AddressMapping(GEO, "row-interleaved")
+        c = m.decode(GEO.row_bytes)  # first byte after one full row
+        assert c.bank == 1 and c.row == 0
+
+    def test_bank_interleaved_row_rotates_first(self):
+        m = AddressMapping(GEO, "bank-interleaved")
+        c = m.decode(GEO.row_bytes)
+        assert c.row == 1 and c.bank == 0
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError):
+            AddressMapping(GEO, "bogus")
+
+    def test_out_of_range_address(self):
+        m = AddressMapping(GEO)
+        with pytest.raises(IndexError):
+            m.decode(GEO.capacity_bytes)
+
+    def test_encode_validates_coordinates(self):
+        m = AddressMapping(GEO)
+        with pytest.raises(IndexError):
+            m.encode(DramCoordinate(channel=0, rank=0, bank=9, row=0, column=0))
+
+    def test_row_address(self):
+        m = AddressMapping(GEO)
+        addr = m.row_address(bank=2, row=5)
+        c = m.decode(addr)
+        assert c.bank == 2 and c.row == 5 and c.column == 0
+
+
+class TestMappingBijectivity:
+    @given(st.integers(min_value=0, max_value=GEO.capacity_bytes - 1))
+    def test_row_interleaved_roundtrip(self, address):
+        m = AddressMapping(GEO, "row-interleaved")
+        assert m.encode(m.decode(address)) == address
+
+    @given(st.integers(min_value=0, max_value=GEO.capacity_bytes - 1))
+    def test_bank_interleaved_roundtrip(self, address):
+        m = AddressMapping(GEO, "bank-interleaved")
+        assert m.encode(m.decode(address)) == address
+
+    def test_adjacent_pages_map_to_adjacent_rows(self):
+        # The security-relevant fact: an attacker's page and a victim's
+        # page can occupy physically adjacent rows in the same bank.
+        m = AddressMapping(GEO, "row-interleaved")
+        a = m.decode(m.row_address(bank=0, row=10))
+        b = m.decode(m.row_address(bank=0, row=11))
+        assert abs(a.row - b.row) == 1 and a.bank == b.bank

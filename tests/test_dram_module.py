@@ -1,0 +1,78 @@
+"""Tests for the DramModule facade."""
+
+import numpy as np
+import pytest
+
+from repro.dram import DramGeometry, DramModule, VulnerabilityProfile
+from repro.dram.timing import DDR3_1333
+
+GEO = DramGeometry(banks=2, rows=128, row_bytes=256)
+PROFILE = VulnerabilityProfile(
+    weak_cell_density=0.02, hc_first_median=5_000, hc_first_min=1_000
+)
+
+
+def make_module(**kwargs):
+    defaults = dict(geometry=GEO, timing=DDR3_1333, profile=PROFILE, seed=5)
+    defaults.update(kwargs)
+    return DramModule(**defaults)
+
+
+class TestModule:
+    def test_bank_count(self):
+        module = make_module()
+        assert len(module.banks) == GEO.banks
+
+    def test_serial_changes_fault_map(self):
+        a = make_module(serial="A")
+        b = make_module(serial="B")
+        a.bank(0).bulk_activate(50, 100_000)
+        b.bank(0).bulk_activate(50, 100_000)
+        a.settle()
+        b.settle()
+        flips_a = [(r, b_) for r, b_, _ in a.bank(0).stats.flip_log]
+        flips_b = [(r, b_) for r, b_, _ in b.bank(0).stats.flip_log]
+        assert flips_a != flips_b
+
+    def test_from_vintage_profile(self):
+        module = DramModule.from_vintage("B", 2013.0, geometry=GEO)
+        assert module.profile.vulnerable
+        assert module.manufacturer == "B"
+
+    def test_logical_remap_applied(self):
+        module = make_module(remap_scheme="block-swap")
+        data = np.zeros(GEO.row_bits, dtype=np.uint8)
+        module.write_row(0, 8, data)
+        # Physical row is 8 ^ 0b100 = 12 under block-swap.
+        assert np.all(module.bank(0).row_bits(12) == 0)
+
+    def test_total_counters(self):
+        module = make_module()
+        module.activate(0, 10)
+        module.activate(1, 20)
+        assert module.total_activations() == 2
+
+    def test_refresh_physical_vs_logical(self):
+        module = make_module(remap_scheme="block-swap")
+        module.bank(0).bulk_activate(12, 50_000)  # physical aggressor
+        # Victim physical 13 = logical 9; refreshing logical 9 must hit it.
+        flips = module.refresh_row(0, module.remapper.to_logical(13))
+        module.settle()
+        assert module.bank(0).stats.refreshes == 1
+        assert len(flips) >= 0  # materialization path exercised
+
+    def test_settle_materializes(self):
+        module = make_module()
+        module.bank(0).bulk_activate(50, 200_000)
+        count = module.settle()
+        assert count == module.total_flips()
+        assert count > 0
+
+    def test_repr_contains_identity(self):
+        module = make_module(serial="XYZ")
+        assert "XYZ" in repr(module)
+
+    def test_bank_bounds(self):
+        module = make_module()
+        with pytest.raises(IndexError):
+            module.bank(GEO.banks)

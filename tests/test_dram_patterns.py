@@ -1,0 +1,50 @@
+"""Tests for DRAM data patterns."""
+
+import numpy as np
+import pytest
+
+from repro.dram import PATTERN_NAMES, get_pattern, make_random_pattern, pattern_bits
+
+
+class TestPatterns:
+    def test_all_named_patterns_exist(self):
+        for name in PATTERN_NAMES:
+            assert get_pattern(name) is not None
+
+    def test_solid_values(self):
+        assert np.all(get_pattern("solid0")(0, 16) == 0)
+        assert np.all(get_pattern("solid1")(3, 16) == 0xFF)
+
+    def test_rowstripe_alternates(self):
+        p = get_pattern("rowstripe")
+        assert np.all(p(0, 8) == 0xFF)
+        assert np.all(p(1, 8) == 0x00)
+
+    def test_rowstripe_inverse_is_complement(self):
+        a = get_pattern("rowstripe")(4, 8)
+        b = get_pattern("rowstripe_inv")(4, 8)
+        assert np.all(a ^ b == 0xFF)
+
+    def test_checkered_alternates_both_axes(self):
+        p = get_pattern("checkered")
+        assert np.all(p(0, 4) == 0x55)
+        assert np.all(p(1, 4) == 0xAA)
+
+    def test_random_pattern_deterministic_per_row(self):
+        p = make_random_pattern(99)
+        assert np.array_equal(p(5, 32), p(5, 32))
+        assert not np.array_equal(p(5, 32), p(6, 32))
+
+    def test_pattern_bits_width(self):
+        bits = pattern_bits("solid1", 0, 16)
+        assert bits.shape == (128,)
+        assert np.all(bits == 1)
+
+    def test_unknown_pattern_lists_options(self):
+        with pytest.raises(KeyError, match="solid0"):
+            get_pattern("nonexistent")
+
+    def test_colstripe_bit_structure(self):
+        bits = pattern_bits("colstripe", 0, 1)
+        # 0x55 LSB-first: 1,0,1,0,...
+        assert list(bits) == [1, 0, 1, 0, 1, 0, 1, 0]

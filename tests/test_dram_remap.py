@@ -1,0 +1,75 @@
+"""Tests for internal row remapping and adjacency."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dram import RowRemapper
+
+ROWS = 256
+
+
+class TestRemapperBijectivity:
+    @pytest.mark.parametrize("scheme", RowRemapper.SCHEMES)
+    def test_roundtrip_all_rows(self, scheme):
+        r = RowRemapper(ROWS, scheme)
+        physicals = [r.to_physical(i) for i in range(ROWS)]
+        assert sorted(physicals) == list(range(ROWS))  # bijection
+        for logical in range(ROWS):
+            assert r.to_logical(r.to_physical(logical)) == logical
+
+    @given(st.sampled_from(RowRemapper.SCHEMES), st.integers(min_value=0, max_value=ROWS - 1))
+    def test_roundtrip_property(self, scheme, row):
+        r = RowRemapper(ROWS, scheme)
+        assert r.to_logical(r.to_physical(row)) == row
+        assert r.to_physical(r.to_logical(row)) == row
+
+
+class TestAdjacency:
+    def test_identity_neighbors(self):
+        r = RowRemapper(ROWS, "identity")
+        assert r.physical_neighbors(10) == [9, 11]
+
+    def test_edge_rows_have_one_neighbor(self):
+        r = RowRemapper(ROWS, "identity")
+        assert r.physical_neighbors(0) == [1]
+        assert r.physical_neighbors(ROWS - 1) == [ROWS - 2]
+
+    def test_identity_naive_equals_true(self):
+        r = RowRemapper(ROWS, "identity")
+        for row in (0, 17, 100, ROWS - 1):
+            assert set(r.naive_neighbors(row)) == set(r.logical_neighbors_of_logical(row))
+
+    def test_blockswap_naive_guess_wrong_somewhere(self):
+        # The motivation for SPD-published adjacency: without it the
+        # controller's +/-1 guess refreshes the wrong rows.
+        r = RowRemapper(ROWS, "block-swap")
+        mismatches = sum(
+            1
+            for row in range(ROWS)
+            if set(r.naive_neighbors(row)) != set(r.logical_neighbors_of_logical(row))
+        )
+        assert mismatches > 0
+
+    def test_spd_table_covers_all_rows(self):
+        r = RowRemapper(ROWS, "xor-msb")
+        table = r.spd_table()
+        assert len(table) == ROWS
+        assert sorted(p for _l, p in table) == list(range(ROWS))
+
+    def test_distance_two_neighbors(self):
+        r = RowRemapper(ROWS, "identity")
+        assert r.physical_neighbors(10, distance=2) == [8, 12]
+
+    def test_rejects_out_of_range(self):
+        r = RowRemapper(ROWS)
+        with pytest.raises(IndexError):
+            r.to_physical(ROWS)
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError):
+            RowRemapper(ROWS, "nope")
+
+    def test_rows_power_of_two_required(self):
+        with pytest.raises(ValueError):
+            RowRemapper(100)

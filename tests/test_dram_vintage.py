@@ -1,0 +1,66 @@
+"""Tests for vintage calibration curves."""
+
+import pytest
+
+from repro.dram import (
+    MANUFACTURERS,
+    VINTAGE_CURVES,
+    hc_first_min_for_date,
+    profile_for,
+)
+
+
+class TestVintageCurves:
+    def test_pre_2010_invulnerable(self):
+        for mfr in MANUFACTURERS:
+            for year in (2008.0, 2009.0, 2009.9):
+                assert not profile_for(mfr, year).vulnerable
+
+    def test_2013_all_vulnerable(self):
+        for mfr in MANUFACTURERS:
+            assert profile_for(mfr, 2013.0).vulnerable
+
+    def test_density_peaks_near_2013(self):
+        for mfr in MANUFACTURERS:
+            curve = VINTAGE_CURVES[mfr]
+            d_peak = curve.density(curve.peak_date)
+            assert d_peak > curve.density(2011.0)
+            assert d_peak >= curve.density(2014.5)
+
+    def test_manufacturer_ordering_at_peak(self):
+        # Figure 1: B highest, C lowest.
+        a = VINTAGE_CURVES["A"].peak_density
+        b = VINTAGE_CURVES["B"].peak_density
+        c = VINTAGE_CURVES["C"].peak_density
+        assert b > a > c
+
+    def test_density_monotonic_on_ramp(self):
+        curve = VINTAGE_CURVES["A"]
+        dates = [2010.5, 2011.0, 2011.5, 2012.0, 2012.5, 2013.0]
+        densities = [curve.density(d) for d in dates]
+        assert densities == sorted(densities)
+
+    def test_2014_decline(self):
+        for mfr in MANUFACTURERS:
+            curve = VINTAGE_CURVES[mfr]
+            assert curve.density(2014.5) < curve.density(curve.peak_date)
+
+
+class TestHcFirstTrend:
+    def test_newer_is_weaker(self):
+        assert hc_first_min_for_date(2013.0) < hc_first_min_for_date(2010.0)
+
+    def test_2013_anchor(self):
+        assert hc_first_min_for_date(2013.0) == pytest.approx(165_000, rel=0.01)
+
+    def test_most_vulnerable_module_139k(self):
+        # The paper's famous number: first flip after ~139K activations.
+        assert hc_first_min_for_date(2014.5) == pytest.approx(139_000, rel=0.01)
+
+    def test_profile_median_above_min(self):
+        p = profile_for("B", 2013.0)
+        assert p.hc_first_median > p.hc_first_min
+
+    def test_unknown_manufacturer(self):
+        with pytest.raises(KeyError):
+            profile_for("Z", 2013.0)

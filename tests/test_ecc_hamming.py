@@ -1,0 +1,99 @@
+"""Tests for the SECDED Hamming code."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ecc import SECDED_72_64, DecodeStatus, HammingSecded, classify_against_truth
+
+
+def random_word(seed, bits=64):
+    return np.random.default_rng(seed).integers(0, 2, size=bits).astype(np.uint8)
+
+
+class TestConstruction:
+    def test_72_64_dimensions(self):
+        assert SECDED_72_64.data_bits == 64
+        assert SECDED_72_64.code_bits == 72
+
+    def test_overhead(self):
+        assert SECDED_72_64.overhead_fraction == pytest.approx(8 / 64)
+
+    def test_small_instance(self):
+        code = HammingSecded(4)
+        # 4 data bits need 3 parity + overall = 8 code bits.
+        assert code.code_bits == 8
+
+    def test_rejects_zero_width(self):
+        with pytest.raises(ValueError):
+            HammingSecded(0)
+
+
+class TestCleanPath:
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=40)
+    def test_roundtrip(self, seed):
+        data = random_word(seed)
+        result = SECDED_72_64.decode(SECDED_72_64.encode(data))
+        assert result.status == DecodeStatus.CLEAN
+        assert np.array_equal(result.data, data)
+
+
+class TestSingleError:
+    @given(st.integers(min_value=0, max_value=500), st.integers(min_value=0, max_value=71))
+    @settings(max_examples=60)
+    def test_any_single_flip_corrected(self, seed, position):
+        data = random_word(seed)
+        codeword = SECDED_72_64.encode(data)
+        codeword[position] ^= 1
+        result = SECDED_72_64.decode(codeword)
+        assert result.status == DecodeStatus.CORRECTED
+        assert np.array_equal(result.data, data)
+
+
+class TestDoubleError:
+    @given(
+        st.integers(min_value=0, max_value=200),
+        st.lists(st.integers(min_value=0, max_value=71), min_size=2, max_size=2, unique=True),
+    )
+    @settings(max_examples=60)
+    def test_any_double_flip_detected_not_miscorrected_as_clean(self, seed, positions):
+        data = random_word(seed)
+        codeword = SECDED_72_64.encode(data)
+        codeword[list(positions)] ^= 1
+        result = SECDED_72_64.decode(codeword)
+        assert result.status == DecodeStatus.DETECTED_UNCORRECTABLE
+
+
+class TestTripleError:
+    def test_triple_flip_usually_miscorrects(self):
+        # The SECDED failure mode the paper leans on: >= 3 flips can
+        # silently corrupt.  Check ground-truth classification sees it.
+        rng = np.random.default_rng(0)
+        miscorrected = 0
+        trials = 100
+        for _ in range(trials):
+            data = rng.integers(0, 2, size=64).astype(np.uint8)
+            codeword = SECDED_72_64.encode(data)
+            positions = rng.choice(72, size=3, replace=False)
+            codeword[positions] ^= 1
+            result = SECDED_72_64.decode(codeword)
+            if classify_against_truth(result, data) == DecodeStatus.MISCORRECTED:
+                miscorrected += 1
+        assert miscorrected > trials // 4
+
+    def test_classify_against_truth_passthrough(self):
+        data = random_word(1)
+        result = SECDED_72_64.decode(SECDED_72_64.encode(data))
+        assert classify_against_truth(result, data) == DecodeStatus.CLEAN
+
+
+class TestShapeValidation:
+    def test_encode_wrong_shape(self):
+        with pytest.raises(ValueError):
+            SECDED_72_64.encode(np.zeros(10, dtype=np.uint8))
+
+    def test_decode_wrong_shape(self):
+        with pytest.raises(ValueError):
+            SECDED_72_64.decode(np.zeros(10, dtype=np.uint8))

@@ -1,0 +1,112 @@
+"""Tests for the single-symbol-correcting GF(256) code."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ecc import SYMBOL_72_64, DecodeStatus, SingleSymbolCorrectingCode
+from repro.ecc.gf256 import gf_div, gf_inv, gf_mul, gf_pow
+
+
+class TestGf256:
+    def test_multiplicative_identity(self):
+        for a in (1, 7, 200, 255):
+            assert gf_mul(a, 1) == a
+
+    def test_zero_annihilates(self):
+        assert gf_mul(0, 123) == 0
+
+    @given(st.integers(min_value=1, max_value=255))
+    @settings(max_examples=50)
+    def test_inverse(self, a):
+        assert gf_mul(a, gf_inv(a)) == 1
+
+    @given(st.integers(min_value=1, max_value=255), st.integers(min_value=1, max_value=255))
+    @settings(max_examples=50)
+    def test_div_is_mul_inverse(self, a, b):
+        assert gf_div(a, b) == gf_mul(a, gf_inv(b))
+
+    def test_pow_generator_order(self):
+        # alpha = 2 generates the multiplicative group of order 255.
+        assert gf_pow(2, 255) == 1
+        assert gf_pow(2, 1) == 2
+
+    def test_div_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            gf_div(5, 0)
+
+
+def random_word(seed, bits=64):
+    return np.random.default_rng(seed).integers(0, 2, size=bits).astype(np.uint8)
+
+
+class TestSymbolCode:
+    def test_dimensions(self):
+        assert SYMBOL_72_64.data_bits == 64
+        assert SYMBOL_72_64.code_bits == 80
+
+    @given(st.integers(min_value=0, max_value=5000))
+    @settings(max_examples=40)
+    def test_clean_roundtrip(self, seed):
+        data = random_word(seed)
+        result = SYMBOL_72_64.decode(SYMBOL_72_64.encode(data))
+        assert result.status == DecodeStatus.CLEAN
+        assert np.array_equal(result.data, data)
+
+    @given(
+        st.integers(min_value=0, max_value=500),
+        st.integers(min_value=0, max_value=9),
+        st.integers(min_value=1, max_value=255),
+    )
+    @settings(max_examples=80)
+    def test_any_single_symbol_error_corrected(self, seed, symbol, error_value):
+        data = random_word(seed)
+        codeword = SYMBOL_72_64.encode(data)
+        corrupted = codeword.copy()
+        for b in range(8):
+            if (error_value >> b) & 1:
+                corrupted[symbol * 8 + b] ^= 1
+        result = SYMBOL_72_64.decode(corrupted)
+        assert result.status == DecodeStatus.CORRECTED
+        assert np.array_equal(result.data, data)
+
+    def test_whole_byte_corruption_corrected(self):
+        data = random_word(9)
+        codeword = SYMBOL_72_64.encode(data)
+        codeword[24:32] ^= 1
+        result = SYMBOL_72_64.decode(codeword)
+        assert result.status == DecodeStatus.CORRECTED
+        assert np.array_equal(result.data, data)
+
+    def test_two_symbol_errors_not_silently_cleaned(self):
+        data = random_word(10)
+        codeword = SYMBOL_72_64.encode(data)
+        codeword[0] ^= 1   # symbol 0
+        codeword[12] ^= 1  # symbol 1
+        result = SYMBOL_72_64.decode(codeword)
+        # Two corrupted symbols are either detected or miscorrected, but
+        # never reported CLEAN.
+        assert result.status != DecodeStatus.CLEAN
+
+    def test_corrects_strictly_more_byte_errors_than_secded(self):
+        from repro.ecc import SECDED_72_64
+
+        data = random_word(11)
+        # 4 flips inside one byte: SECDED fails, the symbol code corrects.
+        sym_cw = SYMBOL_72_64.encode(data)
+        sym_cw[8:12] ^= 1
+        assert np.array_equal(SYMBOL_72_64.decode(sym_cw).data, data)
+        sec_cw = SECDED_72_64.encode(data)
+        sec_cw[8:12] ^= 1
+        sec_result = SECDED_72_64.decode(sec_cw)
+        assert not (
+            sec_result.status == DecodeStatus.CORRECTED
+            and np.array_equal(sec_result.data, data)
+        ) or sec_result.status == DecodeStatus.DETECTED_UNCORRECTABLE
+
+    def test_parameter_bounds(self):
+        with pytest.raises(ValueError):
+            SingleSymbolCorrectingCode(0)
+        with pytest.raises(ValueError):
+            SingleSymbolCorrectingCode(254)

@@ -1,0 +1,156 @@
+"""Tests for the extension features: FR-FCFS, WARM, PCM mapping-aware
+attacks, SoftMC canned studies, and the TRR bypass experiment."""
+
+import pytest
+
+from repro.controller import FrFcfsScheduler, CommandScheduler, MemRequest
+from repro.core.experiment import trr_bypass_study
+from repro.dram.timing import DDR3_1333
+from repro.flash.mitigations import warm_study
+from repro.pcm import lifetime_under_mapping_aware_attack, lifetime_under_pinned_attack
+
+
+class TestFrFcfs:
+    def _interleaved_two_rows(self, n=200):
+        # Alternating rows in one bank arriving close together: FCFS
+        # thrashes the row buffer; FR-FCFS can batch row hits.
+        reqs = []
+        for i in range(n):
+            reqs.append(MemRequest(arrival_ns=i * 2.0, bank=0, row=(i % 2) * 50))
+        return reqs
+
+    def test_beats_fcfs_on_interleaved_rows(self):
+        frfcfs = FrFcfsScheduler(banks=2, timing=DDR3_1333, window=16)
+        fr_stats = frfcfs.execute(self._interleaved_two_rows())
+        fcfs = CommandScheduler(banks=2, timing=DDR3_1333)
+        fc_stats = fcfs.execute(self._interleaved_two_rows())
+        assert fr_stats.hit_rate > fc_stats.hit_rate
+        assert fr_stats.finish_ns < fc_stats.finish_ns
+
+    def test_window_one_degenerates_to_fcfs(self):
+        frfcfs = FrFcfsScheduler(banks=2, timing=DDR3_1333, window=1)
+        fr_stats = frfcfs.execute(self._interleaved_two_rows())
+        fcfs = CommandScheduler(banks=2, timing=DDR3_1333)
+        fc_stats = fcfs.execute(self._interleaved_two_rows())
+        assert fr_stats.hit_rate == pytest.approx(fc_stats.hit_rate, abs=0.02)
+
+    def test_all_requests_served(self):
+        frfcfs = FrFcfsScheduler(banks=2, timing=DDR3_1333)
+        reqs = self._interleaved_two_rows(100)
+        stats = frfcfs.execute(reqs)
+        assert stats.requests == 100
+        assert all(r.completed_ns >= 0 for r in reqs)
+
+    def test_attacker_pattern_gets_no_hits(self):
+        # The hammer pattern alternates rows by construction: FR-FCFS
+        # cannot coalesce it — why scheduling is not a defense.
+        frfcfs = FrFcfsScheduler(banks=2, timing=DDR3_1333, window=4)
+        reqs = [MemRequest(arrival_ns=i * 60.0, bank=0, row=(i % 2) * 2 + 99) for i in range(100)]
+        stats = frfcfs.execute(reqs)
+        # A handful of coalesced pairs at queue build-up is expected;
+        # the overwhelming majority of accesses still open a row.
+        assert stats.hit_rate < 0.15
+        assert stats.row_misses > 80
+
+    def test_bank_bounds(self):
+        frfcfs = FrFcfsScheduler(banks=2, timing=DDR3_1333)
+        with pytest.raises(IndexError):
+            frfcfs.execute([MemRequest(arrival_ns=0.0, bank=7, row=0)])
+
+
+class TestWarm:
+    @pytest.fixture(scope="class")
+    def outcomes(self):
+        return warm_study(wordlines=4, cells=1024, tolerance=1000)
+
+    def test_fcr_extends_cold_lifetime(self, outcomes):
+        assert outcomes["fcr"].device_lifetime_pe > outcomes["baseline"].device_lifetime_pe
+
+    def test_warm_relaxes_hot_partition(self, outcomes):
+        assert outcomes["warm"].hot_lifetime_pe > outcomes["baseline"].hot_lifetime_pe
+
+    def test_warm_fcr_cuts_refresh_wear(self, outcomes):
+        assert outcomes["warm+fcr"].refresh_wear_fraction < outcomes["fcr"].refresh_wear_fraction
+        assert outcomes["warm+fcr"].device_lifetime_pe >= outcomes["fcr"].device_lifetime_pe * 0.99
+
+    def test_device_lifetime_is_min(self, outcomes):
+        warm = outcomes["warm"]
+        assert warm.device_lifetime_pe == min(warm.hot_lifetime_pe, warm.cold_lifetime_pe)
+
+    def test_parameters_validated(self):
+        with pytest.raises(ValueError):
+            warm_study(hot_write_fraction=1.5)
+
+
+class TestPcmMappingAwareAttack:
+    def test_plain_startgap_collapses(self):
+        # The chase defeats deterministic Start-Gap: lifetime near the
+        # bare single-line endurance, far from the leveled ideal.
+        chased = lifetime_under_mapping_aware_attack(
+            n_logical=32, endurance_mean=5_000, randomize=False, seed=2
+        )
+        leveled = lifetime_under_pinned_attack(
+            n_logical=32, endurance_mean=5_000, leveling="startgap", seed=2
+        )
+        assert chased < leveled / 5
+
+    def test_randomization_restores_leveling(self):
+        plain = lifetime_under_mapping_aware_attack(
+            n_logical=32, endurance_mean=5_000, randomize=False, seed=3
+        )
+        randomized = lifetime_under_mapping_aware_attack(
+            n_logical=32, endurance_mean=5_000, randomize=True, seed=3
+        )
+        assert randomized > 3 * plain
+
+
+class TestRaidrInteraction:
+    def test_slow_bin_opens_headroom(self):
+        from repro.core.experiment import raidr_rowhammer_interaction
+
+        result = raidr_rowhammer_interaction(seed=0)
+        assert result["flips"]["uniform-64ms"] == 0
+        assert result["flips"]["raidr-bin2"] > 0
+
+
+class TestMultiRateRefreshEngine:
+    def test_row_bins_shape_validated(self):
+        import numpy as np
+
+        from repro.controller import RefreshEngine
+        from repro.core.scenarios import scaled_scenario
+
+        module = scaled_scenario().make_module(seed=0)
+        with pytest.raises(ValueError):
+            RefreshEngine(module, row_bins=np.zeros(10, dtype=np.int64))
+
+    def test_slow_bins_cut_refresh_ops(self):
+        import numpy as np
+
+        from repro.controller import RefreshEngine
+        from repro.core.scenarios import scaled_scenario
+
+        scenario = scaled_scenario()
+        uniform = RefreshEngine(scenario.make_module(serial="u", seed=0))
+        bins = np.full(scenario.geometry.rows, 2, dtype=np.int64)
+        binned = RefreshEngine(scenario.make_module(serial="b", seed=0), row_bins=bins)
+        horizon = uniform.interval_ns * 4 * scenario.geometry.rows
+        uniform.tick(horizon)
+        binned.tick(horizon)
+        assert binned.stats.rows_refreshed < uniform.stats.rows_refreshed / 2
+
+
+class TestTrrBypass:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return trr_bypass_study(n_pairs_list=(1, 4), tracker_entries=2, seed=0)
+
+    def test_single_pair_protected(self, rows):
+        assert rows[0]["flips"] == 0
+
+    def test_many_pairs_bypass(self, rows):
+        assert rows[1]["flips"] > 0
+
+    def test_trr_kept_firing(self, rows):
+        for row in rows:
+            assert row["targeted_refreshes"] > 0

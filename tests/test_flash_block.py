@@ -1,0 +1,146 @@
+"""Tests for FlashBlock: programming, error mechanisms, reads."""
+
+import numpy as np
+import pytest
+
+from repro.flash import FlashBlock, program_block_shadow
+from repro.utils.rng import derive_rng
+
+
+def make_block(seed=1, wordlines=8, cells=1024, **kwargs):
+    return FlashBlock(wordlines=wordlines, cells=cells, seed=seed, **kwargs)
+
+
+def random_bits(n, seed):
+    return derive_rng(seed, "bits").integers(0, 2, size=n).astype(np.uint8)
+
+
+class TestProgramming:
+    def test_fresh_block_reads_back_clean(self):
+        block = make_block()
+        lsb, msb = random_bits(1024, 1), random_bits(1024, 2)
+        block.program_full(3, lsb, msb)
+        assert block.page_errors(3, "lsb") == 0
+        assert block.page_errors(3, "msb") == 0
+
+    def test_partial_lsb_read(self):
+        block = make_block()
+        lsb = random_bits(1024, 3)
+        block.program_lsb(3, lsb)
+        read = block.read_page(3, "lsb", disturb=False)
+        assert np.array_equal(read, lsb)
+
+    def test_double_program_rejected(self):
+        block = make_block()
+        lsb = random_bits(1024, 4)
+        block.program_lsb(3, lsb)
+        with pytest.raises(RuntimeError):
+            block.program_lsb(3, lsb)
+
+    def test_msb_requires_lsb(self):
+        block = make_block()
+        with pytest.raises(RuntimeError):
+            block.program_msb(3, random_bits(1024, 5))
+
+    def test_erase_resets(self):
+        block = make_block()
+        block.program_full(3, random_bits(1024, 6), random_bits(1024, 7))
+        pe = block.pe_cycles
+        block.erase()
+        assert block.pe_cycles == pe + 1
+        assert block.programmed_wordlines() == []
+
+    def test_page_size_validated(self):
+        block = make_block()
+        with pytest.raises(ValueError):
+            block.program_lsb(0, np.zeros(10, dtype=np.uint8))
+
+    def test_shadow_order_programs_everything(self):
+        block = make_block()
+        program_block_shadow(block, seed=0)
+        assert block.programmed_wordlines() == list(range(8))
+        assert block.rber() < 0.01
+
+
+class TestErrorMechanisms:
+    def test_wear_increases_program_errors(self):
+        fresh = make_block(seed=9)
+        program_block_shadow(fresh, seed=9)
+        worn = make_block(seed=9)
+        worn.set_pe_cycles(30_000)
+        program_block_shadow(worn, seed=9)
+        assert worn.rber() >= fresh.rber()
+
+    def test_retention_increases_errors_with_time(self):
+        block = make_block(seed=11)
+        block.set_pe_cycles(15_000)
+        program_block_shadow(block, seed=11)
+        e0 = block.rber()
+        block.age_retention(30)
+        e30 = block.rber()
+        block.age_retention(335)
+        e365 = block.rber()
+        assert e0 <= e30 <= e365
+        assert e365 > e0
+
+    def test_retention_errors_grow_with_wear(self):
+        low = make_block(seed=12)
+        low.set_pe_cycles(1_000)
+        program_block_shadow(low, seed=12)
+        low.age_retention(365)
+        high = make_block(seed=12)
+        high.set_pe_cycles(25_000)
+        program_block_shadow(high, seed=12)
+        high.age_retention(365)
+        assert high.rber() > low.rber()
+
+    def test_read_disturb_moves_er_up(self):
+        block = make_block(seed=13)
+        program_block_shadow(block, seed=13)
+        er_cells = block.vth < -1.0
+        before = block.vth[er_cells].mean()
+        block.apply_read_disturb(50_000)
+        after = block.vth[er_cells].mean()
+        assert after > before
+
+    def test_read_disturb_monotonic_errors(self):
+        block = make_block(seed=14)
+        block.set_pe_cycles(5_000)
+        program_block_shadow(block, seed=14)
+        e0 = block.rber()
+        block.apply_read_disturb(200_000)
+        assert block.rber() >= e0
+
+    def test_program_interference_shifts_neighbor(self):
+        block = make_block(seed=15)
+        lsb = np.zeros(1024, dtype=np.uint8)  # all LM — big swing later
+        block.program_lsb(2, lsb)
+        v_before = block.vth[2].copy()
+        # Programming wordline 3 disturbs wordline 2.
+        block.program_lsb(3, np.zeros(1024, dtype=np.uint8))
+        shift = block.vth[2] - v_before
+        assert shift.mean() > 0
+
+    def test_reads_disturb_by_default(self):
+        block = make_block(seed=16)
+        program_block_shadow(block, seed=16)
+        assert block.reads_seen == 0
+        block.read_page(0, "lsb")
+        assert block.reads_seen == 1
+
+    def test_aging_validation(self):
+        block = make_block()
+        with pytest.raises(ValueError):
+            block.age_retention(-1)
+        with pytest.raises(ValueError):
+            block.apply_read_disturb(-1)
+
+    def test_set_pe_cycles_validation(self):
+        block = make_block()
+        with pytest.raises(ValueError):
+            block.set_pe_cycles(-1)
+
+    def test_leak_variation_exists(self):
+        block = make_block()
+        assert block.leak_rate.std() > 0.1
+        assert block.rd_susceptibility.std() > 0.1

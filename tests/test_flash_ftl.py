@@ -1,0 +1,130 @@
+"""Tests for the page-mapped FTL."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.flash.ftl import PageMappedFtl
+from repro.utils.rng import derive_rng
+
+
+def fill_and_churn(ftl, writes, seed=0, zipf=None):
+    rng = derive_rng(seed, "churn")
+    for _ in range(writes):
+        if zipf is None:
+            lpn = int(rng.integers(0, ftl.logical_pages))
+        else:
+            lpn = int((rng.zipf(zipf) - 1) % ftl.logical_pages)
+        ftl.write(lpn)
+
+
+class TestFtlBasics:
+    def test_write_then_lookup(self):
+        ftl = PageMappedFtl(n_blocks=8, pages_per_block=16)
+        ftl.write(5)
+        assert ftl.lookup(5) is not None
+        assert ftl.lookup(6) is None
+
+    def test_overwrite_moves_page(self):
+        ftl = PageMappedFtl(n_blocks=8, pages_per_block=16)
+        ftl.write(5)
+        first = ftl.lookup(5)
+        ftl.write(5)
+        assert ftl.lookup(5) != first
+        assert ftl.valid_page_count() == 1
+
+    def test_lpn_bounds(self):
+        ftl = PageMappedFtl(n_blocks=8, pages_per_block=16)
+        with pytest.raises(IndexError):
+            ftl.write(ftl.logical_pages)
+        with pytest.raises(IndexError):
+            ftl.lookup(-1)
+
+    def test_overprovision_hides_capacity(self):
+        ftl = PageMappedFtl(n_blocks=8, pages_per_block=16, op_fraction=0.25)
+        assert ftl.logical_pages == int(8 * 16 * 0.75)
+
+    def test_gc_policy_validated(self):
+        with pytest.raises(ValueError):
+            PageMappedFtl(gc_policy="random")
+
+
+class TestGarbageCollection:
+    def test_sustained_churn_triggers_gc(self):
+        ftl = PageMappedFtl(n_blocks=8, pages_per_block=16, op_fraction=0.25)
+        fill_and_churn(ftl, 2_000, seed=1)
+        assert ftl.stats.erases > 0
+        assert ftl.stats.gc_relocations > 0
+
+    def test_write_amplification_above_one_under_churn(self):
+        ftl = PageMappedFtl(n_blocks=8, pages_per_block=16, op_fraction=0.125)
+        fill_and_churn(ftl, 3_000, seed=2)
+        assert ftl.stats.write_amplification > 1.0
+
+    def test_more_overprovisioning_less_amplification(self):
+        tight = PageMappedFtl(n_blocks=16, pages_per_block=16, op_fraction=0.06)
+        roomy = PageMappedFtl(n_blocks=16, pages_per_block=16, op_fraction=0.4)
+        fill_and_churn(tight, 6_000, seed=3)
+        fill_and_churn(roomy, 6_000, seed=3)
+        assert roomy.stats.write_amplification < tight.stats.write_amplification
+
+    def test_mapping_stays_consistent_under_churn(self):
+        ftl = PageMappedFtl(n_blocks=8, pages_per_block=16, op_fraction=0.25)
+        fill_and_churn(ftl, 2_500, seed=4)
+        # Every mapped lpn's physical slot must claim it back.
+        for lpn in range(ftl.logical_pages):
+            loc = ftl.lookup(lpn)
+            if loc is not None:
+                block, page = loc
+                assert ftl._owner[block][page] == lpn
+                assert ftl._valid[block][page]
+
+    @given(st.integers(min_value=0, max_value=2**31), st.integers(min_value=100, max_value=1500))
+    @settings(max_examples=15, deadline=None)
+    def test_no_two_lpns_share_a_slot(self, seed, writes):
+        ftl = PageMappedFtl(n_blocks=8, pages_per_block=16, op_fraction=0.25)
+        fill_and_churn(ftl, writes, seed=seed)
+        locations = [ftl.lookup(l) for l in range(ftl.logical_pages)]
+        taken = [loc for loc in locations if loc is not None]
+        assert len(taken) == len(set(taken))
+
+    def test_wear_aware_policy_more_even(self):
+        greedy = PageMappedFtl(n_blocks=16, pages_per_block=16, op_fraction=0.125, gc_policy="greedy")
+        aware = PageMappedFtl(n_blocks=16, pages_per_block=16, op_fraction=0.125, gc_policy="wear-aware")
+        # Skewed traffic concentrates invalidations.
+        fill_and_churn(greedy, 12_000, seed=5, zipf=1.3)
+        fill_and_churn(aware, 12_000, seed=5, zipf=1.3)
+        assert aware.wear_evenness() <= greedy.wear_evenness() * 1.2
+
+
+class TestRefreshPass:
+    def test_refresh_relocates_all_valid(self):
+        ftl = PageMappedFtl(n_blocks=8, pages_per_block=16, op_fraction=0.25)
+        for lpn in range(20):
+            ftl.write(lpn)
+        before = {lpn: ftl.lookup(lpn) for lpn in range(20)}
+        moved = ftl.refresh_all_valid()
+        assert moved == 20
+        for lpn in range(20):
+            assert ftl.lookup(lpn) is not None
+            assert ftl.lookup(lpn) != before[lpn]
+
+    def test_refresh_costs_flash_writes(self):
+        ftl = PageMappedFtl(n_blocks=8, pages_per_block=16, op_fraction=0.25)
+        for lpn in range(20):
+            ftl.write(lpn)
+        writes_before = ftl.stats.flash_writes
+        ftl.refresh_all_valid()
+        assert ftl.stats.flash_writes == writes_before + 20
+
+    def test_fcr_refresh_amplification(self):
+        # The FCR trade-off made concrete: frequent refresh passes add
+        # flash writes that count against the endurance budget.
+        ftl = PageMappedFtl(n_blocks=16, pages_per_block=16, op_fraction=0.25)
+        for lpn in range(100):
+            ftl.write(lpn)
+        host = ftl.stats.host_writes
+        for _ in range(5):
+            ftl.refresh_all_valid()
+        assert ftl.stats.flash_writes >= host + 5 * 100

@@ -1,0 +1,94 @@
+"""Tests for the flash Vth model and bit mappings."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.flash import FlashParams, MLC_1XNM, MLC_2XNM
+from repro.flash.vth import (
+    bits_of_states,
+    classify,
+    optimal_read_refs,
+    read_lsb,
+    read_lsb_partial,
+    read_msb,
+    state_from_bits,
+)
+
+
+class TestBitMapping:
+    def test_gray_code_adjacent_states_differ_by_one_bit(self):
+        lsb, msb = bits_of_states(np.arange(4))
+        for s in range(3):
+            diff = (lsb[s] != lsb[s + 1]) + (msb[s] != msb[s + 1])
+            assert diff == 1
+
+    @given(st.integers(min_value=0, max_value=1), st.integers(min_value=0, max_value=1))
+    @settings(max_examples=8)
+    def test_state_from_bits_roundtrip(self, l, m):
+        state = state_from_bits(np.array([l]), np.array([m]))[0]
+        lsb, msb = bits_of_states(np.array([state]))
+        assert (lsb[0], msb[0]) == (l, m)
+
+    def test_reads_match_mapping_at_state_means(self):
+        params = MLC_2XNM
+        vth = np.asarray(params.state_means)
+        states = classify(vth, params.read_refs)
+        assert list(states) == [0, 1, 2, 3]
+        lsb, msb = bits_of_states(states)
+        assert np.array_equal(read_lsb(vth, params.read_refs), lsb)
+        assert np.array_equal(read_msb(vth, params.read_refs), msb)
+
+    def test_partial_read_separates_er_lm(self):
+        params = MLC_2XNM
+        vth = np.array([params.state_means[0], params.lm_mean])
+        partial = read_lsb_partial(vth, params.lm_read_ref)
+        assert list(partial) == [1, 0]
+
+
+class TestClassify:
+    def test_boundaries(self):
+        refs = (-0.5, 1.6, 2.8)
+        vth = np.array([-2.0, -0.5, 1.6, 2.8, 5.0])
+        assert list(classify(vth, refs)) == [0, 1, 2, 3, 3]
+
+
+class TestOptimalReadRefs:
+    def test_recovers_errors_after_shift(self):
+        params = MLC_2XNM
+        rng = np.random.default_rng(0)
+        states = rng.integers(0, 4, size=8000)
+        vth = np.asarray(params.state_means)[states] + rng.normal(0, 0.15, size=8000)
+        vth = vth - 0.35 * (states > 0)  # uniform retention-like downshift
+        errors_factory = int(np.count_nonzero(classify(vth, params.read_refs) != states))
+        tuned = optimal_read_refs(vth, states, params)
+        errors_tuned = int(np.count_nonzero(classify(vth, tuned) != states))
+        assert errors_tuned < errors_factory
+
+    def test_refs_stay_ordered(self):
+        params = MLC_2XNM
+        rng = np.random.default_rng(1)
+        states = rng.integers(0, 4, size=2000)
+        vth = np.asarray(params.state_means)[states] + rng.normal(0, 0.1, size=2000)
+        tuned = optimal_read_refs(vth, states, params)
+        assert list(tuned) == sorted(tuned)
+
+
+class TestParams:
+    def test_sigma_widens_with_wear(self):
+        assert MLC_2XNM.program_sigma_at(10_000) > MLC_2XNM.program_sigma_at(0)
+
+    def test_retention_factor_grows(self):
+        assert MLC_2XNM.retention_factor(20_000) > MLC_2XNM.retention_factor(0)
+
+    def test_1xnm_denser_window(self):
+        span_1x = MLC_1XNM.state_means[3] - MLC_1XNM.state_means[0]
+        span_2x = MLC_2XNM.state_means[3] - MLC_2XNM.state_means[0]
+        assert span_1x < span_2x
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FlashParams(state_means=(0.0, -1.0, 2.0, 3.0))
+        with pytest.raises(ValueError):
+            FlashParams(read_refs=(1.0, 0.5, 2.0))

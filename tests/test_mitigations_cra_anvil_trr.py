@@ -1,0 +1,130 @@
+"""Tests for counter-based, ANVIL-style, and TRR mitigations."""
+
+import pytest
+
+from repro.controller import MemoryController
+from repro.dram import DramGeometry, DramModule, VulnerabilityProfile
+from repro.dram.timing import DDR3_1333
+from repro.mitigations import AnvilMitigation, CounterBasedMitigation, TrrMitigation, storage_overhead_table
+
+GEO = DramGeometry(banks=2, rows=256, row_bytes=256)
+PROFILE = VulnerabilityProfile(weak_cell_density=0.05, hc_first_median=3_000, hc_first_min=800)
+
+
+def make_controller(mitigation, **kwargs):
+    module = DramModule(geometry=GEO, timing=DDR3_1333, profile=PROFILE, seed=8, **kwargs)
+    return MemoryController(module, mitigation=mitigation)
+
+
+def hammer(ctrl, iters=3_000):
+    ctrl.run_activation_pattern(0, [99, 101], iters)
+    return ctrl.finish()
+
+
+class TestCra:
+    def test_full_counters_stop_flips(self):
+        ctrl = make_controller(CounterBasedMitigation(threshold=200))
+        assert hammer(ctrl) == 0
+        assert ctrl.mitigation.detections > 0
+
+    def test_threshold_above_hc_first_fails(self):
+        # A threshold above the weakest cell's hc_first reacts too late.
+        ctrl = make_controller(CounterBasedMitigation(threshold=100_000))
+        assert hammer(ctrl) > 0
+
+    def test_detection_cadence(self):
+        ctrl = make_controller(CounterBasedMitigation(threshold=100))
+        ctrl.run_activation_pattern(0, [40], 1_000)
+        # 1000 activations at threshold 100 -> ~10 detections.
+        assert 8 <= ctrl.mitigation.detections <= 12
+
+    def test_window_reset(self):
+        mit = CounterBasedMitigation(threshold=1_000, window_ns=1e6)
+        ctrl = make_controller(mit)
+        ctrl.run_activation_pattern(0, [40], 500)   # below threshold
+        # After the window passes, counts restart: still no detections.
+        ctrl.time_ns += 2e6
+        ctrl.run_activation_pattern(0, [40], 500)
+        assert mit.detections == 0
+
+    def test_table_eviction_counted(self):
+        mit = CounterBasedMitigation(threshold=10_000, table_entries=4)
+        ctrl = make_controller(mit)
+        # Touch more distinct rows than table entries.
+        for row in range(0, 64, 2):
+            ctrl.activate(0, row)
+        assert mit.evictions > 0
+
+    def test_counter_bits(self):
+        assert CounterBasedMitigation(threshold=32_768).counter_bits() == 16
+
+    def test_storage_full_vs_table(self):
+        full = CounterBasedMitigation(threshold=32_768)
+        table = CounterBasedMitigation(threshold=32_768, table_entries=1024)
+        rows, banks = 32768, 8
+        assert full.storage_bits(rows, banks) > table.storage_bits(rows, banks)
+        # Full per-row counters for a 2 GiB module: megabits of SRAM —
+        # the overhead the paper calls out.
+        assert full.storage_bits(rows, banks) > 4_000_000
+
+    def test_storage_overhead_table_rows(self):
+        rows = storage_overhead_table(32768, 8, thresholds=(1024,), table_sizes=(None, 256))
+        assert len(rows) == 2
+        assert rows[0]["storage_bits"] > rows[1]["storage_bits"]
+
+
+class TestAnvil:
+    def test_detects_and_stops_hammering(self):
+        mit = AnvilMitigation(sample_interval_ns=50_000.0, rate_threshold=300)
+        ctrl = make_controller(mit)
+        flips = hammer(ctrl)
+        assert mit.detections > 0
+        assert flips == 0
+
+    def test_sampling_costs_cpu(self):
+        mit = AnvilMitigation(sample_interval_ns=50_000.0, rate_threshold=10**9)
+        ctrl = make_controller(mit)
+        hammer(ctrl, iters=500)
+        assert mit.samples > 0
+        assert mit.cpu_overhead_ns() == mit.samples * mit.sample_cost_ns
+
+    def test_threshold_too_high_misses(self):
+        mit = AnvilMitigation(sample_interval_ns=50_000.0, rate_threshold=10**9)
+        ctrl = make_controller(mit)
+        assert hammer(ctrl) > 0
+
+    def test_benign_hot_rows_below_threshold_untouched(self):
+        mit = AnvilMitigation(sample_interval_ns=100_000.0, rate_threshold=5_000)
+        ctrl = make_controller(mit)
+        for _ in range(30):
+            for row in range(8):
+                ctrl.activate(0, row)
+        assert mit.detections == 0
+
+
+class TestTrr:
+    def test_tracks_and_refreshes_aggressors(self):
+        mit = TrrMitigation(tracker_entries=4, refresh_period_acts=128)
+        ctrl = make_controller(mit)
+        flips = hammer(ctrl)
+        assert mit.targeted_refreshes > 0
+        assert flips == 0
+
+    def test_uses_physical_adjacency_under_remap(self):
+        mit = TrrMitigation(tracker_entries=4, refresh_period_acts=128)
+        ctrl = make_controller(mit, remap_scheme="block-swap")
+        flips = hammer(ctrl)
+        assert flips == 0
+
+    def test_period_too_slow_leaks_flips(self):
+        mit = TrrMitigation(tracker_entries=4, refresh_period_acts=100_000)
+        ctrl = make_controller(mit)
+        assert hammer(ctrl) > 0
+
+    def test_eviction_pressure(self):
+        mit = TrrMitigation(tracker_entries=2, refresh_period_acts=10_000)
+        ctrl = make_controller(mit)
+        for row in range(0, 40, 2):
+            for _ in range(2):
+                ctrl.activate(0, row)
+        assert mit.evictions > 0

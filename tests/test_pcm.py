@@ -1,0 +1,98 @@
+"""Tests for the PCM substrate and Start-Gap wear leveling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pcm import PcmArray, StartGap, lifetime_under_pinned_attack
+
+
+class TestPcmArray:
+    def test_write_accumulates(self):
+        arr = PcmArray(lines=4, endurance_mean=100, seed=1)
+        arr.write(0, 50)
+        assert arr.writes[0] == 50
+        assert not arr.any_failed
+
+    def test_failure_detection(self):
+        arr = PcmArray(lines=4, endurance_mean=100, endurance_sigma=0.01, seed=1)
+        arr.write(2, 100_000)
+        assert arr.any_failed
+        assert 2 in arr.failed_lines()
+
+    def test_endurance_variation(self):
+        arr = PcmArray(lines=1000, endurance_mean=1e6, endurance_sigma=0.2, seed=2)
+        assert arr.endurance.std() > 0
+
+    def test_bounds(self):
+        arr = PcmArray(lines=4, seed=0)
+        with pytest.raises(IndexError):
+            arr.write(4)
+        with pytest.raises(ValueError):
+            arr.write(0, -1)
+
+
+class TestStartGap:
+    def test_initial_mapping_identity(self):
+        arr = PcmArray(lines=9, seed=3)
+        sg = StartGap(arr, gap_period=4)
+        assert [sg.physical_of(i) for i in range(8)] == list(range(8))
+
+    def test_mapping_stays_bijective(self):
+        arr = PcmArray(lines=17, endurance_mean=1e12, seed=4)
+        sg = StartGap(arr, gap_period=2)
+        for i in range(500):
+            sg.write(i % 16)
+            mapping = sg.mapping_snapshot()
+            assert len(set(mapping.tolist())) == 16  # injective
+            assert all(0 <= p <= 16 for p in mapping)
+
+    @given(st.integers(min_value=1, max_value=200))
+    @settings(max_examples=20)
+    def test_gap_moves_on_schedule(self, writes):
+        arr = PcmArray(lines=9, endurance_mean=1e12, seed=5)
+        sg = StartGap(arr, gap_period=4)
+        sg.write(0, writes)
+        assert sg.gap_moves == writes // 4
+
+    def test_relocation_costs_one_write(self):
+        arr = PcmArray(lines=9, endurance_mean=1e12, seed=6)
+        sg = StartGap(arr, gap_period=4)
+        sg.write(0, 4)  # triggers exactly one gap move
+        # 4 attacker writes + 1 relocation copy.
+        assert arr.total_writes == 5
+
+    def test_randomized_layer_is_bijection(self):
+        arr = PcmArray(lines=33, endurance_mean=1e12, seed=7)
+        sg = StartGap(arr, gap_period=4, randomize=True, seed=7)
+        physicals = {sg.physical_of(i) for i in range(32)}
+        assert len(physicals) == 32
+
+
+class TestWearAttack:
+    def test_startgap_extends_lifetime_dramatically(self):
+        bare = lifetime_under_pinned_attack(
+            n_logical=32, endurance_mean=5_000, leveling=None, seed=8
+        )
+        leveled = lifetime_under_pinned_attack(
+            n_logical=32, endurance_mean=5_000, leveling="startgap", seed=8
+        )
+        assert leveled > 10 * bare
+        # Near-ideal: lifetime approaches n_logical x endurance.
+        assert leveled > 0.3 * 32 * 5_000
+
+    def test_bare_lifetime_is_single_line_endurance(self):
+        bare = lifetime_under_pinned_attack(
+            n_logical=32, endurance_mean=5_000, leveling=None, seed=9
+        )
+        assert bare == pytest.approx(5_000, rel=0.3)
+
+    def test_randomized_comparable_to_plain_for_pinned(self):
+        plain = lifetime_under_pinned_attack(
+            n_logical=32, endurance_mean=5_000, leveling="startgap", seed=10
+        )
+        rand = lifetime_under_pinned_attack(
+            n_logical=32, endurance_mean=5_000, leveling="startgap-rand", seed=10
+        )
+        assert 0.5 < rand / plain < 2.0

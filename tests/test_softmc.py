@@ -1,0 +1,175 @@
+"""Tests for the SoftMC-style test-program substrate."""
+
+import numpy as np
+import pytest
+
+from repro.dram import DramGeometry, DramModule, VulnerabilityProfile
+from repro.dram.timing import DDR3_1333
+from repro.softmc import (
+    Opcode,
+    SoftMcInterpreter,
+    DramProgram,
+    hammer_program,
+    retention_program,
+)
+
+GEO = DramGeometry(banks=2, rows=256, row_bytes=256)
+PROFILE = VulnerabilityProfile(weak_cell_density=0.05, hc_first_median=3_000, hc_first_min=800)
+
+
+def make_interpreter(seed=20, profile=PROFILE):
+    module = DramModule(geometry=GEO, timing=DDR3_1333, profile=profile, seed=seed)
+    return SoftMcInterpreter(module)
+
+
+class TestProgramBuilder:
+    def test_fluent_chain(self):
+        program = DramProgram().act(0, 5).pre(0).rd(0, 5)
+        assert len(program) == 3
+        assert program.instructions[0].opcode == Opcode.ACT
+
+    def test_loop_balance_validated(self):
+        program = DramProgram().loop(3).act(0, 5)
+        with pytest.raises(ValueError):
+            program.validate()
+
+    def test_end_without_loop(self):
+        with pytest.raises(ValueError):
+            DramProgram().end_loop()
+
+    def test_nested_loops_validate(self):
+        program = DramProgram().loop(2).loop(3).act(0, 1).pre(0).end_loop().end_loop()
+        program.validate()
+
+    def test_wait_positive(self):
+        with pytest.raises(ValueError):
+            DramProgram().wait(0)
+
+
+class TestInterpreter:
+    def test_write_read_roundtrip(self):
+        interp = make_interpreter()
+        program = DramProgram().wr(0, 10, "colstripe").rd(0, 10)
+        result = interp.run(program)
+        assert len(result.reads) == 1
+        assert result.mismatches == {}
+
+    def test_loop_multiplies_commands(self):
+        interp = make_interpreter()
+        program = DramProgram().loop(5).act(0, 3).pre(0).end_loop()
+        result = interp.run(program)
+        assert result.commands["act"] == 5
+        assert result.commands["pre"] == 5
+
+    def test_nested_loop_counts(self):
+        interp = make_interpreter()
+        program = DramProgram().loop(3).loop(4).act(0, 3).pre(0).end_loop().end_loop()
+        result = interp.run(program)
+        assert result.commands["act"] == 12
+
+    def test_timing_advances(self):
+        interp = make_interpreter()
+        result = interp.run(DramProgram().act(0, 3).pre(0))
+        timing = interp.module.timing
+        assert result.cycles_ns == pytest.approx(timing.tRAS + timing.tRP)
+
+    def test_wait_advances_time_only(self):
+        interp = make_interpreter()
+        result = interp.run(DramProgram().wait(1e6))
+        assert result.cycles_ns == 1e6
+        assert interp.module.total_activations() == 0
+
+    def test_ref_refreshes_rows(self):
+        interp = make_interpreter()
+        interp.module.bank(0).bulk_activate(50, 500)  # below thresholds
+        result = interp.run(DramProgram().loop(300).ref().end_loop())
+        assert result.commands["ref"] == 300
+        # A full refresh pass reset the victims' accumulated pressure.
+        assert interp.module.bank(0).pressure(51) == 0.0
+
+
+class TestCannedPrograms:
+    def test_hammer_program_finds_flips(self):
+        interp = make_interpreter()
+        program = hammer_program(
+            bank=0, aggressors=[99, 101], iterations=3_000, victims_to_init=[100]
+        )
+        result = interp.run(program)
+        assert (0, 100) in result.mismatches
+        assert result.total_flips > 0
+
+    def test_hammer_on_invulnerable_module_clean(self):
+        from repro.dram import INVULNERABLE
+
+        interp = make_interpreter(profile=INVULNERABLE)
+        program = hammer_program(0, [99, 101], 3_000, victims_to_init=[100])
+        result = interp.run(program)
+        assert result.total_flips == 0
+
+    def test_hammer_interrupted_by_ref_is_weaker(self):
+        # Splitting the hammering into REF-separated halves resets the
+        # victim and prevents flips that the uninterrupted run causes.
+        interp_a = make_interpreter(seed=33)
+        uninterrupted = hammer_program(0, [99, 101], 1_000, victims_to_init=[100])
+        flips_a = interp_a.run(uninterrupted).total_flips
+
+        interp_b = make_interpreter(seed=33)
+        program = DramProgram().wr(0, 100, "rowstripe")
+        program.loop(500).act(0, 99).pre(0).act(0, 101).pre(0).end_loop()
+        # A full pass of REF commands (covers all rows), then continue.
+        refs_needed = GEO.rows  # rows_per_ref >= 1 per REF
+        program.loop(refs_needed).ref().end_loop()
+        program.loop(500).act(0, 99).pre(0).act(0, 101).pre(0).end_loop()
+        program.rd(0, 100)
+        flips_b = interp_b.run(program).total_flips
+        assert flips_b <= flips_a
+
+    def test_retention_program_structure(self):
+        program = retention_program(0, [5, 6], wait_ns=1e9)
+        opcodes = [i.opcode for i in program.instructions]
+        assert opcodes.count(Opcode.WR) == 2
+        assert opcodes.count(Opcode.WAIT) == 1
+        assert opcodes.count(Opcode.RD) == 2
+
+
+class TestRetentionExecution:
+    def _interpreter(self, seed=40):
+        from repro.dram import INVULNERABLE, DramModule
+        from repro.retention.params import RetentionParams
+
+        module = DramModule(geometry=GEO, timing=DDR3_1333, profile=INVULNERABLE, seed=seed)
+        params = RetentionParams(tail_fraction=2e-3)
+        return SoftMcInterpreter(module, retention_params=params)
+
+    def test_long_wait_reveals_retention_failures(self):
+        interp = self._interpreter()
+        # 2 seconds without refresh: tail cells (48 ms - 2 s) fail.
+        program = retention_program(0, list(range(10, 26)), wait_ns=2e9)
+        result = interp.run(program)
+        assert result.total_flips > 0
+
+    def test_short_wait_clean(self):
+        interp = self._interpreter()
+        # 1 ms without refresh: far below every cell's retention.
+        program = retention_program(0, list(range(10, 26)), wait_ns=1e6)
+        result = interp.run(program)
+        assert result.total_flips == 0
+
+    def test_failures_deterministic_across_runs(self):
+        a = self._interpreter().run(retention_program(0, list(range(10, 26)), wait_ns=2e9))
+        b = self._interpreter().run(retention_program(0, list(range(10, 26)), wait_ns=2e9))
+        assert a.mismatches == b.mismatches
+
+    def test_longer_wait_strictly_more_failures(self):
+        short = self._interpreter().run(retention_program(0, list(range(10, 42)), wait_ns=1e8))
+        long = self._interpreter().run(retention_program(0, list(range(10, 42)), wait_ns=6e9))
+        assert long.total_flips >= short.total_flips
+        assert long.total_flips > 0
+
+    def test_without_retention_params_wait_is_inert(self):
+        from repro.dram import INVULNERABLE, DramModule
+
+        module = DramModule(geometry=GEO, timing=DDR3_1333, profile=INVULNERABLE, seed=40)
+        interp = SoftMcInterpreter(module)
+        result = interp.run(retention_program(0, list(range(10, 26)), wait_ns=5e9))
+        assert result.total_flips == 0
