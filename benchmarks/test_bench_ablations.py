@@ -7,7 +7,7 @@
 
 from conftest import run_once
 
-from repro.core.experiment import para_reliability, sidedness_ablation
+from repro.experiments import para_reliability, sidedness_ablation
 from repro.core.scenarios import scaled_scenario
 from repro.core.system import MemorySystem
 
@@ -43,7 +43,7 @@ def test_bench_ablation_para_sweep(benchmark, table):
 
 
 def test_bench_ablation_multibank(benchmark, table):
-    from repro.core.experiment import multibank_study
+    from repro.experiments import multibank_study
 
     rows = run_once(benchmark, multibank_study, seed=0)
     print()

@@ -8,7 +8,7 @@ lifetime increase (paper: ~16%).
 
 from conftest import run_once
 
-from repro.core.experiment import twostep_lifetime_study, twostep_study
+from repro.experiments import twostep_lifetime_study, twostep_study
 
 
 def test_bench_c12_exposure(benchmark, table):

@@ -7,7 +7,7 @@ citation [82]) spreads the damage and restores near-ideal lifetime.
 
 from conftest import run_once
 
-from repro.core.experiment import pcm_study
+from repro.experiments import pcm_study
 
 
 def test_bench_c13_pcm(benchmark, table):

@@ -8,7 +8,7 @@ powers a whole family of compromises.
 
 from conftest import run_once
 
-from repro.core.experiment import attack_gallery
+from repro.experiments import attack_gallery
 from repro.core.scenarios import full_scale_scenario
 from repro.os import KernelExploitSimulation
 

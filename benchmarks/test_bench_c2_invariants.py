@@ -8,7 +8,7 @@ that is being accessed."
 
 from conftest import run_once
 
-from repro.core.experiment import isolation_violations
+from repro.experiments import isolation_violations
 
 
 def test_bench_c2_invariants(benchmark, table):

@@ -7,7 +7,7 @@ we want to eliminate all RowHammer-induced errors we saw in our tests"
 
 from conftest import run_once
 
-from repro.core.experiment import refresh_multiplier_sweep
+from repro.experiments import refresh_multiplier_sweep
 
 
 def test_bench_c3_refresh(benchmark, table):

@@ -6,7 +6,7 @@ as some cache blocks experience two or more bit flips".
 
 from conftest import run_once
 
-from repro.core.experiment import ecc_study
+from repro.experiments import ecc_study
 from repro.ecc import DecodeStatus, SECDED_72_64, campaign
 
 

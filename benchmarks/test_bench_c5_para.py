@@ -10,7 +10,7 @@ simulation cross-check.
 from conftest import run_once
 
 from repro.analysis.reliability import HARD_DISK_AFR_TYPICAL
-from repro.core.experiment import para_controller_check, para_reliability
+from repro.experiments import para_controller_check, para_reliability
 
 
 def test_bench_c5_para_analysis(benchmark, table):

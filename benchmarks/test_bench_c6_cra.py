@@ -7,7 +7,7 @@ large hardware area and power consumption".
 
 from conftest import run_once
 
-from repro.core.experiment import cra_tradeoff
+from repro.experiments import cra_tradeoff
 
 
 def test_bench_c6_cra(benchmark, table):

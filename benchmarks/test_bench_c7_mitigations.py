@@ -9,7 +9,7 @@ argues PARA dominates.
 from conftest import run_once
 
 from repro.analysis import MITIGATION_TABLE_HEADERS, report_rows
-from repro.core.experiment import mitigation_comparison
+from repro.experiments import mitigation_comparison
 
 
 def test_bench_c7_mitigations(benchmark, table):

@@ -8,7 +8,7 @@ recovers the escape rate over deployment time.
 
 from conftest import run_once
 
-from repro.core.experiment import retention_study
+from repro.experiments import retention_study
 
 
 def test_bench_c8_retention(benchmark, table):

@@ -7,7 +7,7 @@ modern MLC NAND flash memory".
 
 from conftest import run_once
 
-from repro.core.experiment import fcr_study, flash_error_sweep, vref_tuning_study
+from repro.experiments import fcr_study, flash_error_sweep, vref_tuning_study
 
 
 def test_bench_c9_vref_tuning(benchmark, table):

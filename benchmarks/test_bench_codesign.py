@@ -8,7 +8,7 @@ interleaving counterpart of the ECC discussion.
 
 from conftest import run_once
 
-from repro.core.experiment import codesign_study
+from repro.experiments import codesign_study
 from repro.ecc import SECDED_72_64, compare_interleaving
 from repro.ecc.injection import inject_clustered
 from repro.utils.rng import derive_rng

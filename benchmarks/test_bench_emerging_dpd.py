@@ -8,7 +8,7 @@
 
 from conftest import run_once
 
-from repro.core.experiment import emerging_memory_study, pattern_dependence_study
+from repro.experiments import emerging_memory_study, pattern_dependence_study
 
 
 def test_bench_pattern_dependence(benchmark, table):

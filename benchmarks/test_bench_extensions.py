@@ -8,7 +8,7 @@
 
 from conftest import run_once
 
-from repro.core.experiment import (
+from repro.experiments import (
     raidr_rowhammer_interaction,
     trr_bypass_study,
     userlevel_attack_study,
@@ -80,7 +80,7 @@ def test_bench_ext_warm(benchmark, table):
 
 def test_bench_ext_fleet(benchmark, table):
     """Fleet-level exposure from the vintage mix (§III field-study context)."""
-    from repro.core.experiment import fleet_study
+    from repro.experiments import fleet_study
 
     result = run_once(benchmark, fleet_study, seed=0, servers=1200)
     print()

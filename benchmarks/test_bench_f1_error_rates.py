@@ -8,7 +8,7 @@ every 2012-2013 part vulnerable).
 
 from conftest import run_once
 
-from repro.core.experiment import fig1_error_rates
+from repro.experiments import fig1_error_rates
 
 
 def test_bench_f1_error_rates(benchmark, table):

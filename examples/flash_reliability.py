@@ -8,7 +8,7 @@ two-step programming vulnerability.
 """
 
 from repro.analysis import format_table
-from repro.core.experiment import (
+from repro.experiments import (
     fcr_study,
     flash_error_sweep,
     recovery_study,

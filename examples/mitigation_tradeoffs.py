@@ -4,7 +4,7 @@ Run:  python examples/mitigation_tradeoffs.py
 """
 
 from repro.analysis import MITIGATION_TABLE_HEADERS, format_table, report_rows
-from repro.core.experiment import mitigation_comparison, para_reliability, refresh_multiplier_sweep
+from repro.experiments import mitigation_comparison, para_reliability, refresh_multiplier_sweep
 
 
 def main() -> None:

@@ -13,7 +13,7 @@ attacker-owned page tables are the kernel compromise.
 """
 
 from repro.analysis import format_table
-from repro.core.experiment import userlevel_attack_study
+from repro.experiments import userlevel_attack_study
 from repro.core.scenarios import full_scale_scenario
 from repro.os import KernelExploitSimulation
 

@@ -3,77 +3,47 @@
 Usage::
 
     python -m repro list
-    python -m repro run f1 --seed 0
-    python -m repro run c3 --json
-    python -m repro describe c5
+    python -m repro run fig1_error_rates --seed 0
+    python -m repro run c3 c4 c5 --parallel 3 --json
+    python -m repro describe para_reliability
+    python -m repro report f1 c3 --output report.md
+    python -m repro sweep fig1_error_rates --seeds 8 --parallel 4
 
-Each experiment name maps to a function of the experiment registry
-(:mod:`repro.core.experiment`); results print as text tables, or as
-JSON with ``--json`` for downstream tooling.
+Experiments resolve by registry name *or* legacy alias (``f1``,
+``c2``…) through :mod:`repro.experiments`.  Results print as text
+tables, or as JSON with ``--json``; ``--record`` wraps the payload in
+its full :class:`~repro.experiments.result.ExperimentResult` provenance
+(seed, params, duration, peak RSS, version, cache hit).
+
+Seed handling is introspected from each experiment's registered
+signature — an exception raised *inside* an experiment always
+propagates with its traceback instead of being silently retried
+without a seed.
 """
 
 from __future__ import annotations
 
 import argparse
-import dataclasses
 import json
 import sys
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, List, Optional
 
-from repro.core import experiment as X
+from repro.experiments import (
+    ExperimentResult,
+    ExperimentRunner,
+    Job,
+    registry,
+    to_jsonable,
+)
 
-#: CLI name -> (callable, one-line description).
-EXPERIMENTS: Dict[str, tuple] = {
-    "f1": (X.fig1_error_rates, "Figure 1: error rates vs manufacture date (129 modules)"),
-    "c2": (X.isolation_violations, "Memory-isolation violations by read and write loops"),
-    "c3": (X.refresh_multiplier_sweep, "Errors and cost vs refresh-rate multiplier"),
-    "c4": (X.ecc_study, "Flips-per-word histogram and the ECC ladder"),
-    "c5": (X.para_reliability, "PARA closed-form reliability analysis"),
-    "c5-sim": (X.para_controller_check, "PARA scaled controller-path simulation"),
-    "c6": (X.cra_tradeoff, "Counter-based mitigation: protection and storage"),
-    "c7": (X.mitigation_comparison, "All mitigations vs the same attack"),
-    "c8": (X.retention_study, "Retention: profiling escapes, RAIDR, AVATAR"),
-    "c9": (X.flash_error_sweep, "Flash error breakdown vs wear"),
-    "c9-fcr": (X.fcr_study, "Flash Correct-and-Refresh lifetime sweep"),
-    "c10-c11": (X.recovery_study, "RFR, read-disturb recovery, NAC"),
-    "c12": (X.twostep_study, "Two-step programming exposure"),
-    "c12-lifetime": (X.twostep_lifetime_study, "Two-step hardening lifetime gain"),
-    "c13": (X.pcm_study, "PCM wear attack vs Start-Gap"),
-    "c14": (X.attack_gallery, "Attack gallery success probabilities"),
-    "sidedness": (X.sidedness_ablation, "Single- vs double-sided ablation"),
-    "trr-bypass": (X.trr_bypass_study, "Many-sided hammering vs TRR sampler"),
-    "userlevel": (X.userlevel_attack_study, "User-level attack strategies via cache"),
-    "raidr-interaction": (X.raidr_rowhammer_interaction, "RAIDR bins open RowHammer headroom"),
-    "codesign": (X.codesign_study, "AL-DRAM latency profiling + online retention profiling"),
-    "dpd": (X.pattern_dependence_study, "Data-pattern dependence of disturbance errors"),
-    "emerging": (X.emerging_memory_study, "STT-MRAM scaling + RRAM crossbar hammer"),
-    "multibank": (X.multibank_study, "Attack throughput vs parallel banks (tFAW limit)"),
-    "vref": (X.vref_tuning_study, "Flash read-reference tuning vs retention errors"),
-    "fleet": (X.fleet_study, "Fleet exposure from the vintage mix + patch rollout"),
-}
-
-
-def _to_jsonable(value: Any) -> Any:
-    """Best-effort conversion of experiment results to JSON types."""
-    if dataclasses.is_dataclass(value) and not isinstance(value, type):
-        return {k: _to_jsonable(v) for k, v in dataclasses.asdict(value).items()}
-    if isinstance(value, dict):
-        return {str(k): _to_jsonable(v) for k, v in value.items()}
-    if isinstance(value, (list, tuple)):
-        return [_to_jsonable(v) for v in value]
-    if hasattr(value, "tolist"):
-        return value.tolist()
-    if hasattr(value, "__dict__") and not isinstance(value, type):
-        return {k: _to_jsonable(v) for k, v in vars(value).items() if not k.startswith("_")}
-    if isinstance(value, (str, int, float, bool)) or value is None:
-        return value
-    return repr(value)
+#: Default on-disk result cache for ``sweep`` (created in the CWD).
+DEFAULT_CACHE_DIR = ".repro-cache"
 
 
 def _render_text(result: Any, indent: int = 0) -> List[str]:
     pad = "  " * indent
     lines: List[str] = []
-    jsonable = _to_jsonable(result)
+    jsonable = to_jsonable(result)
     if isinstance(jsonable, dict):
         for key, value in jsonable.items():
             if isinstance(value, (dict, list)) and value and not _is_flat(value):
@@ -108,21 +78,48 @@ def build_parser() -> argparse.ArgumentParser:
         description="Regenerate the experiments of the RowHammer DATE 2017 paper.",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    invocable = sorted(registry.invocable_names())
 
-    sub.add_parser("list", help="list available experiments")
+    list_cmd = sub.add_parser("list", help="list available experiments")
+    list_cmd.add_argument("--tag", default=None, help="only experiments carrying this tag")
+    list_cmd.add_argument("--format", choices=("text", "markdown"), default="text",
+                          help="markdown emits the EXPERIMENTS.md index table")
 
-    describe = sub.add_parser("describe", help="show an experiment's docstring")
-    describe.add_argument("name", choices=sorted(EXPERIMENTS))
+    describe = sub.add_parser("describe", help="show an experiment's claim, params, docstring")
+    describe.add_argument("name", choices=invocable)
 
-    run = sub.add_parser("run", help="run one experiment")
-    run.add_argument("name", choices=sorted(EXPERIMENTS))
+    run = sub.add_parser("run", help="run one or more experiments")
+    run.add_argument("names", nargs="+", choices=invocable, metavar="name")
     run.add_argument("--seed", type=int, default=0, help="experiment seed")
     run.add_argument("--json", action="store_true", help="emit JSON instead of text")
+    run.add_argument("--record", action="store_true",
+                     help="emit the full ExperimentResult (payload + provenance)")
+    run.add_argument("--parallel", type=int, default=1, metavar="N",
+                     help="fan out over N worker processes")
+    run.add_argument("--cache-dir", default=None,
+                     help="enable the on-disk result cache rooted here")
 
     report = sub.add_parser("report", help="run several experiments, write a markdown report")
-    report.add_argument("names", nargs="+", choices=sorted(EXPERIMENTS))
+    report.add_argument("names", nargs="+", choices=invocable, metavar="name")
     report.add_argument("--seed", type=int, default=0)
     report.add_argument("--output", default="report.md", help="markdown file to write")
+    report.add_argument("--parallel", type=int, default=1, metavar="N")
+    report.add_argument("--cache-dir", default=None)
+
+    sweep = sub.add_parser(
+        "sweep", help="run one experiment across N deterministically derived seeds"
+    )
+    sweep.add_argument("name", choices=invocable)
+    sweep.add_argument("--seeds", type=int, default=8, metavar="N",
+                       help="number of seeds to derive and run")
+    sweep.add_argument("--base-seed", type=int, default=0,
+                       help="root of the deterministic seed derivation")
+    sweep.add_argument("--parallel", type=int, default=1, metavar="N")
+    sweep.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                       help=f"on-disk result cache (default: {DEFAULT_CACHE_DIR})")
+    sweep.add_argument("--no-cache", action="store_true", help="disable the result cache")
+    sweep.add_argument("--json", action="store_true",
+                       help="emit the full result records as JSON")
 
     test_module = sub.add_parser(
         "test-module",
@@ -139,50 +136,116 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
     if args.command == "list":
-        width = max(len(name) for name in EXPERIMENTS)
-        for name, (_fn, description) in sorted(EXPERIMENTS.items()):
-            print(f"{name.ljust(width)}  {description}")
+        index = registry.render_index(fmt=args.format) if args.tag is None else "\n".join(
+            f"{spec.name}  {spec.claim}" for spec in registry.all_specs(tag=args.tag)
+        )
+        print(index)
         return 0
     if args.command == "describe":
-        fn, description = EXPERIMENTS[args.name]
-        print(f"{args.name}: {description}\n")
-        print((fn.__doc__ or "(no docstring)").strip())
-        return 0
+        return _describe(args.name)
+    if args.command == "run":
+        return _run(args)
     if args.command == "report":
-        return _write_report(args.names, args.seed, args.output)
+        return _write_report(args.names, args.seed, args.output,
+                             parallel=args.parallel, cache_dir=args.cache_dir)
+    if args.command == "sweep":
+        return _sweep(args)
     if args.command == "test-module":
         return _test_module(args)
-    fn, _description = EXPERIMENTS[args.name]
-    try:
-        result = fn(seed=args.seed)
-    except TypeError:
-        result = fn()  # a few experiments take no seed
-    if args.json:
-        print(json.dumps(_to_jsonable(result), indent=2, default=repr))
-    else:
-        print("\n".join(_render_text(result)))
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+def _describe(name: str) -> int:
+    spec = registry.get(name)
+    print(f"{spec.name}: {spec.claim}")
+    meta = [f"section §{spec.section}"]
+    if spec.aliases:
+        meta.append("aliases: " + ", ".join(spec.aliases))
+    if spec.tags:
+        meta.append("tags: " + ", ".join(spec.tags))
+    meta.append("seed: " + ("accepted" if spec.accepts_seed else "not taken"))
+    print("  " + " · ".join(meta))
+    if spec.params:
+        print("  params:")
+        for param in spec.params.values():
+            annotation = f" ({param.annotation})" if param.annotation else ""
+            desc = f" — {param.description}" if param.description else ""
+            print(f"    {param.name}{annotation} = {param.default!r}{desc}")
+    print()
+    print(spec.doc)
     return 0
 
 
-def _write_report(names: List[str], seed: int, output: str) -> int:
+def _make_runner(parallel: int, cache_dir: Optional[str]) -> ExperimentRunner:
+    return ExperimentRunner(cache_dir=cache_dir, max_workers=max(1, parallel))
+
+
+def _run(args) -> int:
+    runner = _make_runner(args.parallel, args.cache_dir)
+    jobs = [Job(name, {}, args.seed) for name in args.names]
+    results = runner.run(jobs)
+    for i, result in enumerate(results):
+        body = result.to_json_dict() if args.record else result.payload
+        if args.json:
+            print(json.dumps(body, indent=2, default=repr))
+        else:
+            if len(results) > 1:
+                if i:
+                    print()
+                print(f"== {result.name} ==")
+            print("\n".join(_render_text(body)))
+    return 0
+
+
+def _format_provenance(result: ExperimentResult) -> str:
+    seed = "-" if result.seed is None else result.seed
+    cached = " · cache hit" if result.cache_hit else ""
+    return (f"seed {seed} · {result.duration_s:.3f} s · "
+            f"peak RSS {result.peak_rss_kb} KiB{cached}")
+
+
+def _write_report(names: List[str], seed: int, output: str,
+                  parallel: int = 1, cache_dir: Optional[str] = None) -> int:
     """Run experiments and write their results as a markdown report."""
+    runner = _make_runner(parallel, cache_dir)
+    results = runner.run([Job(name, {}, seed) for name in names])
     lines = ["# repro experiment report", ""]
-    for name in names:
-        fn, description = EXPERIMENTS[name]
-        try:
-            result = fn(seed=seed)
-        except TypeError:
-            result = fn()
-        lines.append(f"## {name} — {description}")
+    for result in results:
+        spec = registry.get(result.name)
+        lines.append(f"## {result.name} — {spec.claim}")
+        lines.append("")
+        lines.append(f"*{_format_provenance(result)} · repro {result.version}*")
         lines.append("")
         lines.append("```")
-        lines.extend(_render_text(result))
+        lines.extend(_render_text(result.payload))
         lines.append("```")
         lines.append("")
-        print(f"ran {name}")
+        print(f"ran {result.name} ({result.duration_s:.3f} s)")
     with open(output, "w") as handle:
         handle.write("\n".join(lines))
     print(f"wrote {output}")
+    return 0
+
+
+def _sweep(args) -> int:
+    cache_dir = None if args.no_cache else args.cache_dir
+    runner = _make_runner(args.parallel, cache_dir)
+    try:
+        results = runner.sweep(args.name, seeds=args.seeds, base_seed=args.base_seed)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps([r.to_json_dict() for r in results], indent=2, default=repr))
+        return 0
+    name = registry.resolve(args.name)
+    hits = sum(r.cache_hit for r in results)
+    print(f"sweep {name}: {len(results)} seeds from base {args.base_seed} "
+          f"({hits} cache hits)")
+    for result in results:
+        print(f"  {_format_provenance(result)}")
+    if cache_dir is not None:
+        print(f"cache: {cache_dir}")
     return 0
 
 

@@ -1,817 +1,19 @@
-"""The experiment registry: one function per paper artifact.
+"""Compatibility shim — the experiment registry moved.
 
-Each function regenerates one figure/claim of the paper (see
-DESIGN.md's experiment index) and returns plain dictionaries/lists so
-benches, examples, and tests can share the logic.  Default parameters
-are sized to run in seconds; benches may pass larger settings.
+The monolithic ``repro.core.experiment`` module was split into the
+declarative :mod:`repro.experiments` package (registry + parallel
+runner + per-section experiment modules).  This shim re-exports every
+experiment function so existing imports keep working::
+
+    from repro.core.experiment import fig1_error_rates   # still fine
+    from repro.experiments import fig1_error_rates       # preferred
+
+New code should import from :mod:`repro.experiments`, which also
+exposes the framework (``ExperimentRunner``, ``ExperimentResult``, the
+``@experiment`` decorator, and registry lookups by name or alias).
 """
 
-from __future__ import annotations
+from repro.experiments import *  # noqa: F401,F403
+from repro.experiments import __all__ as _exported
 
-import math
-from typing import Dict, List, Optional, Sequence
-
-import numpy as np
-
-from repro.analysis.costmodel import MitigationReport
-from repro.analysis.reliability import HARD_DISK_AFR_TYPICAL, compare_to_disk
-from repro.attacks.hammer import double_sided_device, single_sided_device
-from repro.attacks.invariants import check_read_isolation, check_write_isolation
-from repro.attacks.privilege import (
-    drammer_success_probability,
-    flip_feng_shui_templates,
-    javascript_success_probability,
-    pte_spray_success_probability,
-    scan_templates,
-)
-from repro.core.scenarios import full_scale_scenario, scaled_scenario
-from repro.core.system import MemorySystem
-from repro.dram.timing import DDR3_1066
-from repro.dram.vintage import profile_for
-from repro.ecc.hamming import SECDED_72_64
-from repro.ecc.parity import ParityCode
-from repro.ecc.symbol import SYMBOL_72_64
-from repro.fieldstudy.campaign import run_campaign, whole_module_errors
-from repro.fieldstudy.population import build_population, instantiate
-from repro.mitigations.cra import CounterBasedMitigation, storage_overhead_table
-from repro.mitigations.ecc_eval import (
-    evaluate_ladder,
-    flip_histogram_from_hammer,
-    multi_flip_word_fraction,
-)
-from repro.mitigations.para import (
-    log10_failures_per_year,
-    performance_overhead_fraction,
-    recommended_p,
-)
-from repro.mitigations.refresh_scaling import multiplier_to_eliminate, refresh_cost
-from repro.retention.params import RetentionParams
-from repro.retention.population import CellPopulation
-from repro.retention.profiling import field_escapes, profile_population
-from repro.retention.raidr import assign_bins, runtime_escape_cells
-from repro.retention.avatar import simulate_avatar
-from repro.flash.mitigations.fcr import fcr_sweep, lifetime_multiplier
-from repro.flash.mitigations.nac import correct_wordline
-from repro.flash.mitigations.rfr import read_disturb_recovery, recover_wordline
-from repro.flash.block import FlashBlock
-from repro.flash.params import MLC_1XNM
-from repro.flash.ssd import error_breakdown, program_block_shadow
-from repro.flash.twostep import exposure_experiment, lifetime_gain_fraction
-from repro.pcm.startgap import lifetime_under_pinned_attack
-
-
-# ----------------------------------------------------------------------
-# F1 / C1: the Figure 1 campaign
-# ----------------------------------------------------------------------
-def fig1_error_rates(seed: int = 0) -> Dict:
-    """Regenerate Figure 1: errors/10^9 cells vs manufacture date."""
-    summary = run_campaign(seed=seed)
-    return {
-        "modules_tested": summary.modules_tested,
-        "modules_vulnerable": summary.modules_vulnerable,
-        "earliest_vulnerable_date": summary.earliest_vulnerable_date,
-        "all_2012_2013_vulnerable": summary.all_vulnerable_between(2012.0, 2014.0),
-        "yearly_mean_rate": {m: summary.yearly_mean_rate(m) for m in ("A", "B", "C")},
-        "peak_rate": {m: summary.peak_errors_per_billion(m) for m in ("A", "B", "C")},
-        "results": summary.results,
-    }
-
-
-# ----------------------------------------------------------------------
-# C2: memory-isolation invariant violations
-# ----------------------------------------------------------------------
-def isolation_violations(seed: int = 0, reads: int = 2_600_000) -> Dict:
-    """Show reads and writes both corrupt *other* rows, never their own."""
-    scenario = full_scale_scenario("B", 2013.0)
-    module_r = scenario.make_module(serial="iso-read", seed=seed)
-    module_w = scenario.make_module(serial="iso-write", seed=seed + 1)
-    read_report = check_read_isolation(module_r, bank=0, accessed_row=500, read_count=reads)
-    write_report = check_write_isolation(module_w, bank=0, accessed_row=500, write_count=reads)
-    return {
-        "read": read_report,
-        "write": write_report,
-        "read_violated": read_report.violated,
-        "write_violated": write_report.violated,
-        "read_self_clean": not read_report.accessed_row_changed,
-        "write_self_clean": not write_report.accessed_row_changed,
-    }
-
-
-# ----------------------------------------------------------------------
-# C3: refresh-rate scaling
-# ----------------------------------------------------------------------
-def refresh_multiplier_sweep(
-    multipliers: Sequence[float] = (1, 2, 3, 4, 5, 6, 7, 8),
-    manufacturer: str = "B",
-    date: float = 2013.0,
-    seed: int = 0,
-) -> Dict:
-    """Errors and costs vs refresh multiplier; the 7x elimination claim."""
-    timing = DDR3_1066
-    profile = profile_for(manufacturer, date)
-    spec_module = instantiate(build_population()[0], seed=seed)  # geometry template
-    rows = []
-    for k in multipliers:
-        module = spec_module.__class__(
-            geometry=spec_module.geometry,
-            timing=timing,
-            profile=profile,
-            serial=f"sweep-{k}",
-            manufacturer=manufacturer,
-            manufacture_date=date,
-            seed=seed,
-        )
-        result = whole_module_errors(module, refresh_multiplier=float(k))
-        cost = refresh_cost(timing, float(k))
-        rows.append(
-            {
-                "multiplier": float(k),
-                "errors": result.errors,
-                "errors_per_billion": result.errors_per_billion,
-                "budget": cost.budget,
-                "bandwidth_overhead": cost.bandwidth_overhead,
-                "refresh_energy_factor": cost.refresh_energy_factor,
-            }
-        )
-    k_exact = multiplier_to_eliminate(profile.hc_first_min, timing)
-    return {"rows": rows, "exact_elimination_multiplier": k_exact}
-
-
-# ----------------------------------------------------------------------
-# C4: ECC sufficiency
-# ----------------------------------------------------------------------
-def ecc_study(victims: int = 400, seed: int = 0) -> Dict:
-    """Flips-per-word histogram of hammer errors and the ECC ladder."""
-    scenario = full_scale_scenario("B", 2013.2)
-    module = scenario.make_module(serial="ecc", seed=seed)
-    pressure = scenario.attack_budget
-    histogram = flip_histogram_from_hammer(module, bank=0, victim_count=victims, pressure=pressure)
-    ladder = evaluate_ladder(
-        histogram,
-        codes=(
-            ("parity", ParityCode(64)),
-            ("secded(72,64)", SECDED_72_64),
-            ("symbol(80,64)", SYMBOL_72_64),
-        ),
-        seed=seed,
-    )
-    return {
-        "histogram": histogram,
-        "multi_flip_fraction": multi_flip_word_fraction(histogram),
-        "ladder": ladder,
-    }
-
-
-# ----------------------------------------------------------------------
-# C5: PARA
-# ----------------------------------------------------------------------
-def para_reliability(
-    p_values: Sequence[float] = (2e-4, 5e-4, 1e-3, 2e-3),
-    n_th: float = 139_000.0,
-) -> Dict:
-    """Closed-form PARA failure rates vs the hard-disk baseline."""
-    rows = []
-    for p in p_values:
-        log10_fail = log10_failures_per_year(p, n_th)
-        comparison = compare_to_disk(log10_fail)
-        rows.append(
-            {
-                "p": p,
-                "log10_failures_per_year": log10_fail,
-                "log10_margin_vs_disk": comparison.log10_margin_vs_disk,
-                "perf_overhead": performance_overhead_fraction(p),
-            }
-        )
-    return {
-        "rows": rows,
-        "disk_afr": HARD_DISK_AFR_TYPICAL,
-        "recommended_p_1e-15": recommended_p(n_th, -15.0),
-    }
-
-
-def para_controller_check(p: float = 0.02, iterations: Optional[int] = None, seed: int = 0) -> Dict:
-    """Scaled controller-path check: PARA stops the flips a bare system
-    suffers (p is scaled up with the scenario's time scale)."""
-    scenario = scaled_scenario(scale=20.0)
-    iters = iterations if iterations is not None else scenario.attack_budget // 2
-    bare = MemorySystem(scenario.make_module(serial="bare", seed=seed))
-    bare_flips = bare.hammer_double_sided(victim=1000, iterations=iters)
-    protected = MemorySystem(
-        scenario.make_module(serial="para", seed=seed),
-        mitigation="para",
-        mitigation_kwargs={"p": p, "seed": seed},
-    )
-    para_flips = protected.hammer_double_sided(victim=1000, iterations=iters)
-    return {
-        "bare_flips": bare_flips,
-        "para_flips": para_flips,
-        "para_overhead_time": protected.report().time_ns / max(bare.report().time_ns, 1.0) - 1.0,
-        "mitigation_refreshes": protected.report().mitigation_refreshes,
-    }
-
-
-# ----------------------------------------------------------------------
-# C6: CRA storage/effectiveness
-# ----------------------------------------------------------------------
-def cra_tradeoff(seed: int = 0) -> Dict:
-    """Counter-based mitigation: protection plus the storage bill."""
-    scenario = scaled_scenario(scale=20.0)
-    iters = scenario.attack_budget // 2
-    threshold = max(64, int(scenario.profile.hc_first_min // 4))
-    results = []
-    for table in (None, 1024, 64):
-        system = MemorySystem(
-            scenario.make_module(serial=f"cra-{table}", seed=seed),
-            mitigation="cra",
-            mitigation_kwargs={"threshold": threshold, "table_entries": table,
-                               "window_ns": scenario.timing.tREFW},
-        )
-        flips = system.hammer_double_sided(victim=1000, iterations=iters)
-        mit = system.mitigation
-        results.append(
-            {
-                "table_entries": table,
-                "flips": flips,
-                "detections": mit.detections,
-                "storage_bits": mit.storage_bits(scenario.geometry.rows, scenario.geometry.banks),
-            }
-        )
-    storage_full = storage_overhead_table(
-        rows=32768, banks=8, thresholds=(32768,), table_sizes=(None, 4096, 256)
-    )
-    return {"runs": results, "full_scale_storage": storage_full}
-
-
-# ----------------------------------------------------------------------
-# C7: mitigation comparison
-# ----------------------------------------------------------------------
-def mitigation_comparison(seed: int = 0) -> List[MitigationReport]:
-    """All mitigations against the same double-sided attack (scaled)."""
-    scenario = scaled_scenario(scale=20.0)
-    iters = scenario.attack_budget // 2
-    threshold = max(64, int(scenario.profile.hc_first_min // 4))
-    configs = [
-        ("none", "none", {}, 1.0),
-        ("refresh x8", "none", {}, 8.0),
-        ("para p=0.02", "para", {"p": 0.02, "seed": seed}, 1.0),
-        ("cra full", "cra", {"threshold": threshold, "window_ns": scenario.timing.tREFW}, 1.0),
-        ("anvil", "anvil", {"sample_interval_ns": scenario.timing.tREFW / 16, "rate_threshold": threshold // 2}, 1.0),
-        ("trr k=4", "trr", {"tracker_entries": 4, "refresh_period_acts": 512}, 1.0),
-    ]
-    reports: List[MitigationReport] = []
-    baseline_flips = None
-    baseline_time = None
-    baseline_energy = None
-    for label, name, kwargs, multiplier in configs:
-        system = MemorySystem(
-            scenario.make_module(serial=f"cmp-{label}", seed=seed),
-            mitigation=name,
-            mitigation_kwargs=kwargs,
-            refresh_multiplier=multiplier,
-        )
-        flips = system.hammer_double_sided(victim=1000, iterations=iters)
-        rep = system.report()
-        if baseline_flips is None:
-            baseline_flips, baseline_time, baseline_energy = flips, rep.time_ns, rep.dynamic_energy_nj
-        reports.append(
-            MitigationReport(
-                name=label,
-                residual_flips=flips,
-                baseline_flips=baseline_flips,
-                perf_overhead=max(0.0, rep.time_ns / baseline_time - 1.0),
-                energy_overhead=max(0.0, rep.dynamic_energy_nj / baseline_energy - 1.0),
-                storage_bits=_storage_of(system.mitigation, scenario),
-            )
-        )
-    return reports
-
-
-def _storage_of(mitigation, scenario) -> int:
-    if isinstance(mitigation, CounterBasedMitigation):
-        return mitigation.storage_bits(scenario.geometry.rows, scenario.geometry.banks)
-    return 0
-
-
-# ----------------------------------------------------------------------
-# C8: retention — DPD, VRT, profiling escapes, RAIDR vs AVATAR
-# ----------------------------------------------------------------------
-def retention_study(
-    rows: int = 2048,
-    cells_per_row: int = 512,
-    params: Optional[RetentionParams] = None,
-    seed: int = 0,
-) -> Dict:
-    """Profiling escapes and the RAIDR -> AVATAR escape-rate recovery.
-
-    The default parameterization is sized so the DPD/VRT escape math
-    has expectation well above zero: ~1M cells, a 10^-3 weak tail, a
-    4-round profiling campaign whose per-round pattern exercises a DPD
-    cell's worst case only 35% of the time.
-    """
-    if params is None:
-        params = RetentionParams(
-            tail_fraction=1e-3, vrt_fraction=1e-3, dpd_fraction=0.6, dpd_min_factor=0.2
-        )
-    population = CellPopulation(rows, cells_per_row, params, seed=seed)
-    profiling = profile_population(
-        population, test_interval_s=0.512, rounds=4, pattern_coverage=0.35, seed=seed
-    )
-    escapes = field_escapes(population, profiling, field_refresh_interval_s=0.256, observation_s=6 * 3600.0)
-    assignment = assign_bins(population, profiling.observed_retention_s)
-    raidr_escapes = runtime_escape_cells(population, assignment, observation_s=6 * 3600.0)
-    avatar = simulate_avatar(population, assignment, days=5, seed=seed)
-    return {
-        "discovered": len(profiling.discovered),
-        "profiling_escapes": len(escapes),
-        "raidr_savings_fraction": assignment.savings_fraction(),
-        "raidr_bin_counts": assignment.bin_counts(),
-        "raidr_escape_cells": len(raidr_escapes),
-        "avatar_daily_escapes": avatar.daily_escapes,
-        "avatar_total_escapes": avatar.total_escapes,
-        "avatar_final_refresh_rate": avatar.refreshes_per_second_final,
-        "raidr_refresh_rate": assignment.refreshes_per_second(),
-        "baseline_refresh_rate": assignment.baseline_refreshes_per_second(),
-    }
-
-
-# ----------------------------------------------------------------------
-# C9: flash error breakdown + FCR
-# ----------------------------------------------------------------------
-def flash_error_sweep(
-    pe_grid: Sequence[int] = (0, 3000, 8000, 15000, 25000),
-    retention_days: float = 365.0,
-    reads: int = 20_000,
-    seed: int = 0,
-) -> List[Dict]:
-    """Error mix vs wear: retention comes to dominate."""
-    rows = []
-    for pe in pe_grid:
-        breakdown = error_breakdown(pe, retention_days, reads, wordlines=8, cells=2048, seed=seed)
-        rows.append(
-            {
-                "pe_cycles": pe,
-                "wear_and_interference": breakdown.wear_and_interference,
-                "retention": breakdown.retention,
-                "read_disturb": breakdown.read_disturb,
-                "dominant": breakdown.dominant(),
-            }
-        )
-    return rows
-
-
-def fcr_study(seed: int = 0) -> Dict:
-    """FCR lifetime sweep and its headline multiplier."""
-    points = fcr_sweep(seed=seed, wordlines=4, cells=2048)
-    return {
-        "points": points,
-        "lifetime_multiplier": lifetime_multiplier(points),
-    }
-
-
-def vref_tuning_study(
-    pe_cycles: int = 15_000,
-    retention_days: float = 365.0,
-    seed: int = 0,
-) -> Dict:
-    """Read-reference tuning: the SSD controller's first-line fix.
-
-    §II-D's "intelligent controller" point in its most deployed form:
-    after retention shifts the Vth distributions, re-centering the read
-    references in the (moved) valleys removes most retention errors
-    without any stronger ECC.  Real controllers do this via read-retry.
-    """
-    from repro.flash.block import FlashBlock
-    from repro.flash.ssd import program_block_shadow
-    from repro.flash.vth import optimal_read_refs, state_from_bits
-
-    block = FlashBlock(wordlines=8, cells=2048, seed=seed)
-    block.set_pe_cycles(pe_cycles)
-    program_block_shadow(block, seed=seed)
-    block.age_retention(retention_days)
-    factory_errors = sum(
-        block.page_errors(wl, which)
-        for wl in block.programmed_wordlines()
-        for which in ("lsb", "msb")
-    )
-    # Tune on one wordline's known data (a controller uses a pilot page),
-    # then apply the tuned references everywhere.
-    pilot = 3
-    states = state_from_bits(block.wl_state[pilot].true_lsb, block.wl_state[pilot].true_msb)
-    tuned = optimal_read_refs(block.vth[pilot], states, block.params)
-    tuned_errors = sum(
-        block.page_errors(wl, which, read_refs=tuned)
-        for wl in block.programmed_wordlines()
-        for which in ("lsb", "msb")
-    )
-    return {
-        "factory_errors": factory_errors,
-        "tuned_errors": tuned_errors,
-        "factory_refs": tuple(block.params.read_refs),
-        "tuned_refs": tuned,
-        "reduction_fraction": 1.0 - tuned_errors / max(factory_errors, 1),
-    }
-
-
-# ----------------------------------------------------------------------
-# C10/C11: RFR, read-disturb recovery, NAC
-# ----------------------------------------------------------------------
-def recovery_study(seed: int = 0) -> Dict:
-    """Offline recovery mechanisms: RFR, read-disturb recovery, NAC."""
-    block = FlashBlock(wordlines=8, cells=2048, seed=seed)
-    block.set_pe_cycles(12_000)
-    program_block_shadow(block, seed=seed)
-    block.age_retention(365.0)
-    rfr = recover_wordline(block, 3, seed=seed)
-
-    block_rd = FlashBlock(wordlines=8, cells=2048, seed=seed + 1)
-    block_rd.set_pe_cycles(8_000)
-    program_block_shadow(block_rd, seed=seed + 1)
-    block_rd.apply_read_disturb(150_000)
-    rdr = read_disturb_recovery(block_rd, 3, seed=seed + 1)
-
-    block_nac = FlashBlock(wordlines=8, cells=4096, params=MLC_1XNM, seed=seed + 2)
-    block_nac.set_pe_cycles(15_000)
-    program_block_shadow(block_nac, seed=seed + 2)
-    nac = correct_wordline(block_nac, 3, seed=seed + 2)
-    return {"rfr": rfr, "read_disturb_recovery": rdr, "nac": nac}
-
-
-# ----------------------------------------------------------------------
-# C12: two-step programming
-# ----------------------------------------------------------------------
-def twostep_study(pe_cycles: int = 8000, seed: int = 0) -> Dict:
-    """Exposure-window corruption and the buffering mitigation."""
-    result = exposure_experiment(pe_cycles=pe_cycles, seed=seed)
-    return {
-        "exposed_errors": result.exposed_errors,
-        "mitigated_errors": result.mitigated_errors,
-        "control_errors": result.control_errors,
-    }
-
-
-def twostep_lifetime_study(seed: int = 0, error_budget: int = 160) -> Dict:
-    """Lifetime gain from hardening two-step programming (paper: ~16%)."""
-    gain = lifetime_gain_fraction(error_budget=error_budget, seed=seed)
-    return {"lifetime_gain_fraction": gain}
-
-
-# ----------------------------------------------------------------------
-# C13: PCM wear attack
-# ----------------------------------------------------------------------
-def pcm_study(seed: int = 0) -> Dict:
-    """Pinned-write attack lifetime without/with Start-Gap leveling."""
-    bare = lifetime_under_pinned_attack(leveling=None, seed=seed)
-    leveled = lifetime_under_pinned_attack(leveling="startgap", seed=seed)
-    randomized = lifetime_under_pinned_attack(leveling="startgap-rand", seed=seed)
-    return {
-        "bare_lifetime_writes": bare,
-        "startgap_lifetime_writes": leveled,
-        "startgap_rand_lifetime_writes": randomized,
-        "improvement_factor": leveled / bare,
-    }
-
-
-# ----------------------------------------------------------------------
-# C14: the attack gallery
-# ----------------------------------------------------------------------
-def attack_gallery(
-    dates: Sequence[float] = (2011.0, 2012.5, 2013.2),
-    rows_scanned: int = 3000,
-    seed: int = 0,
-) -> List[Dict]:
-    """Success probability of each §II-B attack vs module vintage."""
-    out = []
-    for date in dates:
-        scenario = full_scale_scenario("B", date)
-        module = scenario.make_module(serial=f"gallery-{date}", seed=seed)
-        pressure = scenario.attack_budget
-        templates = scan_templates(module, 0, range(64, 64 + rows_scanned), pressure)
-        out.append(
-            {
-                "date": date,
-                "templates": len(templates),
-                "pte_spray": pte_spray_success_probability(templates, spray_fraction=0.35, seed=seed),
-                "flip_feng_shui": len(flip_feng_shui_templates(templates)) > 0,
-                "ffs_usable_templates": len(flip_feng_shui_templates(templates)),
-                # The scanned region stands in for the attacker-reachable
-                # memory (scanning the full module is possible but slow).
-                "drammer": drammer_success_probability(
-                    templates, total_rows=rows_scanned, chunk_rows=256, seed=seed
-                ),
-                "javascript": javascript_success_probability(
-                    templates, total_rows=rows_scanned, aggressor_attempts=200, seed=seed
-                ),
-            }
-        )
-    return out
-
-
-# ----------------------------------------------------------------------
-# Extension: fleet-scale exposure (§III field-study context)
-# ----------------------------------------------------------------------
-def fleet_study(seed: int = 0, servers: int = 1500) -> Dict:
-    """Data-center exposure from the vintage mix, and the patch payoff."""
-    from repro.fieldstudy.fleet import fleet_exposure, patch_rollout_study
-
-    exposure = fleet_exposure(servers=servers, seed=seed)
-    rollout = patch_rollout_study(servers=servers, seed=seed)
-    return {
-        "vulnerable_fraction": exposure.vulnerable_fraction,
-        "compromised_servers": exposure.compromised_servers,
-        "by_year": exposure.by_year,
-        "patch_rollout": rollout,
-    }
-
-
-# ----------------------------------------------------------------------
-# Extension: multi-bank attack scaling under tRRD/tFAW
-# ----------------------------------------------------------------------
-def multibank_study(seed: int = 0, bank_counts: Sequence[int] = (1, 2, 4, 6, 8)) -> List[Dict]:
-    """Attack throughput vs simultaneously hammered banks.
-
-    A single-bank hammer is tRC-bound; parallel banks multiply total
-    victim flips until the rank's tFAW activation-rate limit saturates
-    and per-bank pressure starts falling.
-    """
-    from repro.attacks.hammer import multibank_attack_scaling
-
-    scenario = full_scale_scenario("B", 2013.0)
-    return multibank_attack_scaling(
-        lambda: scenario.make_module(serial="multibank", seed=seed),
-        bank_counts=bank_counts,
-    )
-
-
-# ----------------------------------------------------------------------
-# Extension: data-pattern dependence of disturbance errors (ISCA'14)
-# ----------------------------------------------------------------------
-def pattern_dependence_study(
-    victims: int = 200,
-    seed: int = 0,
-    patterns: Sequence[str] = ("rowstripe", "checkered", "random", "solid1", "colstripe"),
-) -> List[Dict]:
-    """Flips per data pattern — the original study's DPD observation.
-
-    Stripe-family fills (aggressor opposing the victim) maximize
-    coupling; solid fills relieve aggressor-sensitive cells; random
-    data sits in between.  Same module, same pressure, only the fill
-    changes.
-    """
-    scenario = full_scale_scenario("B", 2013.0)
-    pressure = scenario.attack_budget // 2
-    out = []
-    for pattern in patterns:
-        module = scenario.make_module(serial="dpd", seed=seed, default_pattern=pattern)
-        flips = 0
-        bank = module.bank(0)
-        for i in range(victims):
-            victim = 64 + 3 * i
-            bank.bulk_activate(victim - 1, pressure)
-            bank.bulk_activate(victim + 1, pressure)
-        bank.settle()
-        flips = bank.stats.flips_materialized
-        out.append({"pattern": pattern, "flips": flips})
-    return out
-
-
-# ----------------------------------------------------------------------
-# Extension: emerging memories (§III) — STT-MRAM and RRAM crossbars
-# ----------------------------------------------------------------------
-def emerging_memory_study(seed: int = 0) -> Dict:
-    """§III's forward-looking claim, quantified for two technologies.
-
-    STT-MRAM: read-disturb and retention error rates rise together as
-    the thermal stability factor shrinks with density.  RRAM: a
-    crossbar's half-select stress is a literal RowHammer analogue —
-    hammering one address flips cells on the shared row/column lines.
-    """
-    from repro.emerging import crossbar_hammer_study, scaling_study
-
-    stt = scaling_study(deltas=(70.0, 60.0, 50.0, 40.0), cells=1 << 18, seed=seed)
-    rram = crossbar_hammer_study(accesses=(1e5, 1e6, 1e7), rows=128, cols=128, seed=seed)
-    return {"stt_scaling": stt, "rram_hammer": rram}
-
-
-# ----------------------------------------------------------------------
-# Extension: intelligent-controller co-design wins (§II-C / §IV)
-# ----------------------------------------------------------------------
-def codesign_study(seed: int = 0) -> Dict:
-    """The system-memory co-design argument, quantified twice over.
-
-    1. **AL-DRAM**: per-module latency profiling recovers double-digit
-       access-latency headroom the one-size-fits-all spec wastes.
-    2. **Online (content-aware) retention profiling**: testing rows
-       against their *resident* data catches DPD failures that a
-       bounded static campaign misses — with zero escapes, because the
-       test runs before a full retention interval elapses under the
-       hazardous content.
-    """
-    from repro.dram.latency import aldram_study
-    from repro.retention.online_profiling import simulate_online_profiling
-    from repro.retention.params import RetentionParams
-    from repro.retention.population import CellPopulation
-
-    latency_rows = aldram_study(n_modules=12, seed=seed)
-    mean_speedup = sum(r["speedup_fraction"] for r in latency_rows) / len(latency_rows)
-
-    params = RetentionParams(
-        tail_fraction=3e-3, vrt_fraction=0.0, dpd_fraction=0.7, dpd_min_factor=0.2
-    )
-    population = CellPopulation(512, 256, params, seed=seed)
-    profiling = simulate_online_profiling(population, generations=12, seed=seed)
-    return {
-        "aldram_rows": latency_rows,
-        "aldram_mean_speedup": mean_speedup,
-        "online_discovered": len(set(profiling.discovered_online)),
-        "static_discovered": len(profiling.discovered_static),
-        "static_escapes": profiling.escapes_static,
-        "online_escapes": profiling.escapes_online,
-    }
-
-
-# ----------------------------------------------------------------------
-# Extension: multi-rate refresh opens RowHammer headroom (§III-A1 risk)
-# ----------------------------------------------------------------------
-def raidr_rowhammer_interaction(seed: int = 0, slow_bin: int = 2) -> Dict:
-    """RAIDR-binned rows gain a multiplied RowHammer budget.
-
-    §III-A1 closes with: "it is important for such investigations to
-    ensure no new vulnerabilities ... open up due to the solutions
-    developed."  Here is one: a module whose weakest cell sits safely
-    above the 64 ms activation budget is *invulnerable* under uniform
-    refresh — but a row parked in a 256 ms RAIDR bin accumulates four
-    windows of hammering before its next refresh, and flips.
-    """
-    from dataclasses import replace
-
-    base = scaled_scenario(scale=20.0)
-    budget = base.attack_budget
-    # Thresholds 1.5x above the single-window budget: safe at bin 0.
-    profile = replace(
-        base.profile,
-        hc_first_min=budget * 1.5,
-        hc_first_median=budget * 2.5,
-    )
-    scenario = replace(base, profile=profile)
-    periods = 1 << slow_bin
-    iterations = (periods * budget) // 2  # hammer across `periods` windows
-    results = {}
-    for label, binned in (("uniform-64ms", False), (f"raidr-bin{slow_bin}", True)):
-        module = scenario.make_module(serial=f"raidr-{label}", seed=seed)
-        bins = np.zeros(scenario.geometry.rows, dtype=np.int64)
-        if binned:
-            bins[995:1006] = slow_bin  # the victim neighborhood profiled "strong"
-        from repro.controller.controller import MemoryController
-
-        controller = MemoryController(module, refresh_row_bins=bins)
-        controller.run_activation_pattern(0, [999, 1001], iterations)
-        controller.finish()
-        results[label] = module.total_flips()
-    return {
-        "flips": results,
-        "budget_per_window": budget,
-        "threshold_floor": profile.hc_first_min,
-        "slow_bin_window_multiplier": periods,
-    }
-
-
-# ----------------------------------------------------------------------
-# Extension: user-level attack strategies through a real cache
-# ----------------------------------------------------------------------
-def userlevel_attack_study(seed: int = 0) -> Dict:
-    """§II-A end to end: plain loads vs CLFLUSH vs eviction sets.
-
-    Each strategy gets exactly one refresh window of wall-clock time on
-    the same module behind a set-associative cache.  A second, weaker
-    module shows the eviction strategy flipping once thresholds drop
-    (the JavaScript attack's dependence on more vulnerable parts).
-    """
-    from dataclasses import replace
-
-    from repro.cpu import CpuMemorySystem, SetAssociativeCache
-
-    scenario = scaled_scenario(scale=20.0)
-    window = scenario.timing.tREFW
-
-    def run(strategy: str, profile_scale: float = 1.0) -> Dict:
-        profile = scenario.profile
-        if profile_scale != 1.0:
-            profile = replace(
-                profile,
-                hc_first_min=profile.hc_first_min / profile_scale,
-                hc_first_median=profile.hc_first_median / profile_scale,
-            )
-        module = replace(scenario, profile=profile).make_module(
-            serial=f"cpu-{strategy}-{profile_scale}", seed=seed
-        )
-        system = CpuMemorySystem(module, cache=SetAssociativeCache(size_bytes=1 << 20, ways=8))
-        stats = getattr(system, f"{strategy}_hammer")(
-            0, [999, 1001], 10**9, time_budget_ns=window
-        )
-        return {
-            "strategy": strategy,
-            "loads": stats.loads,
-            "target_activations": stats.target_activations,
-            "flips": stats.flips,
-            "efficiency": stats.activation_efficiency,
-            "acts_per_window": stats.activations_per_window(window),
-        }
-
-    rows = [run(s) for s in ("naive", "flush", "eviction")]
-    eviction_on_weak_module = run("eviction", profile_scale=4.0)
-    return {"rows": rows, "eviction_on_weak_module": eviction_on_weak_module}
-
-
-# ----------------------------------------------------------------------
-# Extension: many-sided hammering vs the TRR sampler (TRRespass-style)
-# ----------------------------------------------------------------------
-def trr_bypass_study(
-    n_pairs_list: Sequence[int] = (1, 2, 4, 8),
-    tracker_entries: int = 2,
-    seed: int = 0,
-) -> List[Dict]:
-    """Bounded in-DRAM samplers fail against many simultaneous aggressors.
-
-    §II-B notes that "even state-of-the-art DDR4 DRAM chips are
-    vulnerable" — the later TRRespass work showed why: TRR-class
-    mitigations track only a few aggressors.  We model a future scaled
-    node (very low thresholds, so diluted per-pair pressure still
-    flips cells) and sweep the number of simultaneous aggressor pairs
-    against a small-sampler TRR.
-    """
-    from dataclasses import replace
-
-    from repro.mitigations.trr import TrrMitigation
-
-    base = scaled_scenario(scale=20.0)
-    # Future node: thresholds ~5x lower still, denser weak cells.
-    profile = replace(
-        base.profile,
-        hc_first_min=base.profile.hc_first_min / 5.0,
-        hc_first_median=base.profile.hc_first_median / 5.0,
-        weak_cell_density=min(1.0, base.profile.weak_cell_density * 2),
-    )
-    scenario = replace(base, profile=profile)
-    window_acts = scenario.attack_budget
-    out = []
-    for n_pairs in n_pairs_list:
-        module = scenario.make_module(serial=f"trrespass-{n_pairs}", seed=seed)
-        system = MemorySystem(
-            module,
-            mitigation="trr",
-            mitigation_kwargs={"tracker_entries": tracker_entries, "refresh_period_acts": 512},
-        )
-        # n_pairs double-sided pairs, victims spaced well apart; total
-        # activations fixed at one window, split evenly.
-        aggressors = []
-        for i in range(n_pairs):
-            victim = 500 + 40 * i
-            aggressors.extend([victim - 1, victim + 1])
-        iterations = max(1, window_acts // len(aggressors))
-        before = module.total_flips()
-        system.controller.run_activation_pattern(0, aggressors, iterations)
-        system.controller.finish()
-        out.append(
-            {
-                "n_pairs": n_pairs,
-                "flips": module.total_flips() - before,
-                "targeted_refreshes": system.mitigation.targeted_refreshes,
-                "per_victim_pressure": 2 * iterations,
-            }
-        )
-    return out
-
-
-# ----------------------------------------------------------------------
-# Extension: single- vs double-sided ablation
-# ----------------------------------------------------------------------
-def sidedness_ablation(seed: int = 0) -> Dict:
-    """Double-sided hammering beats single-sided at equal activation rate.
-
-    Both attackers issue ``budget`` activations within the window.  The
-    single-sided attacker must alternate its aggressor with a *dummy*
-    far row (to defeat the row buffer), so its victim accumulates only
-    half the pressure; the double-sided attacker spends everything on
-    the shared victim's two neighbors.
-    """
-    scenario = full_scale_scenario("B", 2013.0)
-    budget = scenario.attack_budget
-    module_s = scenario.make_module(serial="single", seed=seed)
-    # Aggressor gets budget/2 activations; the other half goes to a dummy
-    # row far away (its disturbance is accounted too, but irrelevant here).
-    single = single_sided_device(module_s, 0, aggressor=1000, count=budget // 2)
-    single_sided_device(module_s, 0, aggressor=8000, count=budget // 2)
-    module_d = scenario.make_module(serial="double", seed=seed)
-    double = double_sided_device(module_d, 0, victim=1000, count=budget // 2)
-    # Per-victim comparison: the single-sided attacker's best neighbor
-    # vs the double-sided attacker's bracketed victim.
-    single_victim_flips = max(
-        sum(1 for row, _ in single.flips if row == 999),
-        sum(1 for row, _ in single.flips if row == 1001),
-    )
-    double_victim_flips = sum(1 for row, _ in double.flips if row == 1000)
-    return {
-        "single_flips": single_victim_flips,
-        "double_flips": double_victim_flips,
-        "total_activations_each": budget,
-    }
+__all__ = list(_exported)

@@ -1,0 +1,250 @@
+"""The declarative experiment registry.
+
+Every paper artifact is reproduced by one *experiment*: a plain
+function decorated with :func:`experiment`, which records the
+experiment's name, the paper claim it regenerates, its section, tags,
+legacy CLI aliases, and — crucially — its **declared parameters**,
+captured once via :func:`inspect.signature`.  Seed handling is thereby
+introspected, never guessed: the old ``try: fn(seed=seed) except
+TypeError`` dance (which silently swallowed TypeErrors raised *inside*
+an experiment) is structurally impossible against this registry.
+
+Usage::
+
+    @experiment(
+        "fig1_error_rates",
+        claim="Figure 1: errors/10^9 cells vs manufacture date",
+        section="II",
+        tags=("dram", "rowhammer"),
+        aliases=("f1",),
+    )
+    def fig1_error_rates(seed: int = 0) -> dict: ...
+
+    spec = registry.get("f1")          # aliases resolve
+    spec.accepts_seed                  # -> True, from the signature
+    spec.bind(seed=3)                  # -> {"seed": 3}, validated
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+
+class UnknownExperimentError(KeyError):
+    """Raised when a name matches neither a registry name nor an alias."""
+
+    def __init__(self, name: str):
+        super().__init__(name)
+        self.name = name
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"unknown experiment {self.name!r}; see repro.experiments.names()"
+
+
+class DuplicateExperimentError(ValueError):
+    """Raised when two experiments claim the same name or alias."""
+
+
+@dataclass(frozen=True)
+class ParamSpec:
+    """One declared parameter of an experiment (the seed is tracked
+    separately on :class:`ExperimentSpec`)."""
+
+    name: str
+    default: Any
+    required: bool
+    annotation: str = ""
+    description: str = ""
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Everything the framework knows about one experiment."""
+
+    name: str
+    fn: Callable[..., Any]
+    claim: str
+    section: str
+    tags: Tuple[str, ...] = ()
+    aliases: Tuple[str, ...] = ()
+    params: Mapping[str, ParamSpec] = field(default_factory=dict)
+    accepts_seed: bool = False
+
+    @property
+    def doc(self) -> str:
+        return inspect.getdoc(self.fn) or "(no docstring)"
+
+    def bind(
+        self,
+        params: Optional[Mapping[str, Any]] = None,
+        seed: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        """Validate ``params`` against the declared schema and merge the
+        seed in (if and only if the experiment accepts one).  Returns the
+        kwargs dict to call :attr:`fn` with."""
+        kwargs: Dict[str, Any] = {}
+        for key, value in dict(params or {}).items():
+            if key == "seed":
+                raise ValueError("pass the seed via the seed= argument, not params")
+            if key not in self.params:
+                known = ", ".join(sorted(self.params)) or "(none)"
+                raise ValueError(
+                    f"experiment {self.name!r} has no parameter {key!r}; known: {known}"
+                )
+            kwargs[key] = value
+        missing = [p.name for p in self.params.values() if p.required and p.name not in kwargs]
+        if missing:
+            raise ValueError(f"experiment {self.name!r} missing required params: {missing}")
+        if self.accepts_seed and seed is not None:
+            kwargs["seed"] = seed
+        return kwargs
+
+    def run(self, params: Optional[Mapping[str, Any]] = None, seed: Optional[int] = None) -> Any:
+        """Call the experiment with validated kwargs.  Exceptions raised
+        *inside* the experiment propagate untouched — by design."""
+        return self.fn(**self.bind(params=params, seed=seed))
+
+
+_REGISTRY: Dict[str, ExperimentSpec] = {}
+_ALIASES: Dict[str, str] = {}
+
+
+def _params_from_signature(
+    fn: Callable[..., Any], schema: Optional[Mapping[str, str]]
+) -> Tuple[Dict[str, ParamSpec], bool]:
+    signature = inspect.signature(fn)
+    descriptions = dict(schema or {})
+    params: Dict[str, ParamSpec] = {}
+    accepts_seed = False
+    for pname, parameter in signature.parameters.items():
+        if parameter.kind in (parameter.VAR_POSITIONAL, parameter.VAR_KEYWORD):
+            raise TypeError(f"experiment {fn.__name__} may not use *args/**kwargs")
+        if pname == "seed":
+            accepts_seed = True
+            descriptions.pop("seed", None)
+            continue
+        annotation = ""
+        if parameter.annotation is not parameter.empty:
+            ann = parameter.annotation
+            annotation = ann if isinstance(ann, str) else getattr(ann, "__name__", repr(ann))
+        params[pname] = ParamSpec(
+            name=pname,
+            default=None if parameter.default is parameter.empty else parameter.default,
+            required=parameter.default is parameter.empty,
+            annotation=annotation,
+            description=descriptions.pop(pname, ""),
+        )
+    if descriptions:
+        raise ValueError(
+            f"params_schema for {fn.__name__} names parameters the function "
+            f"does not take: {sorted(descriptions)}"
+        )
+    return params, accepts_seed
+
+
+def experiment(
+    name: str,
+    claim: str,
+    *,
+    section: str,
+    tags: Sequence[str] = (),
+    aliases: Sequence[str] = (),
+    params_schema: Optional[Mapping[str, str]] = None,
+) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
+    """Register a function as a named experiment.
+
+    ``params_schema`` optionally maps parameter names to one-line
+    descriptions; it is validated against the function's real signature
+    so documentation cannot drift from code.
+    """
+
+    def decorate(fn: Callable[..., Any]) -> Callable[..., Any]:
+        params, accepts_seed = _params_from_signature(fn, params_schema)
+        spec = ExperimentSpec(
+            name=name,
+            fn=fn,
+            claim=claim,
+            section=section,
+            tags=tuple(tags),
+            aliases=tuple(aliases),
+            params=params,
+            accepts_seed=accepts_seed,
+        )
+        register(spec)
+        fn.spec = spec  # type: ignore[attr-defined]
+        return fn
+
+    return decorate
+
+
+def register(spec: ExperimentSpec) -> None:
+    """Add a spec to the registry; names and aliases share one namespace."""
+    for candidate in (spec.name, *spec.aliases):
+        if candidate in _REGISTRY or candidate in _ALIASES:
+            raise DuplicateExperimentError(f"experiment name/alias already taken: {candidate!r}")
+    _REGISTRY[spec.name] = spec
+    for alias in spec.aliases:
+        _ALIASES[alias] = spec.name
+
+
+def unregister(name: str) -> None:
+    """Remove an experiment (test hook; resolves aliases)."""
+    spec = get(name)
+    del _REGISTRY[spec.name]
+    for alias in spec.aliases:
+        _ALIASES.pop(alias, None)
+
+
+def resolve(name: str) -> str:
+    """Canonical registry name for ``name`` (which may be an alias)."""
+    if name in _REGISTRY:
+        return name
+    if name in _ALIASES:
+        return _ALIASES[name]
+    raise UnknownExperimentError(name)
+
+
+def get(name: str) -> ExperimentSpec:
+    """Look up a spec by registry name or legacy alias."""
+    return _REGISTRY[resolve(name)]
+
+
+def names() -> List[str]:
+    """Sorted canonical experiment names."""
+    return sorted(_REGISTRY)
+
+
+def invocable_names() -> List[str]:
+    """Every accepted spelling: canonical names plus legacy aliases."""
+    return sorted([*_REGISTRY, *_ALIASES])
+
+
+def all_specs(tag: Optional[str] = None) -> List[ExperimentSpec]:
+    """All specs, sorted by name, optionally filtered by tag."""
+    specs = [_REGISTRY[n] for n in names()]
+    if tag is not None:
+        specs = [s for s in specs if tag in s.tags]
+    return specs
+
+
+def render_index(fmt: str = "text") -> str:
+    """Render the registry index (``repro list`` and EXPERIMENTS.md use this)."""
+    specs = all_specs()
+    if fmt == "markdown":
+        lines = [
+            "| Experiment | Alias | § | Claim |",
+            "|---|---|---|---|",
+        ]
+        for spec in specs:
+            alias = ", ".join(f"`{a}`" for a in spec.aliases) or "—"
+            lines.append(f"| `{spec.name}` | {alias} | {spec.section} | {spec.claim} |")
+        return "\n".join(lines)
+    width = max(len(spec.name) for spec in specs)
+    awidth = max((len("/".join(spec.aliases)) for spec in specs), default=0)
+    lines = []
+    for spec in specs:
+        alias = "/".join(spec.aliases)
+        lines.append(f"{spec.name.ljust(width)}  {alias.ljust(awidth)}  {spec.claim}")
+    return "\n".join(lines)

@@ -1,0 +1,95 @@
+"""Structured experiment results.
+
+An :class:`ExperimentResult` is the unit the runner, the cache, the CLI
+and the report writer all exchange: the experiment's (JSON-safe)
+payload plus full provenance — seed, bound parameters, wall-clock
+duration, peak RSS, and the package version that produced it.  Bare
+dicts no longer cross the experiment boundary.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+
+def to_jsonable(value: Any) -> Any:
+    """Best-effort conversion of experiment payloads to JSON types.
+
+    Dataclasses become dicts, numpy arrays/scalars become lists/numbers,
+    generic objects fall back to their public ``__dict__``; anything
+    else is ``repr``-ed.  The conversion is deterministic for a
+    deterministic payload, which is what makes result caching and the
+    same-seed ⇒ byte-identical-JSON guarantee possible.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {k: to_jsonable(v) for k, v in dataclasses.asdict(value).items()}
+    if isinstance(value, dict):
+        return {str(k): to_jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [to_jsonable(v) for v in value]
+    if hasattr(value, "item") and not hasattr(value, "__len__"):
+        try:
+            return to_jsonable(value.item())  # numpy scalar
+        except Exception:  # pragma: no cover - exotic .item() objects
+            pass
+    if hasattr(value, "tolist"):
+        return value.tolist()
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if hasattr(value, "__dict__") and not isinstance(value, type):
+        return {k: to_jsonable(v) for k, v in vars(value).items() if not k.startswith("_")}
+    return repr(value)
+
+
+def canonical_json(value: Any) -> str:
+    """The canonical (sorted-keys, compact) JSON encoding used for cache
+    keys and determinism checks."""
+    return json.dumps(to_jsonable(value), sort_keys=True, separators=(",", ":"))
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """One experiment execution: payload + provenance."""
+
+    name: str
+    payload: Any
+    seed: Optional[int]
+    params: Dict[str, Any] = field(default_factory=dict)
+    duration_s: float = 0.0
+    peak_rss_kb: int = 0
+    version: str = ""
+    cache_hit: bool = False
+
+    def payload_json(self) -> str:
+        """Canonical JSON of the payload (byte-identical for equal seeds)."""
+        return canonical_json(self.payload)
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "params": to_jsonable(self.params),
+            "duration_s": self.duration_s,
+            "peak_rss_kb": self.peak_rss_kb,
+            "version": self.version,
+            "cache_hit": self.cache_hit,
+            "payload": self.payload,
+        }
+
+    @classmethod
+    def from_json_dict(cls, record: Dict[str, Any], **overrides: Any) -> "ExperimentResult":
+        fields = {
+            "name": record["name"],
+            "payload": record["payload"],
+            "seed": record.get("seed"),
+            "params": dict(record.get("params") or {}),
+            "duration_s": float(record.get("duration_s", 0.0)),
+            "peak_rss_kb": int(record.get("peak_rss_kb", 0)),
+            "version": record.get("version", ""),
+            "cache_hit": bool(record.get("cache_hit", False)),
+        }
+        fields.update(overrides)
+        return cls(**fields)

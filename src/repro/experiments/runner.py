@@ -1,0 +1,210 @@
+"""Execute experiments: one-shot, fan-out, and seed sweeps.
+
+The :class:`ExperimentRunner` turns ``(experiment, params, seed)`` jobs
+into :class:`~repro.experiments.result.ExperimentResult` records:
+
+* **parallel** — jobs fan out through a
+  :class:`concurrent.futures.ProcessPoolExecutor` (experiments are
+  CPU-bound numpy code, so processes, not threads);
+* **deterministic** — sweep seeds derive from ``(base_seed, index)``
+  via SHA-256, so the same sweep always runs the same jobs;
+* **measured** — every job records wall-clock duration and the worker's
+  peak RSS;
+* **cached** — results persist to an on-disk JSON cache keyed by
+  ``(name, params, seed)``; a re-run becomes a near-instant cache hit.
+
+Seed handling is introspected from each experiment's registered
+signature (:mod:`repro.experiments.registry`), so a ``TypeError``
+raised *inside* an experiment propagates instead of being mistaken for
+"takes no seed".
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import sys
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.experiments import registry
+from repro.experiments.result import ExperimentResult, canonical_json, to_jsonable
+
+try:  # not available on Windows; RSS reads as 0 there
+    import resource
+except ImportError:  # pragma: no cover - non-POSIX
+    resource = None  # type: ignore[assignment]
+
+
+@dataclass(frozen=True)
+class Job:
+    """One unit of work: an experiment name, bound params, and a seed."""
+
+    name: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+    seed: Optional[int] = 0
+
+
+def derive_seed(base_seed: int, index: int) -> int:
+    """Deterministic, well-spread per-job seed for sweeps.
+
+    SHA-256 of ``"base:index"`` truncated to 31 bits: stable across
+    runs, machines, and Python versions (unlike ``hash``).
+    """
+    digest = hashlib.sha256(f"{base_seed}:{index}".encode("ascii")).digest()
+    return int.from_bytes(digest[:4], "big") & 0x7FFFFFFF
+
+
+def _peak_rss_kb() -> int:
+    if resource is None:  # pragma: no cover - non-POSIX
+        return 0
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # ru_maxrss is KiB on Linux but bytes on macOS.
+    return int(rss // 1024) if sys.platform == "darwin" else int(rss)
+
+
+def execute_job(name: str, params: Optional[Mapping[str, Any]] = None,
+                seed: Optional[int] = 0) -> ExperimentResult:
+    """Run one experiment in-process and return its structured result.
+
+    This is the single run-one-experiment path shared by the CLI's
+    ``run``/``report``/``sweep`` and the pool workers.  The payload is
+    normalized to JSON-safe types here so cached and fresh results are
+    indistinguishable downstream.
+    """
+    import repro
+
+    spec = registry.get(name)
+    kwargs = spec.bind(params=params, seed=seed)
+    start = time.perf_counter()
+    payload = spec.fn(**kwargs)
+    duration = time.perf_counter() - start
+    return ExperimentResult(
+        name=spec.name,
+        payload=to_jsonable(payload),
+        seed=seed if spec.accepts_seed else None,
+        params=dict(params or {}),
+        duration_s=duration,
+        peak_rss_kb=_peak_rss_kb(),
+        version=repro.__version__,
+    )
+
+
+def _pool_worker(job: Tuple[str, Dict[str, Any], Optional[int]]) -> ExperimentResult:
+    # Re-import inside the worker so spawn-based pools (macOS/Windows)
+    # repopulate the registry; under fork this is a no-op.
+    import repro.experiments  # noqa: F401
+
+    name, params, seed = job
+    return execute_job(name, params=params, seed=seed)
+
+
+class ResultCache:
+    """On-disk JSON result cache keyed by ``(name, params, seed)``."""
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+
+    def key(self, name: str, params: Mapping[str, Any], seed: Optional[int]) -> str:
+        canonical = registry.resolve(name)
+        blob = canonical_json({"name": canonical, "params": dict(params), "seed": seed})
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:24]
+
+    def path(self, name: str, params: Mapping[str, Any], seed: Optional[int]) -> Path:
+        return self.root / registry.resolve(name) / f"{self.key(name, params, seed)}.json"
+
+    def get(self, name: str, params: Mapping[str, Any],
+            seed: Optional[int]) -> Optional[ExperimentResult]:
+        path = self.path(name, params, seed)
+        if not path.is_file():
+            return None
+        try:
+            record = json.loads(path.read_text())
+        except (OSError, ValueError):  # torn write → treat as miss
+            return None
+        return ExperimentResult.from_json_dict(record, cache_hit=True)
+
+    def put(self, result: ExperimentResult) -> Path:
+        path = self.path(result.name, result.params, result.seed)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        record = result.to_json_dict()
+        record["cache_hit"] = False
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(record, indent=1, sort_keys=True))
+        os.replace(tmp, path)
+        return path
+
+
+class ExperimentRunner:
+    """Run experiment jobs with optional process fan-out and caching.
+
+    ``max_workers=None`` or ``1`` runs jobs inline (no pool overhead —
+    the right default for one fast experiment); ``max_workers=N`` fans
+    misses out over ``N`` worker processes.  ``cache_dir=None`` disables
+    the cache.
+    """
+
+    def __init__(self, cache_dir: Optional[Union[str, Path]] = None,
+                 max_workers: Optional[int] = None):
+        self.cache = ResultCache(cache_dir) if cache_dir is not None else None
+        self.max_workers = max_workers
+
+    def run_one(self, name: str, params: Optional[Mapping[str, Any]] = None,
+                seed: Optional[int] = 0) -> ExperimentResult:
+        """Run (or fetch from cache) a single experiment."""
+        params = dict(params or {})
+        if self.cache is not None:
+            hit = self.cache.get(name, params, seed)
+            if hit is not None:
+                return hit
+        result = execute_job(name, params=params, seed=seed)
+        if self.cache is not None:
+            self.cache.put(result)
+        return result
+
+    def run(self, jobs: Sequence[Job]) -> List[ExperimentResult]:
+        """Run a batch of jobs, preserving input order in the output.
+
+        Cache hits resolve up front; only misses hit the process pool.
+        """
+        results: List[Optional[ExperimentResult]] = [None] * len(jobs)
+        misses: List[Tuple[int, Job]] = []
+        for i, job in enumerate(jobs):
+            registry.get(job.name)  # fail fast on unknown names
+            if self.cache is not None:
+                hit = self.cache.get(job.name, job.params, job.seed)
+                if hit is not None:
+                    results[i] = hit
+                    continue
+            misses.append((i, job))
+
+        if misses:
+            workers = self.max_workers or 1
+            if workers > 1 and len(misses) > 1:
+                payloads = [(j.name, dict(j.params), j.seed) for _, j in misses]
+                with ProcessPoolExecutor(max_workers=min(workers, len(misses))) as pool:
+                    fresh = list(pool.map(_pool_worker, payloads))
+            else:
+                fresh = [execute_job(j.name, params=j.params, seed=j.seed) for _, j in misses]
+            for (i, _job), result in zip(misses, fresh):
+                results[i] = result
+                if self.cache is not None:
+                    self.cache.put(result)
+        return [r for r in results if r is not None]
+
+    def sweep(self, name: str, seeds: int, base_seed: int = 0,
+              params: Optional[Mapping[str, Any]] = None) -> List[ExperimentResult]:
+        """Run ``seeds`` deterministic-seed replicas of one experiment."""
+        spec = registry.get(name)
+        if not spec.accepts_seed:
+            raise ValueError(
+                f"experiment {spec.name!r} takes no seed; a sweep would run "
+                f"{seeds} identical jobs"
+            )
+        jobs = [Job(spec.name, dict(params or {}), derive_seed(base_seed, i))
+                for i in range(seeds)]
+        return self.run(jobs)

@@ -4,7 +4,8 @@ import json
 
 import pytest
 
-from repro.cli import EXPERIMENTS, build_parser, main
+from repro.cli import build_parser, main
+from repro.experiments import derive_seed, registry
 
 
 class TestParser:
@@ -18,20 +19,53 @@ class TestParser:
 
     def test_run_flags(self):
         args = build_parser().parse_args(["run", "c5", "--seed", "7", "--json"])
-        assert args.name == "c5" and args.seed == 7 and args.json
+        assert args.names == ["c5"] and args.seed == 7 and args.json
+
+    def test_run_accepts_many_names_and_parallel(self):
+        args = build_parser().parse_args(["run", "c5", "sidedness", "--parallel", "2"])
+        assert args.names == ["c5", "sidedness"] and args.parallel == 2
+
+    def test_sweep_flags(self):
+        args = build_parser().parse_args(
+            ["sweep", "fig1_error_rates", "--seeds", "8", "--parallel", "4"])
+        assert args.name == "fig1_error_rates"
+        assert args.seeds == 8 and args.parallel == 4
+
+    def test_canonical_and_alias_names_both_accepted(self):
+        parser = build_parser()
+        assert parser.parse_args(["run", "f1"]).names == ["f1"]
+        assert parser.parse_args(["run", "fig1_error_rates"]).names == ["fig1_error_rates"]
 
 
 class TestCommands:
     def test_list_prints_all(self, capsys):
         assert main(["list"]) == 0
         out = capsys.readouterr().out
-        for name in EXPERIMENTS:
+        for name in registry.names():
             assert name in out
+        for alias in ("f1", "c10-c11", "trr-bypass"):
+            assert alias in out
+
+    def test_list_markdown_is_the_index_table(self, capsys):
+        assert main(["list", "--format", "markdown"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("| Experiment |")
+        assert "`fig1_error_rates`" in out and "`f1`" in out
+
+    def test_list_tag_filter(self, capsys):
+        assert main(["list", "--tag", "flash"]) == 0
+        out = capsys.readouterr().out
+        assert "fcr_study" in out and "pcm_study" not in out
 
     def test_describe(self, capsys):
         assert main(["describe", "c5"]) == 0
         out = capsys.readouterr().out
-        assert "PARA" in out
+        assert "PARA" in out and "para_reliability" in out
+
+    def test_describe_lists_params(self, capsys):
+        assert main(["describe", "isolation_violations"]) == 0
+        out = capsys.readouterr().out
+        assert "reads" in out and "2600000" in out
 
     def test_run_text(self, capsys):
         assert main(["run", "c5"]) == 0
@@ -44,17 +78,98 @@ class TestCommands:
         assert "rows" in payload
         assert payload["rows"][0]["p"] == pytest.approx(2e-4)
 
+    def test_run_by_canonical_name(self, capsys):
+        assert main(["run", "para_reliability", "--json"]) == 0
+        assert "rows" in json.loads(capsys.readouterr().out)
+
     def test_run_seed_forwarded(self, capsys):
         assert main(["run", "sidedness", "--seed", "3", "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
         assert payload["double_flips"] > 0
 
+    def test_run_record_wraps_payload_in_provenance(self, capsys):
+        assert main(["run", "c12", "--seed", "5", "--record", "--json"]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["name"] == "twostep_study"
+        assert record["seed"] == 5
+        assert record["duration_s"] > 0
+        assert "exposed_errors" in record["payload"]
+
     def test_registry_covers_every_bench_family(self):
-        # Every experiment index entry (F1, C2..C14) has a CLI entry.
-        names = set(EXPERIMENTS)
+        # Every experiment index entry (F1, C2..C14) stays invocable.
+        names = set(registry.invocable_names())
         for required in ("f1", "c2", "c3", "c4", "c5", "c6", "c7", "c8",
                          "c9", "c10-c11", "c12", "c13", "c14"):
             assert required in names
+
+
+class TestReportCommand:
+    def test_report_writes_markdown(self, tmp_path, capsys):
+        output = tmp_path / "report.md"
+        assert main(["report", "c5", "--output", str(output)]) == 0
+        text = output.read_text()
+        assert text.startswith("# repro experiment report")
+        assert "## para_reliability" in text
+        assert "seed - · " in text  # provenance line (seedless experiment)
+
+    def test_report_many_experiments_round_trip(self, tmp_path, capsys):
+        output = tmp_path / "report.md"
+        assert main(["report", "c12", "sidedness", "--seed", "2",
+                     "--output", str(output)]) == 0
+        text = output.read_text()
+        assert "## twostep_study" in text and "## sidedness_ablation" in text
+        assert "seed 2" in text
+
+    def test_report_propagates_inner_errors(self, tmp_path):
+        # Regression: the old _write_report swallowed TypeError and
+        # re-ran without a seed; inner errors must now surface.
+        from repro.experiments import experiment
+
+        @experiment("_report_probe", "raises inside", section="II", tags=("test",))
+        def _report_probe(seed: int = 0):
+            raise TypeError("inner failure")
+
+        try:
+            with pytest.raises(TypeError, match="inner failure"):
+                main(["report", "_report_probe",
+                      "--output", str(tmp_path / "r.md")])
+        finally:
+            registry.unregister("_report_probe")
+
+
+class TestSweepCommand:
+    def test_sweep_runs_and_caches(self, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        argv = ["sweep", "c12", "--seeds", "3", "--cache-dir", str(cache)]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "3 seeds" in out and "(0 cache hits)" in out
+        assert len(list((cache / "twostep_study").glob("*.json"))) == 3
+        assert main(argv) == 0
+        assert "(3 cache hits)" in capsys.readouterr().out
+
+    def test_sweep_json_round_trip(self, tmp_path, capsys):
+        assert main(["sweep", "c12", "--seeds", "2", "--json",
+                     "--cache-dir", str(tmp_path / "cache")]) == 0
+        records = json.loads(capsys.readouterr().out)
+        assert len(records) == 2
+        assert [r["seed"] for r in records] == [derive_seed(0, 0), derive_seed(0, 1)]
+        for record in records:
+            assert record["name"] == "twostep_study"
+            assert record["duration_s"] > 0
+            assert "exposed_errors" in record["payload"]
+
+    def test_sweep_seeds_are_deterministic_across_runs(self, tmp_path, capsys):
+        argv = ["sweep", "sidedness", "--seeds", "2", "--json", "--no-cache"]
+        assert main(argv) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert main(argv) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert [r["payload"] for r in first] == [r["payload"] for r in second]
+
+    def test_sweep_rejects_seedless_experiment(self, capsys):
+        assert main(["sweep", "c5", "--seeds", "2", "--no-cache"]) == 2
+        assert "takes no seed" in capsys.readouterr().err
 
 
 class TestNewSubcommands:
@@ -78,15 +193,7 @@ class TestNewSubcommands:
         scaled_errors = int(scaled.split("errors: ")[1].split(" ")[0])
         assert scaled_errors < base_errors
 
-    def test_report_writes_markdown(self, tmp_path, capsys):
-        output = tmp_path / "report.md"
-        assert main(["report", "c5", "--output", str(output)]) == 0
-        text = output.read_text()
-        assert text.startswith("# repro experiment report")
-        assert "## c5" in text
-
     def test_vref_experiment_registered(self, capsys):
         assert main(["run", "vref", "--json"]) == 0
-        import json as _json
-        payload = _json.loads(capsys.readouterr().out)
+        payload = json.loads(capsys.readouterr().out)
         assert payload["tuned_errors"] < payload["factory_errors"]

@@ -1,0 +1,116 @@
+"""The experiment runner: provenance, determinism, caching, seed
+derivation, and the process-pool fan-out."""
+
+import json
+
+import pytest
+
+from repro import experiments as E
+from repro.experiments import ExperimentRunner, Job, derive_seed
+
+
+class TestExecuteJob:
+    def test_result_carries_provenance(self):
+        result = E.execute_job("sidedness_ablation", seed=3)
+        assert result.name == "sidedness_ablation"
+        assert result.seed == 3
+        assert result.duration_s > 0
+        assert result.peak_rss_kb > 0
+        assert result.version
+        assert not result.cache_hit
+
+    def test_payload_is_json_safe(self):
+        result = E.execute_job("twostep_study", seed=0)
+        json.dumps(result.to_json_dict())  # must not raise
+
+    def test_params_are_bound_and_recorded(self):
+        result = E.execute_job("flash_error_sweep",
+                               params={"pe_grid": (3000, 20000)}, seed=1)
+        assert result.params == {"pe_grid": (3000, 20000)}
+        assert len(result.payload) == 2
+
+
+class TestDeterminism:
+    # Three representative experiments spanning DRAM attacks, flash, and
+    # PCM: same seed ⇒ byte-identical canonical payload JSON.
+    @pytest.mark.parametrize("name", ["sidedness_ablation", "twostep_study", "fcr_study"])
+    def test_same_seed_byte_identical_payload(self, name):
+        first = E.execute_job(name, seed=5).payload_json()
+        second = E.execute_job(name, seed=5).payload_json()
+        assert first.encode() == second.encode()
+
+    def test_different_seed_differs(self):
+        a = E.execute_job("sidedness_ablation", seed=0).payload_json()
+        b = E.execute_job("sidedness_ablation", seed=99).payload_json()
+        assert a != b
+
+    def test_derive_seed_stable_and_spread(self):
+        seeds = [derive_seed(0, i) for i in range(16)]
+        assert seeds == [derive_seed(0, i) for i in range(16)]  # reproducible
+        assert len(set(seeds)) == 16  # no collisions in a small sweep
+        assert all(0 <= s < 2**31 for s in seeds)
+        assert [derive_seed(1, i) for i in range(16)] != seeds  # base matters
+
+
+class TestCache:
+    def test_second_run_hits_cache(self, tmp_path):
+        runner = ExperimentRunner(cache_dir=tmp_path)
+        fresh = runner.run_one("twostep_study", seed=2)
+        cached = runner.run_one("twostep_study", seed=2)
+        assert not fresh.cache_hit
+        assert cached.cache_hit
+        assert cached.payload == fresh.payload
+        assert cached.duration_s == fresh.duration_s  # original timing preserved
+
+    def test_cache_key_distinguishes_name_params_seed(self, tmp_path):
+        cache = E.ResultCache(tmp_path)
+        base = cache.key("twostep_study", {}, 0)
+        assert cache.key("twostep_study", {}, 1) != base
+        assert cache.key("twostep_study", {"pe_cycles": 4000}, 0) != base
+        assert cache.key("fcr_study", {}, 0) != base
+
+    def test_alias_and_canonical_share_cache_entries(self, tmp_path):
+        cache = E.ResultCache(tmp_path)
+        assert cache.key("c12", {}, 0) == cache.key("twostep_study", {}, 0)
+
+    def test_corrupt_cache_entry_is_a_miss(self, tmp_path):
+        runner = ExperimentRunner(cache_dir=tmp_path)
+        runner.run_one("twostep_study", seed=2)
+        path = runner.cache.path("twostep_study", {}, 2)
+        path.write_text("{not json")
+        assert not runner.run_one("twostep_study", seed=2).cache_hit
+
+
+class TestRunnerBatch:
+    def test_batch_preserves_order(self):
+        runner = ExperimentRunner()
+        results = runner.run([Job("twostep_study", {}, 1),
+                              Job("sidedness_ablation", {}, 1)])
+        assert [r.name for r in results] == ["twostep_study", "sidedness_ablation"]
+
+    def test_unknown_job_fails_fast(self):
+        with pytest.raises(E.UnknownExperimentError):
+            ExperimentRunner().run([Job("nonexistent", {}, 0)])
+
+    def test_parallel_matches_inline(self, tmp_path):
+        jobs = [Job("sidedness_ablation", {}, s) for s in (0, 1, 2, 3)]
+        inline = ExperimentRunner(max_workers=1).run(jobs)
+        pooled = ExperimentRunner(max_workers=2).run(jobs)
+        assert [r.payload for r in pooled] == [r.payload for r in inline]
+        assert all(not r.cache_hit for r in pooled)
+
+
+class TestSweep:
+    def test_sweep_runs_derived_seeds_and_caches(self, tmp_path):
+        runner = ExperimentRunner(cache_dir=tmp_path, max_workers=2)
+        first = runner.sweep("twostep_study", seeds=4, base_seed=0)
+        assert len(first) == 4
+        assert [r.seed for r in first] == [derive_seed(0, i) for i in range(4)]
+        assert all(not r.cache_hit for r in first)
+        second = runner.sweep("twostep_study", seeds=4, base_seed=0)
+        assert all(r.cache_hit for r in second)
+        assert [r.payload for r in second] == [r.payload for r in first]
+
+    def test_sweeping_seedless_experiment_is_an_error(self):
+        with pytest.raises(ValueError, match="takes no seed"):
+            ExperimentRunner().sweep("para_reliability", seeds=4)

@@ -6,7 +6,7 @@ end through the public experiment registry (small parameterizations).
 
 import pytest
 
-from repro.core import experiment as X
+from repro import experiments as X
 
 
 class TestF1Campaign:

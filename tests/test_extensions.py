@@ -4,7 +4,7 @@ attacks, SoftMC canned studies, and the TRR bypass experiment."""
 import pytest
 
 from repro.controller import FrFcfsScheduler, CommandScheduler, MemRequest
-from repro.core.experiment import trr_bypass_study
+from repro.experiments import trr_bypass_study
 from repro.dram.timing import DDR3_1333
 from repro.flash.mitigations import warm_study
 from repro.pcm import lifetime_under_mapping_aware_attack, lifetime_under_pinned_attack
@@ -106,7 +106,7 @@ class TestPcmMappingAwareAttack:
 
 class TestRaidrInteraction:
     def test_slow_bin_opens_headroom(self):
-        from repro.core.experiment import raidr_rowhammer_interaction
+        from repro.experiments import raidr_rowhammer_interaction
 
         result = raidr_rowhammer_interaction(seed=0)
         assert result["flips"]["uniform-64ms"] == 0
