@@ -5,6 +5,9 @@ Usage::
     python -m repro list
     python -m repro run fig1_error_rates --seed 0
     python -m repro run c3 c4 c5 --parallel 3 --json
+    python -m repro run rowhammer_basic --metrics
+    python -m repro stats --format prometheus
+    python -m repro trace rowhammer_basic --output trace.jsonl
     python -m repro describe para_reliability
     python -m repro report f1 c3 --output report.md
     python -m repro sweep fig1_error_rates --seeds 8 --parallel 4
@@ -14,6 +17,13 @@ Experiments resolve by registry name *or* legacy alias (``f1``,
 tables, or as JSON with ``--json``; ``--record`` wraps the payload in
 its full :class:`~repro.experiments.result.ExperimentResult` provenance
 (seed, params, duration, peak RSS, version, cache hit).
+
+Observability: ``run``/``sweep`` accept ``--metrics``, which collects
+the telemetry the simulated hardware emits (merged across ``--parallel``
+worker processes) and persists the snapshot to ``--metrics-out``;
+``stats`` renders a saved snapshot as a table, JSON, or Prometheus text
+format; ``trace`` replays one experiment with event tracing on and
+emits the JSONL event stream.
 
 Seed handling is introspected from each experiment's registered
 signature — an exception raised *inside* an experiment always
@@ -32,12 +42,18 @@ from repro.experiments import (
     ExperimentResult,
     ExperimentRunner,
     Job,
+    execute_job,
     registry,
     to_jsonable,
 )
+from repro.telemetry import MetricsRegistry
+from repro.telemetry import runtime as telem
 
 #: Default on-disk result cache for ``sweep`` (created in the CWD).
 DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: Default metrics-snapshot file shared by ``run --metrics`` and ``stats``.
+DEFAULT_METRICS_PATH = ".repro-metrics.json"
 
 
 def _render_text(result: Any, indent: int = 0) -> List[str]:
@@ -98,6 +114,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help="fan out over N worker processes")
     run.add_argument("--cache-dir", default=None,
                      help="enable the on-disk result cache rooted here")
+    run.add_argument("--metrics", action="store_true",
+                     help="collect hardware telemetry and persist the snapshot")
+    run.add_argument("--metrics-out", default=DEFAULT_METRICS_PATH,
+                     help=f"metrics snapshot file (default: {DEFAULT_METRICS_PATH})")
 
     report = sub.add_parser("report", help="run several experiments, write a markdown report")
     report.add_argument("names", nargs="+", choices=invocable, metavar="name")
@@ -120,6 +140,31 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--no-cache", action="store_true", help="disable the result cache")
     sweep.add_argument("--json", action="store_true",
                        help="emit the full result records as JSON")
+    sweep.add_argument("--metrics", action="store_true",
+                       help="collect hardware telemetry and persist the snapshot")
+    sweep.add_argument("--metrics-out", default=DEFAULT_METRICS_PATH,
+                       help=f"metrics snapshot file (default: {DEFAULT_METRICS_PATH})")
+
+    stats = sub.add_parser(
+        "stats", help="render a metrics snapshot saved by run/sweep --metrics"
+    )
+    stats.add_argument("--input", default=DEFAULT_METRICS_PATH,
+                       help=f"metrics snapshot file (default: {DEFAULT_METRICS_PATH})")
+    stats.add_argument("--format", choices=("table", "json", "prometheus"),
+                       default="table", help="output format")
+
+    trace = sub.add_parser(
+        "trace", help="run one experiment with event tracing, emit a JSONL trace"
+    )
+    trace.add_argument("name", choices=invocable)
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--output", default="-",
+                       help="JSONL destination ('-' = stdout)")
+    trace.add_argument("--buffer", type=int, default=65536, metavar="N",
+                       help="in-memory ring-buffer capacity (events)")
+    trace.add_argument("--spill", default=None, metavar="PATH",
+                       help="spill overflowing events to this JSONL file "
+                            "instead of evicting the oldest")
 
     test_module = sub.add_parser(
         "test-module",
@@ -150,6 +195,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                              parallel=args.parallel, cache_dir=args.cache_dir)
     if args.command == "sweep":
         return _sweep(args)
+    if args.command == "stats":
+        return _stats(args)
+    if args.command == "trace":
+        return _trace(args)
     if args.command == "test-module":
         return _test_module(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
@@ -176,12 +225,31 @@ def _describe(name: str) -> int:
     return 0
 
 
-def _make_runner(parallel: int, cache_dir: Optional[str]) -> ExperimentRunner:
-    return ExperimentRunner(cache_dir=cache_dir, max_workers=max(1, parallel))
+def _make_runner(parallel: int, cache_dir: Optional[str],
+                 collect_metrics: bool = False) -> ExperimentRunner:
+    return ExperimentRunner(cache_dir=cache_dir, max_workers=max(1, parallel),
+                            collect_metrics=collect_metrics)
+
+
+def _write_metrics_snapshot(runner: ExperimentRunner, path: str,
+                            command: str, names: List[str]) -> None:
+    """Persist the runner's merged metrics so ``repro stats`` can render
+    them from a separate process."""
+    import repro
+
+    record = {
+        "repro_version": repro.__version__,
+        "command": command,
+        "names": [registry.resolve(n) for n in names],
+        "metrics": runner.metrics.snapshot(),
+    }
+    with open(path, "w") as handle:
+        json.dump(record, handle, indent=1, sort_keys=True)
+    print(f"metrics: {len(runner.metrics)} series -> {path}", file=sys.stderr)
 
 
 def _run(args) -> int:
-    runner = _make_runner(args.parallel, args.cache_dir)
+    runner = _make_runner(args.parallel, args.cache_dir, collect_metrics=args.metrics)
     jobs = [Job(name, {}, args.seed) for name in args.names]
     results = runner.run(jobs)
     for i, result in enumerate(results):
@@ -194,6 +262,8 @@ def _run(args) -> int:
                     print()
                 print(f"== {result.name} ==")
             print("\n".join(_render_text(body)))
+    if args.metrics:
+        _write_metrics_snapshot(runner, args.metrics_out, "run", args.names)
     return 0
 
 
@@ -229,12 +299,14 @@ def _write_report(names: List[str], seed: int, output: str,
 
 def _sweep(args) -> int:
     cache_dir = None if args.no_cache else args.cache_dir
-    runner = _make_runner(args.parallel, cache_dir)
+    runner = _make_runner(args.parallel, cache_dir, collect_metrics=args.metrics)
     try:
         results = runner.sweep(args.name, seeds=args.seeds, base_seed=args.base_seed)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if args.metrics:
+        _write_metrics_snapshot(runner, args.metrics_out, "sweep", [args.name])
     if args.json:
         print(json.dumps([r.to_json_dict() for r in results], indent=2, default=repr))
         return 0
@@ -246,6 +318,61 @@ def _sweep(args) -> int:
         print(f"  {_format_provenance(result)}")
     if cache_dir is not None:
         print(f"cache: {cache_dir}")
+    return 0
+
+
+def _stats(args) -> int:
+    """Render a metrics snapshot saved by ``run``/``sweep --metrics``."""
+    try:
+        with open(args.input) as handle:
+            record = json.load(handle)
+    except OSError as exc:
+        print(f"error: cannot read metrics snapshot {args.input!r}: {exc}\n"
+              f"hint: produce one with `repro run <experiment> --metrics`",
+              file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"error: {args.input!r} is not a metrics snapshot: {exc}", file=sys.stderr)
+        return 2
+    snapshot = record.get("metrics", record)  # accept bare snapshots too
+    reg = MetricsRegistry.from_snapshot(snapshot)
+    if args.format == "json":
+        print(json.dumps(record, indent=2, sort_keys=True))
+    elif args.format == "prometheus":
+        sys.stdout.write(reg.render_prometheus())
+    else:
+        names = record.get("names")
+        if names:
+            print(f"# {record.get('command', 'run')}: {', '.join(names)} "
+                  f"(repro {record.get('repro_version', '?')})")
+        print(reg.render_table())
+    return 0
+
+
+def _trace(args) -> int:
+    """Run one experiment with event tracing on; emit the JSONL trace."""
+    recorder = telem.enable_tracing(capacity=args.buffer, spill_path=args.spill,
+                                    fresh=True)
+    try:
+        execute_job(args.name, seed=args.seed)
+    finally:
+        telem.disable_tracing()
+    kinds_by_count = recorder.counts_by_kind()
+    if args.spill is not None:
+        recorder.flush()
+        written = recorder.spilled
+        destination = args.spill
+    elif args.output == "-":
+        written = recorder.write_jsonl(sys.stdout)
+        destination = "stdout"
+    else:
+        written = recorder.dump_jsonl(args.output)
+        destination = args.output
+    kinds = ", ".join(f"{kind}={count}" for kind, count
+                      in kinds_by_count.items()) or "none"
+    print(f"trace {registry.resolve(args.name)}: {recorder.emitted} events "
+          f"({kinds}); {recorder.dropped} dropped; wrote {written} -> {destination}",
+          file=sys.stderr)
     return 0
 
 

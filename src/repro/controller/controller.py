@@ -19,6 +19,7 @@ from repro.controller.hooks import MitigationHook, NullMitigation
 from repro.controller.perfcounters import PerfCounters
 from repro.controller.refresh import RefreshEngine
 from repro.dram.module import DramModule
+from repro.telemetry import runtime as telem
 
 
 @dataclass
@@ -72,6 +73,8 @@ class MemoryController:
         self.energy.record("act")
         self.energy.record("pre")
         self.stats.activations += 1
+        if telem.metrics_on:
+            telem.counter("ctrl_commands_total", kind="activate").inc()
         self.perf.record_activate(bank, logical_row, self.time_ns)
         self.mitigation.on_activate(self, bank, logical_row, self.time_ns)
         self._service_refresh()
@@ -85,6 +88,8 @@ class MemoryController:
         self.energy.record("read")
         self.energy.record("pre")
         self.stats.activations += 1
+        if telem.metrics_on:
+            telem.counter("ctrl_commands_total", kind="read").inc()
         self.perf.record_activate(bank, logical_row, self.time_ns)
         self.mitigation.on_activate(self, bank, logical_row, self.time_ns)
         self._service_refresh()
@@ -99,6 +104,8 @@ class MemoryController:
         self.energy.record("write")
         self.energy.record("pre")
         self.stats.activations += 1
+        if telem.metrics_on:
+            telem.counter("ctrl_commands_total", kind="write").inc()
         self.perf.record_activate(bank, logical_row, self.time_ns)
         self.mitigation.on_activate(self, bank, logical_row, self.time_ns)
         self._service_refresh()
@@ -120,12 +127,19 @@ class MemoryController:
             self.time_ns += self.module.timing.tRC
             self.energy.record("refresh_row")
             self.stats.mitigation_refreshes += 1
+        if telem.metrics_on:
+            telem.counter("ctrl_mitigation_refreshes_total").inc(len(victims))
+        if telem.trace_on:
+            telem.trace("mitigation_refresh", t=self.time_ns, bank=bank,
+                        aggressor=logical_row, victims=len(victims))
         return len(victims)
 
     def _note_flips(self, bank: int, row: int, flips) -> None:
         if len(flips):
             self.stats.flips_observed += len(flips)
             self.stats.flip_events.append((bank, row, len(flips), self.time_ns))
+            if telem.metrics_on:
+                telem.counter("ctrl_flips_observed_total").inc(len(flips))
 
     def _service_refresh(self) -> None:
         engine = self.refresh_engine

@@ -19,8 +19,9 @@ from typing import List, Optional
 
 from repro.controller.energy import EnergyAccount
 from repro.controller.request import MemRequest
-from repro.controller.scheduler import T_BURST_NS, SchedulerStats
+from repro.controller.scheduler import T_BURST_NS, SchedulerStats, record_scheduler_metrics
 from repro.dram.timing import TimingParams
+from repro.telemetry import runtime as telem
 from repro.utils.validation import check_positive
 
 
@@ -115,6 +116,10 @@ class FrFcfsScheduler:
         while pending:
             if pending[0].arrival_ns > self._now:
                 self._now = pending[0].arrival_ns
+            if len(pending) > stats.queue_depth_peak:
+                stats.queue_depth_peak = len(pending)
             index = self._pick(pending)
             self._service(pending.pop(index), stats)
+        if telem.metrics_on:
+            record_scheduler_metrics(stats, policy="frfcfs")
         return stats

@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.dram.module import DramModule
 from repro.dram.timing import TimingParams
+from repro.telemetry import runtime as telem
 from repro.utils.validation import check_positive
 
 
@@ -92,6 +93,8 @@ class RefreshEngine:
     def _issue_ref(self, time_ns: float) -> int:
         rows = self.module.geometry.rows
         self.stats.ref_commands += 1
+        if telem.metrics_on:
+            telem.counter("dram_ref_commands_total").inc()
         count = 0
         for offset in range(self.rows_per_ref):
             row = (self._cursor + offset) % rows

@@ -16,10 +16,14 @@ from typing import Iterable, List, Optional
 from repro.controller.energy import EnergyAccount
 from repro.controller.request import MemRequest
 from repro.dram.timing import TimingParams
+from repro.telemetry import runtime as telem
 from repro.utils.validation import check_positive
 
 #: Data-burst occupancy on the bus per column access (8 beats, DDR3-1333).
 T_BURST_NS = 6.0
+
+#: Request-latency histogram edges (ns).
+LATENCY_BUCKETS_NS = (25, 50, 100, 200, 400, 800, 1600, 3200, 6400, 12800)
 
 
 @dataclass
@@ -32,6 +36,7 @@ class SchedulerStats:
     total_latency_ns: float = 0.0
     finish_ns: float = 0.0
     refresh_stall_ns: float = 0.0
+    queue_depth_peak: int = 0
     latencies: List[float] = field(default_factory=list)
 
     @property
@@ -48,6 +53,22 @@ class SchedulerStats:
     def throughput_rps(self) -> float:
         """Requests per second of simulated time."""
         return self.requests / (self.finish_ns * 1e-9) if self.finish_ns > 0 else 0.0
+
+
+def record_scheduler_metrics(stats: SchedulerStats, policy: str) -> None:
+    """Feed one trace's aggregate scheduling results into telemetry.
+
+    Called once per :meth:`execute` (not per request) so the scheduler
+    hot loop never pays a telemetry lookup.
+    """
+    telem.counter("sched_requests_total", policy=policy).inc(stats.requests)
+    telem.counter("sched_row_hits_total", policy=policy).inc(stats.row_hits)
+    telem.counter("sched_row_misses_total", policy=policy).inc(stats.row_misses)
+    telem.counter("sched_refresh_stall_ns_total", policy=policy).inc(stats.refresh_stall_ns)
+    telem.gauge("sched_queue_depth_peak", policy=policy).set_max(stats.queue_depth_peak)
+    hist = telem.histogram("sched_latency_ns", edges=LATENCY_BUCKETS_NS, policy=policy)
+    for latency in stats.latencies:
+        hist.observe(latency)
 
 
 class CommandScheduler:
@@ -126,4 +147,6 @@ class CommandScheduler:
             stats.finish_ns = max(stats.finish_ns, complete)
         if self.energy is not None:
             self.energy.advance(stats.finish_ns - self.energy.elapsed_ns if stats.finish_ns > self.energy.elapsed_ns else 0.0)
+        if telem.metrics_on:
+            record_scheduler_metrics(stats, policy="inorder")
         return stats

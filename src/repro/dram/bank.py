@@ -25,6 +25,10 @@ import numpy as np
 from repro.dram.datapatterns import PatternFn, get_pattern
 from repro.dram.disturbance import DisturbanceModel
 from repro.dram.geometry import DramGeometry
+from repro.telemetry import runtime as telem
+
+#: Bucket edges for the flips-per-materialization histogram.
+_FLIP_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512)
 
 
 @dataclass
@@ -112,7 +116,7 @@ class DramBank:
             # pattern; weak distance-2 bumps don't claim aggressor-ship.
             self._last_aggressor[victim] = aggressor
 
-    def _materialize(self, row: int, time: float) -> np.ndarray:
+    def _materialize(self, row: int, time: float, cause: str = "activate") -> np.ndarray:
         """Apply any pending flips of ``row`` to its stored data."""
         peak = self._peak.get(row, 0.0)
         if peak <= 0:
@@ -124,6 +128,14 @@ class DramBank:
         self._peak[row] = 0.0
         if len(flipped):
             self.stats.record_flips(row, flipped, time)
+            if telem.metrics_on:
+                telem.counter("dram_bit_flips_total",
+                              bank=self.index, cause=cause).inc(len(flipped))
+                telem.histogram("dram_flips_per_event",
+                                edges=_FLIP_BUCKETS).observe(len(flipped))
+            if telem.trace_on:
+                telem.trace("bit_flip", t=time, bank=self.index, row=row,
+                            bits=len(flipped), cause=cause)
         return flipped
 
     # ------------------------------------------------------------------
@@ -134,6 +146,10 @@ class DramBank:
         disturbance state) and disturb its neighbors."""
         self.geometry.check_row(row)
         self.stats.activations += 1
+        if telem.metrics_on:
+            telem.counter("dram_activations_total", bank=self.index).inc()
+        if telem.trace_on:
+            telem.trace("activate", t=time, bank=self.index, row=row)
         self._materialize(row, time)
         self._pressure[row] = 0.0
         self._peak[row] = 0.0
@@ -157,6 +173,10 @@ class DramBank:
         if count <= 0:
             return
         self.stats.activations += count
+        if telem.metrics_on:
+            telem.counter("dram_activations_total", bank=self.index).inc(count)
+        if telem.trace_on:
+            telem.trace("activate", t=time, bank=self.index, row=row, count=count)
         self._materialize(row, time)
         self._pressure[row] = 0.0
         self._peak[row] = 0.0
@@ -177,6 +197,8 @@ class DramBank:
         if self.open_row != row:
             self.activate(row, time)
         self.stats.reads += 1
+        if telem.metrics_on:
+            telem.counter("dram_reads_total", bank=self.index).inc()
         return self.row_bits(row).copy()
 
     def write(self, row: int, bits: np.ndarray, time: float = 0.0) -> None:
@@ -187,6 +209,8 @@ class DramBank:
         if bits.shape != (expected,):
             raise ValueError(f"row data must have shape ({expected},), got {bits.shape}")
         self.stats.writes += 1
+        if telem.metrics_on:
+            telem.counter("dram_writes_total", bank=self.index).inc()
         self._data[row] = bits.astype(np.uint8, copy=True)
         self._pressure[row] = 0.0
         self._peak[row] = 0.0
@@ -210,10 +234,14 @@ class DramBank:
         """
         self.geometry.check_row(row)
         self.stats.refreshes += 1
+        if telem.metrics_on:
+            telem.counter("dram_refreshes_total", bank=self.index).inc()
+        if telem.trace_on:
+            telem.trace("refresh", t=time, bank=self.index, row=row)
         if not self._peak.get(row) and not self._pressure.get(row):
             # Undisturbed row: refresh is a no-op for the model.
             return np.empty(0, dtype=np.int64)
-        flipped = self._materialize(row, time)
+        flipped = self._materialize(row, time, cause="refresh")
         self._pressure[row] = 0.0
         self._peak[row] = 0.0
         return flipped
@@ -230,7 +258,9 @@ class DramBank:
         refresh semantics — used by checkers at end of an experiment."""
         flips = 0
         for row in list(self._peak):
-            flips += len(self._materialize(row, time))
+            flips += len(self._materialize(row, time, cause="settle"))
+        if telem.metrics_on:
+            telem.histogram("dram_rows_touched").observe(len(self._data))
         return flips
 
     def touched_rows(self) -> List[int]:

@@ -17,6 +17,7 @@ from typing import Dict, Iterable
 import numpy as np
 
 from repro.ecc.base import DecodeStatus, EccCode, classify_against_truth
+from repro.telemetry import runtime as telem
 
 
 def flips_per_word(flip_bits: Iterable[int], word_bits: int = 64) -> Dict[int, int]:
@@ -43,6 +44,8 @@ class EccEvaluation:
         """Accumulate ``count`` words with the given outcome."""
         self.words_total += count
         self.outcomes[status] = self.outcomes.get(status, 0) + count
+        if telem.metrics_on:
+            telem.counter("ecc_words_total", status=status.value).inc(count)
 
     @property
     def uncorrected_words(self) -> int:
@@ -98,4 +101,9 @@ def evaluate_code_against_histogram(
             tally[classify_against_truth(result, data)] += 1
         for status, tally_count in tally.items():
             evaluation.add(status, count=round(tally_count * word_count / trials))
+    if telem.trace_on:
+        telem.trace("ecc_eval", code=type(code).__name__,
+                    words=evaluation.words_total,
+                    uncorrected=evaluation.uncorrected_words,
+                    miscorrected=evaluation.silent_corruptions)
     return evaluation

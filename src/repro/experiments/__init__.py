@@ -42,6 +42,7 @@ from repro.experiments.dram import (
     fleet_study,
     isolation_violations,
     pattern_dependence_study,
+    rowhammer_basic,
 )
 from repro.experiments.emerging import emerging_memory_study, pcm_study
 from repro.experiments.flash import (
@@ -104,6 +105,7 @@ __all__ = [
     "invocable_names",
     "all_specs",
     # experiments, by paper section
+    "rowhammer_basic",
     "fig1_error_rates",
     "isolation_violations",
     "pattern_dependence_study",

@@ -13,6 +13,49 @@ from repro.fieldstudy.campaign import run_campaign
 
 
 # ----------------------------------------------------------------------
+# Baseline: one bank, one double-sided hammer pass
+# ----------------------------------------------------------------------
+@experiment(
+    "rowhammer_basic",
+    claim="Baseline double-sided hammer on one bank: activations, refreshes, flips",
+    section="II",
+    tags=("dram", "rowhammer", "telemetry"),
+    aliases=("basic",),
+    params_schema={
+        "victims": "number of victim rows bracketed by aggressor pairs",
+        "pressure": "activations per aggressor side (default: half the window budget)",
+    },
+)
+def rowhammer_basic(seed: int = 0, victims: int = 64, pressure: int = 0) -> Dict:
+    """The smallest end-to-end RowHammer run, reported as raw rates.
+
+    Brackets ``victims`` rows with aggressor pairs, hammers each side
+    ``pressure`` times within one refresh window, then refreshes the
+    disturbed rows.  The payload reports exactly the figures the bank
+    telemetry counts (activations, refreshes, bit flips), making this
+    the canonical cross-check for ``repro run --metrics`` /
+    ``repro stats``.
+    """
+    scenario = full_scale_scenario("B", 2013.0)
+    module = scenario.make_module(serial="rowhammer-basic", seed=seed)
+    bank = module.bank(0)
+    pressure = pressure or scenario.attack_budget // 2
+    for i in range(victims):
+        victim = 64 + 3 * i
+        bank.bulk_activate(victim - 1, pressure)
+        bank.bulk_activate(victim + 1, pressure)
+    bank.refresh_all()
+    return {
+        "activations": bank.stats.activations,
+        "refreshes": bank.stats.refreshes,
+        "bit_flips": bank.stats.flips_materialized,
+        "victims": victims,
+        "pressure_per_side": pressure,
+        "flips_per_victim": bank.stats.flips_materialized / victims,
+    }
+
+
+# ----------------------------------------------------------------------
 # F1 / C1: the Figure 1 campaign
 # ----------------------------------------------------------------------
 @experiment(

@@ -52,7 +52,14 @@ def canonical_json(value: Any) -> str:
 
 @dataclass(frozen=True)
 class ExperimentResult:
-    """One experiment execution: payload + provenance."""
+    """One experiment execution: payload + provenance.
+
+    ``metrics`` — when the job ran with telemetry collection on — is
+    the job's :meth:`~repro.telemetry.MetricsRegistry.snapshot`: the
+    counters/gauges/histograms the simulated hardware emitted while
+    this experiment executed.  It travels through the result cache, so
+    a cached result still answers "what did the hardware do".
+    """
 
     name: str
     payload: Any
@@ -62,6 +69,7 @@ class ExperimentResult:
     peak_rss_kb: int = 0
     version: str = ""
     cache_hit: bool = False
+    metrics: Optional[Dict[str, Any]] = None
 
     def payload_json(self) -> str:
         """Canonical JSON of the payload (byte-identical for equal seeds)."""
@@ -76,6 +84,7 @@ class ExperimentResult:
             "peak_rss_kb": self.peak_rss_kb,
             "version": self.version,
             "cache_hit": self.cache_hit,
+            "metrics": self.metrics,
             "payload": self.payload,
         }
 
@@ -90,6 +99,7 @@ class ExperimentResult:
             "peak_rss_kb": int(record.get("peak_rss_kb", 0)),
             "version": record.get("version", ""),
             "cache_hit": bool(record.get("cache_hit", False)),
+            "metrics": record.get("metrics"),
         }
         fields.update(overrides)
         return cls(**fields)

@@ -33,6 +33,8 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.experiments import registry
 from repro.experiments.result import ExperimentResult, canonical_json, to_jsonable
+from repro.telemetry import MetricsRegistry
+from repro.telemetry import runtime as telem
 
 try:  # not available on Windows; RSS reads as 0 there
     import resource
@@ -68,21 +70,43 @@ def _peak_rss_kb() -> int:
 
 
 def execute_job(name: str, params: Optional[Mapping[str, Any]] = None,
-                seed: Optional[int] = 0) -> ExperimentResult:
+                seed: Optional[int] = 0,
+                collect_metrics: bool = False) -> ExperimentResult:
     """Run one experiment in-process and return its structured result.
 
     This is the single run-one-experiment path shared by the CLI's
     ``run``/``report``/``sweep`` and the pool workers.  The payload is
     normalized to JSON-safe types here so cached and fresh results are
     indistinguishable downstream.
+
+    With ``collect_metrics`` the job runs against its own fresh
+    telemetry registry; the snapshot is attached to the result (and the
+    caller's registry is restored afterwards), so per-job metrics can be
+    shipped across process boundaries and merged in the parent.
     """
     import repro
 
     spec = registry.get(name)
     kwargs = spec.bind(params=params, seed=seed)
+    if collect_metrics:
+        prev_registry = telem.swap_registry(MetricsRegistry())
+        prev_on = telem.metrics_on
+        telem.enable_metrics()
+    if telem.trace_on:
+        telem.trace("job_start", name=spec.name, seed=seed)
+    snapshot: Optional[Dict[str, Any]] = None
     start = time.perf_counter()
-    payload = spec.fn(**kwargs)
-    duration = time.perf_counter() - start
+    try:
+        payload = spec.fn(**kwargs)
+    finally:
+        duration = time.perf_counter() - start
+        if telem.trace_on:
+            telem.trace("job_end", name=spec.name, seed=seed, duration_s=duration)
+        if collect_metrics:
+            snapshot = telem.get_registry().snapshot()
+            telem.swap_registry(prev_registry)
+            if not prev_on:
+                telem.disable_metrics()
     return ExperimentResult(
         name=spec.name,
         payload=to_jsonable(payload),
@@ -91,16 +115,17 @@ def execute_job(name: str, params: Optional[Mapping[str, Any]] = None,
         duration_s=duration,
         peak_rss_kb=_peak_rss_kb(),
         version=repro.__version__,
+        metrics=snapshot,
     )
 
 
-def _pool_worker(job: Tuple[str, Dict[str, Any], Optional[int]]) -> ExperimentResult:
+def _pool_worker(job: Tuple[str, Dict[str, Any], Optional[int], bool]) -> ExperimentResult:
     # Re-import inside the worker so spawn-based pools (macOS/Windows)
     # repopulate the registry; under fork this is a no-op.
     import repro.experiments  # noqa: F401
 
-    name, params, seed = job
-    return execute_job(name, params=params, seed=seed)
+    name, params, seed, collect_metrics = job
+    return execute_job(name, params=params, seed=seed, collect_metrics=collect_metrics)
 
 
 class ResultCache:
@@ -111,7 +136,10 @@ class ResultCache:
 
     def key(self, name: str, params: Mapping[str, Any], seed: Optional[int]) -> str:
         canonical = registry.resolve(name)
-        blob = canonical_json({"name": canonical, "params": dict(params), "seed": seed})
+        # Insertion order must not leak into the key: two params dicts
+        # holding the same bindings always hash identically.
+        ordered = {k: params[k] for k in sorted(params)}
+        blob = canonical_json({"name": canonical, "params": ordered, "seed": seed})
         return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:24]
 
     def path(self, name: str, params: Mapping[str, Any], seed: Optional[int]) -> Path:
@@ -146,12 +174,32 @@ class ExperimentRunner:
     the right default for one fast experiment); ``max_workers=N`` fans
     misses out over ``N`` worker processes.  ``cache_dir=None`` disables
     the cache.
+
+    ``collect_metrics=True`` runs every job with telemetry on: each
+    result carries its own metrics snapshot, and :attr:`metrics` holds
+    the parent-side merge across all jobs this runner executed (cache
+    hits included — their stored snapshots are re-absorbed, so a fully
+    cached re-run still reports what the hardware did).
     """
 
     def __init__(self, cache_dir: Optional[Union[str, Path]] = None,
-                 max_workers: Optional[int] = None):
+                 max_workers: Optional[int] = None,
+                 collect_metrics: bool = False):
         self.cache = ResultCache(cache_dir) if cache_dir is not None else None
         self.max_workers = max_workers
+        self.collect_metrics = collect_metrics
+        self.metrics: Optional[MetricsRegistry] = (
+            MetricsRegistry() if collect_metrics else None
+        )
+
+    def _absorb(self, result: ExperimentResult) -> None:
+        """Merge one job's metric snapshot into the parent registry."""
+        if self.metrics is None:
+            return
+        if result.metrics:
+            self.metrics.merge(result.metrics)
+        self.metrics.counter("runner_jobs_total",
+                             cache_hit=str(result.cache_hit).lower()).inc()
 
     def run_one(self, name: str, params: Optional[Mapping[str, Any]] = None,
                 seed: Optional[int] = 0) -> ExperimentResult:
@@ -160,10 +208,13 @@ class ExperimentRunner:
         if self.cache is not None:
             hit = self.cache.get(name, params, seed)
             if hit is not None:
+                self._absorb(hit)
                 return hit
-        result = execute_job(name, params=params, seed=seed)
+        result = execute_job(name, params=params, seed=seed,
+                             collect_metrics=self.collect_metrics)
         if self.cache is not None:
             self.cache.put(result)
+        self._absorb(result)
         return result
 
     def run(self, jobs: Sequence[Job]) -> List[ExperimentResult]:
@@ -185,16 +236,22 @@ class ExperimentRunner:
         if misses:
             workers = self.max_workers or 1
             if workers > 1 and len(misses) > 1:
-                payloads = [(j.name, dict(j.params), j.seed) for _, j in misses]
+                payloads = [(j.name, dict(j.params), j.seed, self.collect_metrics)
+                            for _, j in misses]
                 with ProcessPoolExecutor(max_workers=min(workers, len(misses))) as pool:
                     fresh = list(pool.map(_pool_worker, payloads))
             else:
-                fresh = [execute_job(j.name, params=j.params, seed=j.seed) for _, j in misses]
+                fresh = [execute_job(j.name, params=j.params, seed=j.seed,
+                                     collect_metrics=self.collect_metrics)
+                         for _, j in misses]
             for (i, _job), result in zip(misses, fresh):
                 results[i] = result
                 if self.cache is not None:
                     self.cache.put(result)
-        return [r for r in results if r is not None]
+        ordered = [r for r in results if r is not None]
+        for result in ordered:
+            self._absorb(result)
+        return ordered
 
     def sweep(self, name: str, seeds: int, base_seed: int = 0,
               params: Optional[Mapping[str, Any]] = None) -> List[ExperimentResult]:

@@ -26,11 +26,15 @@ from repro.flash.vth import (
     read_msb,
     state_from_bits,
 )
+from repro.telemetry import runtime as telem
 from repro.utils.rng import derive_rng
 from repro.utils.validation import check_positive
 
 #: log-time softening constant for retention loss (days).
 _RETENTION_T0_DAYS = 0.1
+
+#: Wear-histogram edges (P/E cycles), log-spaced over device lifetimes.
+_WEAR_BUCKETS = (100, 300, 1_000, 3_000, 10_000, 30_000, 100_000, 300_000)
 
 
 @dataclass
@@ -90,6 +94,8 @@ class FlashBlock:
         if pe_cycles < 0:
             raise ValueError("pe_cycles must be >= 0")
         self.pe_cycles = pe_cycles
+        if telem.metrics_on:
+            telem.histogram("flash_wear_pe_cycles", edges=_WEAR_BUCKETS).observe(pe_cycles)
 
     def _erase_fill(self) -> None:
         er_mean = self.params.state_means[0]
@@ -103,6 +109,9 @@ class FlashBlock:
         self._erase_fill()
         self.wl_state.clear()
         self.retention_days = 0.0
+        if telem.metrics_on:
+            telem.counter("flash_pe_cycles_total").inc()
+            telem.histogram("flash_wear_pe_cycles", edges=_WEAR_BUCKETS).observe(self.pe_cycles)
 
     # ------------------------------------------------------------------
     # Programming (two-step)
@@ -220,6 +229,10 @@ class FlashBlock:
         weight = np.clip((top - self.vth) / (top - er_mean), 0.0, 1.0)
         self.vth += reads * params.read_disturb_step * self.rd_susceptibility * weight
         self.reads_seen += reads
+        if telem.metrics_on:
+            telem.counter("flash_read_disturbs_total").inc(reads)
+        if telem.trace_on:
+            telem.trace("read_disturb", reads=reads, pe_cycles=self.pe_cycles)
 
     # ------------------------------------------------------------------
     # Reads and error accounting
@@ -249,6 +262,8 @@ class FlashBlock:
             bits = read_msb(self.vth[wordline], refs)
         else:
             raise ValueError("which must be 'lsb' or 'msb'")
+        if telem.metrics_on:
+            telem.counter("flash_page_reads_total", page=which).inc()
         if disturb:
             self.apply_read_disturb(1)
         return bits

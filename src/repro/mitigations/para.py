@@ -20,6 +20,7 @@ import math
 
 import numpy as np
 
+from repro.telemetry import runtime as telem
 from repro.utils.rng import derive_rng
 from repro.utils.units import SECONDS_PER_YEAR
 from repro.utils.validation import check_positive, check_probability
@@ -47,6 +48,10 @@ class Para:
         """With probability ``p``, refresh the aggressor's neighbors."""
         if self._rng.random() < self.p:
             self.triggers += 1
+            if telem.metrics_on:
+                telem.counter("para_triggers_total").inc()
+            if telem.trace_on:
+                telem.trace("para_refresh", t=time_ns, bank=bank, aggressor=logical_row)
             self._extra_refreshes += controller.refresh_neighbors(bank, logical_row, self.distance)
 
     def extra_refresh_ops(self) -> int:

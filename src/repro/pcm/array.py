@@ -14,8 +14,12 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.telemetry import runtime as telem
 from repro.utils.rng import derive_rng
 from repro.utils.validation import check_positive
+
+#: Per-line wear histogram edges (writes), log-spaced to endurance scale.
+_PCM_WEAR_BUCKETS = (1e3, 1e4, 1e5, 1e6, 3e6, 1e7, 3e7, 1e8)
 
 
 class PcmArray:
@@ -51,10 +55,17 @@ class PcmArray:
         if count < 0:
             raise ValueError("count must be >= 0")
         self.writes[line] += count
+        if telem.metrics_on:
+            telem.counter("pcm_writes_total").inc(count)
+            telem.histogram("pcm_line_writes", edges=_PCM_WEAR_BUCKETS).observe(
+                self.writes[line])
 
     def failed_lines(self) -> np.ndarray:
         """Indices of lines past their endurance."""
-        return np.nonzero(self.writes > self.endurance)[0]
+        failed = np.nonzero(self.writes > self.endurance)[0]
+        if telem.metrics_on:
+            telem.gauge("pcm_failed_lines").set_max(len(failed))
+        return failed
 
     @property
     def any_failed(self) -> bool:

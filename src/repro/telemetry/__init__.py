@@ -1,0 +1,71 @@
+"""Telemetry: counters, histograms, and event tracing for the simulators.
+
+The paper's claims are statements about *rates and distributions* —
+activations per refresh window, flips per vintage, errors vs. P/E
+cycles — so the simulators carry a first-class observability layer:
+
+* :mod:`repro.telemetry.metrics` — :class:`Counter`, :class:`Gauge`,
+  and fixed-bucket :class:`Histogram` series in a process-local
+  :class:`MetricsRegistry`, snapshot/merge-able across pool workers;
+* :mod:`repro.telemetry.trace` — a bounded :class:`TraceRecorder`
+  ring buffer of typed :class:`TraceEvent` records with JSONL spill;
+* :mod:`repro.telemetry.runtime` — the process-global sinks and the
+  ``metrics_on`` / ``trace_on`` hot-path guards instrument sites read.
+
+Everything is **off by default**; a disabled instrument site costs one
+module-attribute read.  Enable via the CLI (``repro run --metrics``,
+``repro trace``) or programmatically::
+
+    from repro import telemetry
+
+    telemetry.enable_metrics(fresh=True)
+    ...  # run simulator code
+    print(telemetry.get_registry().render_table())
+"""
+
+from repro.telemetry.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.telemetry.runtime import (
+    counter,
+    disable_all,
+    disable_metrics,
+    disable_tracing,
+    enable_metrics,
+    enable_tracing,
+    gauge,
+    get_registry,
+    get_tracer,
+    histogram,
+    swap_registry,
+    swap_tracer,
+    trace,
+)
+from repro.telemetry.trace import TraceEvent, TraceRecorder
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "TraceEvent",
+    "TraceRecorder",
+    "enable_metrics",
+    "disable_metrics",
+    "enable_tracing",
+    "disable_tracing",
+    "disable_all",
+    "get_registry",
+    "swap_registry",
+    "get_tracer",
+    "swap_tracer",
+    "counter",
+    "gauge",
+    "histogram",
+    "trace",
+]

@@ -1,0 +1,140 @@
+"""Process-global telemetry state and the hot-path guard flags.
+
+Instrumented simulator code imports this module once and guards every
+metric/trace touch on the two module globals::
+
+    from repro.telemetry import runtime as telem
+
+    if telem.metrics_on:
+        telem.counter("dram_activations_total", bank=self.index).inc()
+    if telem.trace_on:
+        telem.trace("activate", t=time, bank=self.index, row=row)
+
+When telemetry is disabled (the default) each site costs exactly one
+module-attribute read and a falsy branch — the "near-zero when off"
+contract the overhead benchmark enforces.
+
+This module is a leaf: it imports nothing from the rest of ``repro``,
+so any simulator layer can depend on it without cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+from repro.telemetry.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.telemetry.trace import TraceRecorder
+
+__all__ = [
+    "metrics_on",
+    "trace_on",
+    "enable_metrics",
+    "disable_metrics",
+    "enable_tracing",
+    "disable_tracing",
+    "disable_all",
+    "get_registry",
+    "swap_registry",
+    "get_tracer",
+    "swap_tracer",
+    "counter",
+    "gauge",
+    "histogram",
+    "trace",
+]
+
+#: Hot-path guards. Read directly (``telem.metrics_on``) by instrument
+#: sites; mutate only through the enable/disable helpers below.
+metrics_on: bool = False
+trace_on: bool = False
+
+_registry = MetricsRegistry()
+_tracer = TraceRecorder()
+
+
+# ----------------------------------------------------------------------
+# Switches
+# ----------------------------------------------------------------------
+def enable_metrics(fresh: bool = False) -> MetricsRegistry:
+    """Turn metric collection on; optionally start from an empty registry."""
+    global metrics_on, _registry
+    if fresh:
+        _registry = MetricsRegistry()
+    metrics_on = True
+    return _registry
+
+
+def disable_metrics() -> None:
+    global metrics_on
+    metrics_on = False
+
+
+def enable_tracing(capacity: Optional[int] = None,
+                   spill_path: Optional[Any] = None,
+                   fresh: bool = False) -> TraceRecorder:
+    """Turn event tracing on; optionally with a fresh, resized recorder."""
+    global trace_on, _tracer
+    if fresh or capacity is not None or spill_path is not None:
+        _tracer = TraceRecorder(capacity=capacity or 65536, spill_path=spill_path)
+    trace_on = True
+    return _tracer
+
+
+def disable_tracing() -> None:
+    global trace_on
+    trace_on = False
+
+
+def disable_all() -> None:
+    disable_metrics()
+    disable_tracing()
+
+
+# ----------------------------------------------------------------------
+# Current sinks
+# ----------------------------------------------------------------------
+def get_registry() -> MetricsRegistry:
+    return _registry
+
+
+def swap_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Install ``registry`` as the process sink; return the previous one.
+
+    The runner uses this to give each in-process job an isolated
+    registry whose snapshot travels inside the job's result.
+    """
+    global _registry
+    previous = _registry
+    _registry = registry
+    return previous
+
+
+def get_tracer() -> TraceRecorder:
+    return _tracer
+
+
+def swap_tracer(tracer: TraceRecorder) -> TraceRecorder:
+    global _tracer
+    previous = _tracer
+    _tracer = tracer
+    return previous
+
+
+# ----------------------------------------------------------------------
+# Recording helpers (call only behind the guards)
+# ----------------------------------------------------------------------
+def counter(name: str, **labels: Any) -> Counter:
+    return _registry.counter(name, **labels)
+
+
+def gauge(name: str, **labels: Any) -> Gauge:
+    return _registry.gauge(name, **labels)
+
+
+def histogram(name: str, edges: Optional[Sequence[float]] = None,
+              **labels: Any) -> Histogram:
+    return _registry.histogram(name, edges=edges, **labels)
+
+
+def trace(kind: str, t: Optional[float] = None, **fields: Any) -> None:
+    _tracer.emit(kind, t, **fields)

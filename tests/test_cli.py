@@ -197,3 +197,68 @@ class TestNewSubcommands:
         assert main(["run", "vref", "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
         assert payload["tuned_errors"] < payload["factory_errors"]
+
+
+class TestTelemetryCommands:
+    def _run_with_metrics(self, tmp_path, capsys, extra=()):
+        out = tmp_path / "metrics.json"
+        argv = ["run", "rowhammer_basic", "--metrics",
+                "--metrics-out", str(out), "--json", *extra]
+        assert main(argv) == 0
+        payload = json.loads(capsys.readouterr().out)
+        return out, payload
+
+    def test_run_metrics_snapshot_matches_payload(self, tmp_path, capsys):
+        out, payload = self._run_with_metrics(tmp_path, capsys)
+        record = json.loads(out.read_text())
+        assert record["command"] == "run"
+        assert record["names"] == ["rowhammer_basic"]
+        from repro.telemetry import MetricsRegistry
+
+        reg = MetricsRegistry.from_snapshot(record["metrics"])
+        # the acceptance cross-check: counters == the experiment's own figures
+        assert reg.total("dram_activations_total") == payload["activations"]
+        assert reg.total("dram_refreshes_total") == payload["refreshes"]
+        assert reg.total("dram_bit_flips_total") == payload["bit_flips"]
+
+    def test_stats_prometheus_renders_counters(self, tmp_path, capsys):
+        out, payload = self._run_with_metrics(tmp_path, capsys)
+        assert main(["stats", "--input", str(out), "--format", "prometheus"]) == 0
+        text = capsys.readouterr().out
+        assert f'dram_activations_total{{bank="0"}} {payload["activations"]}' in text
+        assert "# TYPE dram_activations_total counter" in text
+        assert 'runner_jobs_total{cache_hit="false"} 1' in text
+
+    def test_stats_table_and_json(self, tmp_path, capsys):
+        out, _ = self._run_with_metrics(tmp_path, capsys)
+        assert main(["stats", "--input", str(out)]) == 0
+        table = capsys.readouterr().out
+        assert "# run: rowhammer_basic" in table
+        assert "dram_flips_per_event" in table
+        assert main(["stats", "--input", str(out), "--format", "json"]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["metrics"]["counters"]
+
+    def test_stats_missing_input_fails_cleanly(self, tmp_path, capsys):
+        assert main(["stats", "--input", str(tmp_path / "nope.json")]) == 2
+        assert "hint" in capsys.readouterr().err
+
+    def test_trace_writes_jsonl(self, tmp_path, capsys):
+        out = tmp_path / "trace.jsonl"
+        assert main(["trace", "rowhammer_basic", "--output", str(out)]) == 0
+        err = capsys.readouterr().err
+        assert "job_start=1" in err and "job_end=1" in err
+        events = [json.loads(line) for line in out.read_text().splitlines()]
+        kinds = {e["kind"] for e in events}
+        assert {"job_start", "activate", "refresh", "job_end"} <= kinds
+        from repro.telemetry import runtime as telem
+
+        assert not telem.trace_on  # the command turned tracing back off
+
+    def test_trace_spill_bounds_memory(self, tmp_path, capsys):
+        spill = tmp_path / "spill.jsonl"
+        assert main(["trace", "rowhammer_basic", "--buffer", "64",
+                     "--spill", str(spill)]) == 0
+        err = capsys.readouterr().err
+        assert "0 dropped" in err
+        assert len(spill.read_text().splitlines()) > 64

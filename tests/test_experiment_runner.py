@@ -69,6 +69,16 @@ class TestCache:
         assert cache.key("twostep_study", {"pe_cycles": 4000}, 0) != base
         assert cache.key("fcr_study", {}, 0) != base
 
+    def test_cache_key_ignores_params_insertion_order(self, tmp_path):
+        # Regression: {"a": 1, "b": 2} and {"b": 2, "a": 1} are the same
+        # job and must share one cache entry.
+        cache = E.ResultCache(tmp_path)
+        forward = cache.key("twostep_study", {"pe_cycles": 4000, "dwell_s": 9.0}, 0)
+        reverse = cache.key("twostep_study", {"dwell_s": 9.0, "pe_cycles": 4000}, 0)
+        assert forward == reverse
+        assert cache.path("twostep_study", {"pe_cycles": 4000, "dwell_s": 9.0}, 0) \
+            == cache.path("twostep_study", {"dwell_s": 9.0, "pe_cycles": 4000}, 0)
+
     def test_alias_and_canonical_share_cache_entries(self, tmp_path):
         cache = E.ResultCache(tmp_path)
         assert cache.key("c12", {}, 0) == cache.key("twostep_study", {}, 0)

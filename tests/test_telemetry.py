@@ -1,0 +1,335 @@
+"""The telemetry subsystem: metric primitives, snapshot/merge across
+process-pool workers, trace ring buffers, and the disabled-by-default
+fast path the simulators rely on."""
+
+import json
+
+import pytest
+
+from repro.core.scenarios import full_scale_scenario
+from repro.experiments import ExperimentRunner, Job, execute_job
+from repro.telemetry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    TraceRecorder,
+)
+from repro.telemetry import runtime as telem
+
+
+@pytest.fixture(autouse=True)
+def _clean_telemetry():
+    """Every test sees pristine, disabled global telemetry state."""
+    prev_registry = telem.swap_registry(MetricsRegistry())
+    prev_tracer = telem.swap_tracer(TraceRecorder())
+    telem.disable_all()
+    yield
+    telem.disable_all()
+    telem.swap_registry(prev_registry)
+    telem.swap_tracer(prev_tracer)
+
+
+# ----------------------------------------------------------------------
+# Primitives
+# ----------------------------------------------------------------------
+class TestPrimitives:
+    def test_counter_accumulates_and_rejects_negatives(self):
+        c = Counter("hits")
+        c.inc()
+        c.inc(41)
+        assert c.value == 42
+        with pytest.raises(ValueError, match="only go up"):
+            c.inc(-1)
+
+    def test_gauge_set_max_keeps_peak(self):
+        g = Gauge("depth")
+        g.set(10)
+        g.set_max(3)
+        assert g.value == 10
+        g.set_max(17)
+        assert g.value == 17
+        g.inc(2)
+        g.dec(4)
+        assert g.value == 15
+
+
+class TestHistogramBuckets:
+    def test_edges_are_inclusive_upper_bounds(self):
+        h = Histogram("lat", edges=(10, 20, 40))
+        for v in (1, 10):       # both land in the first bucket (v <= 10)
+            h.observe(v)
+        h.observe(10.5)          # first value past edge 10 -> second bucket
+        h.observe(40)            # exactly the last edge -> last finite bucket
+        h.observe(41)            # past every edge -> overflow bucket
+        assert h.counts == [2, 1, 1, 1]
+        assert h.count == 5
+        assert h.sum == pytest.approx(1 + 10 + 10.5 + 40 + 41)
+
+    def test_rejects_bad_edges(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            Histogram("h", edges=(1, 1, 2))
+        with pytest.raises(ValueError, match="strictly increasing"):
+            Histogram("h", edges=())
+
+    def test_mean_and_quantile(self):
+        h = Histogram("lat", edges=(1, 2, 4, 8))
+        for v in (1, 1, 2, 8):
+            h.observe(v)
+        assert h.mean == pytest.approx(3.0)
+        assert h.quantile(0.5) == 1      # 2nd of 4 observations is in bucket<=1
+        assert h.quantile(1.0) == 8
+        assert Histogram("empty").quantile(0.5) == 0.0
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_overflow_quantile_reports_last_edge(self):
+        h = Histogram("lat", edges=(1, 2))
+        h.observe(100)
+        assert h.quantile(0.99) == 2
+
+
+# ----------------------------------------------------------------------
+# Registry: identity, lookups, rendering
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_series_identity_by_name_and_labels(self):
+        reg = MetricsRegistry()
+        a = reg.counter("acts", bank=0)
+        assert reg.counter("acts", bank=0) is a
+        assert reg.counter("acts", bank=1) is not a
+        # label order must not matter
+        assert reg.counter("x", a=1, b=2) is reg.counter("x", b=2, a=1)
+
+    def test_kind_conflicts_are_errors(self):
+        reg = MetricsRegistry()
+        reg.counter("n")
+        with pytest.raises(TypeError, match="already registered"):
+            reg.gauge("n")
+        reg.histogram("h")
+        with pytest.raises(TypeError, match="already registered"):
+            reg.counter("h")
+
+    def test_histogram_edge_redeclaration_mismatch(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", edges=(1, 2, 3))
+        assert reg.histogram("h") is reg.get("h")  # None edges = existing ok
+        with pytest.raises(ValueError, match="different edges"):
+            reg.histogram("h", edges=(1, 2, 4))
+
+    def test_value_and_total(self):
+        reg = MetricsRegistry()
+        reg.counter("acts", bank=0).inc(5)
+        reg.counter("acts", bank=1).inc(7)
+        assert reg.value("acts", bank=1) == 7
+        assert reg.value("acts", bank=9) == 0
+        assert reg.total("acts") == 12
+
+    def test_prometheus_rendering_full_precision(self):
+        reg = MetricsRegistry()
+        reg.counter("dram_activations_total", bank=0).inc(82_747_392)
+        text = reg.render_prometheus()
+        assert '# TYPE dram_activations_total counter' in text
+        assert 'dram_activations_total{bank="0"} 82747392' in text
+        assert "e+07" not in text  # large counters must not round through %g
+
+    def test_prometheus_histogram_is_cumulative(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", edges=(1, 2))
+        for v in (1, 2, 3):
+            h.observe(v)
+        text = reg.render_prometheus()
+        assert 'lat_bucket{le="1"} 1' in text
+        assert 'lat_bucket{le="2"} 2' in text
+        assert 'lat_bucket{le="+Inf"} 3' in text
+        assert "lat_sum 6" in text
+        assert "lat_count 3" in text
+
+    def test_table_rendering(self):
+        reg = MetricsRegistry()
+        assert reg.render_table() == "(no metrics recorded)"
+        reg.counter("c").inc(3)
+        reg.histogram("h", edges=(1, 2)).observe(1)
+        table = reg.render_table()
+        assert "counter" in table and "histogram" in table
+        assert "count=1" in table
+
+
+# ----------------------------------------------------------------------
+# Snapshot / merge: the cross-process protocol
+# ----------------------------------------------------------------------
+class TestSnapshotMerge:
+    def _worker_registry(self, acts, peak, lat_values):
+        reg = MetricsRegistry()
+        reg.counter("acts", bank=0).inc(acts)
+        reg.gauge("depth").set(peak)
+        h = reg.histogram("lat", edges=(1, 4, 16))
+        for v in lat_values:
+            h.observe(v)
+        return reg
+
+    def test_counters_add_gauges_max_histograms_elementwise(self):
+        a = self._worker_registry(10, 5, [1, 2])
+        b = self._worker_registry(32, 9, [2, 100])
+        merged = MetricsRegistry.from_snapshots([a.snapshot(), None, b.snapshot()])
+        assert merged.value("acts", bank=0) == 42
+        assert merged.value("depth") == 9  # max, not sum
+        h = merged.get("lat")
+        assert h.counts == [1, 2, 0, 1]  # 1 -> <=1; 2, 2 -> <=4; 100 -> +Inf
+        assert h.count == 4
+        assert h.sum == pytest.approx(105)
+
+    def test_snapshot_is_json_safe_and_round_trips(self):
+        reg = self._worker_registry(7, 3, [5])
+        snapshot = json.loads(json.dumps(reg.snapshot()))
+        restored = MetricsRegistry.from_snapshot(snapshot)
+        assert restored.snapshot() == reg.snapshot()
+
+    def test_merge_rejects_mismatched_histogram_edges(self):
+        a = MetricsRegistry()
+        a.histogram("lat", edges=(1, 2)).observe(1)
+        b = MetricsRegistry()
+        b.histogram("lat", edges=(1, 2, 3)).observe(1)
+        with pytest.raises(ValueError, match="different edges"):
+            a.merge(b.snapshot())
+
+
+# ----------------------------------------------------------------------
+# Trace recorder: bounded memory
+# ----------------------------------------------------------------------
+class TestTraceRecorder:
+    def test_ring_buffer_evicts_oldest(self):
+        rec = TraceRecorder(capacity=3)
+        for i in range(5):
+            rec.emit("activate", t=float(i), row=i)
+        assert len(rec) == 3
+        assert rec.emitted == 5
+        assert rec.dropped == 2
+        assert [e.fields["row"] for e in rec.events()] == [2, 3, 4]
+
+    def test_spill_to_disk_instead_of_evicting(self, tmp_path):
+        spill = tmp_path / "trace.jsonl"
+        rec = TraceRecorder(capacity=2, spill_path=spill)
+        for i in range(5):
+            rec.emit("refresh", row=i)
+        assert rec.dropped == 0
+        assert rec.spilled == 4  # two full-buffer flushes of 2
+        rec.flush()
+        lines = [json.loads(line) for line in spill.read_text().splitlines()]
+        assert [e["row"] for e in lines] == [0, 1, 2, 3, 4]
+        assert all(e["kind"] == "refresh" for e in lines)
+
+    def test_counts_by_kind_and_dump(self, tmp_path):
+        rec = TraceRecorder()
+        rec.emit("activate", row=1)
+        rec.emit("activate", row=2)
+        rec.emit("bit_flip", row=1, bit=7)
+        assert rec.counts_by_kind() == {"activate": 2, "bit_flip": 1}
+        out = tmp_path / "dump.jsonl"
+        assert rec.dump_jsonl(out) == 3
+        assert len(out.read_text().splitlines()) == 3
+
+    def test_invalid_capacity_and_missing_spill(self):
+        with pytest.raises(ValueError):
+            TraceRecorder(capacity=0)
+        with pytest.raises(RuntimeError, match="no spill path"):
+            TraceRecorder().flush()
+
+
+# ----------------------------------------------------------------------
+# Runtime guards and instrumented simulators
+# ----------------------------------------------------------------------
+def _hammer_once(pressure=200, victims=2):
+    scenario = full_scale_scenario("B", 2013.0)
+    module = scenario.make_module(serial="telem-test", seed=0)
+    bank = module.bank(0)
+    for i in range(victims):
+        victim = 64 + 3 * i
+        bank.bulk_activate(victim - 1, pressure)
+        bank.bulk_activate(victim + 1, pressure)
+    bank.refresh_all()
+    return bank
+
+
+class TestRuntime:
+    def test_disabled_by_default_records_nothing(self):
+        assert not telem.metrics_on and not telem.trace_on
+        _hammer_once()
+        assert len(telem.get_registry()) == 0
+        assert len(telem.get_tracer()) == 0
+
+    def test_enabled_counters_match_bank_stats(self):
+        telem.enable_metrics(fresh=True)
+        bank = _hammer_once()
+        reg = telem.get_registry()
+        assert reg.value("dram_activations_total", bank=0) == bank.stats.activations
+        assert reg.value("dram_refreshes_total", bank=0) == bank.stats.refreshes
+        assert reg.total("dram_bit_flips_total") == bank.stats.flips_materialized
+
+    def test_tracing_captures_typed_events(self):
+        telem.enable_tracing(fresh=True)
+        bank = _hammer_once()
+        kinds = telem.get_tracer().counts_by_kind()
+        assert kinds["activate"] == 4  # one per bulk_activate call
+        assert kinds["refresh"] == bank.stats.refreshes
+        if bank.stats.flips_materialized:
+            assert kinds["bit_flip"] >= 1
+
+    def test_swap_registry_round_trip(self):
+        original = telem.get_registry()
+        mine = MetricsRegistry()
+        assert telem.swap_registry(mine) is original
+        assert telem.get_registry() is mine
+        assert telem.swap_registry(original) is mine
+
+
+# ----------------------------------------------------------------------
+# The runner integration: per-job snapshots, parent-side merge
+# ----------------------------------------------------------------------
+CHEAP = {"victims": 2, "pressure": 400}
+
+
+class TestRunnerIntegration:
+    def test_execute_job_attaches_snapshot_and_restores_state(self):
+        sentinel = telem.enable_metrics(fresh=True)
+        result = execute_job("rowhammer_basic", params=CHEAP, seed=0,
+                             collect_metrics=True)
+        # the caller's registry came back untouched, flags preserved
+        assert telem.get_registry() is sentinel
+        assert telem.metrics_on
+        assert result.metrics is not None
+        merged = MetricsRegistry.from_snapshot(result.metrics)
+        assert merged.total("dram_activations_total") == result.payload["activations"]
+
+    def test_execute_job_without_metrics_attaches_none(self):
+        result = execute_job("rowhammer_basic", params=CHEAP, seed=0)
+        assert result.metrics is None
+        assert not telem.metrics_on
+
+    def test_pool_workers_merge_into_parent(self):
+        runner = ExperimentRunner(max_workers=2, collect_metrics=True)
+        jobs = [Job("rowhammer_basic", CHEAP, seed) for seed in (0, 1, 2)]
+        results = runner.run(jobs)
+        assert all(r.metrics is not None for r in results)
+        expected_acts = sum(r.payload["activations"] for r in results)
+        expected_flips = sum(r.payload["bit_flips"] for r in results)
+        assert runner.metrics.total("dram_activations_total") == expected_acts
+        assert runner.metrics.total("dram_bit_flips_total") == expected_flips
+        assert runner.metrics.value("runner_jobs_total", cache_hit="false") == 3
+
+    def test_cached_rerun_still_reports_metrics(self, tmp_path):
+        first = ExperimentRunner(cache_dir=tmp_path, collect_metrics=True)
+        fresh = first.run_one("rowhammer_basic", params=CHEAP, seed=0)
+        second = ExperimentRunner(cache_dir=tmp_path, collect_metrics=True)
+        hit = second.run_one("rowhammer_basic", params=CHEAP, seed=0)
+        assert hit.cache_hit
+        assert hit.metrics == fresh.metrics  # snapshot survived the disk trip
+        assert (second.metrics.total("dram_activations_total")
+                == fresh.payload["activations"])
+        assert second.metrics.value("runner_jobs_total", cache_hit="true") == 1
+
+    def test_metrics_off_runner_has_no_registry(self):
+        runner = ExperimentRunner()
+        result = runner.run_one("rowhammer_basic", params=CHEAP, seed=0)
+        assert runner.metrics is None
+        assert result.metrics is None
