@@ -9,6 +9,13 @@ runs the full harness.
 import pytest
 
 
+@pytest.fixture(autouse=True)
+def _ledger_off(monkeypatch):
+    """Benchmarks must never write the user's real run ledger."""
+    monkeypatch.setenv("REPRO_LEDGER", "off")
+    monkeypatch.delenv("REPRO_LEDGER_PATH", raising=False)
+
+
 def run_once(benchmark, fn, *args, **kwargs):
     """Benchmark an experiment with a single timed execution.
 

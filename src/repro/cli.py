@@ -23,7 +23,11 @@ the telemetry the simulated hardware emits (merged across ``--parallel``
 worker processes) and persists the snapshot to ``--metrics-out``;
 ``stats`` renders a saved snapshot as a table, JSON, or Prometheus text
 format; ``trace`` replays one experiment with event tracing on and
-emits the JSONL event stream.
+emits the JSONL event stream; ``profile`` runs one experiment under the
+span profiler and renders where the time went; ``ledger`` lists, shows,
+and diffs the append-only run manifest every runner job feeds; and
+``bench`` drives the bench-regression suite (``repro bench --compare
+BASELINE.json`` exits nonzero past the regression threshold).
 
 Seed handling is introspected from each experiment's registered
 signature — an exception raised *inside* an experiment always
@@ -166,6 +170,57 @@ def build_parser() -> argparse.ArgumentParser:
                        help="spill overflowing events to this JSONL file "
                             "instead of evicting the oldest")
 
+    profile = sub.add_parser(
+        "profile", help="run one experiment under the span profiler"
+    )
+    profile.add_argument("name", choices=invocable)
+    profile.add_argument("--seed", type=int, default=0)
+    profile.add_argument("--json", action="store_true",
+                         help="emit the profile snapshot as JSON")
+    profile.add_argument("--folded", default=None, metavar="PATH",
+                         help="also write flamegraph folded stacks "
+                              "('-' = stdout instead of the tree)")
+
+    ledger = sub.add_parser(
+        "ledger", help="inspect the append-only run ledger"
+    )
+    ledger.add_argument("--path", default=None,
+                        help="ledger file (default: $REPRO_LEDGER_PATH or "
+                             "~/.cache/repro/ledger.jsonl)")
+    ledger_sub = ledger.add_subparsers(dest="ledger_command", required=True)
+    ledger_list = ledger_sub.add_parser("list", help="list recorded runs")
+    ledger_list.add_argument("--limit", type=int, default=20, metavar="N",
+                             help="show the most recent N records")
+    ledger_list.add_argument("--name", default=None,
+                             help="only records of this experiment")
+    ledger_show = ledger_sub.add_parser("show", help="show one record")
+    ledger_show.add_argument("ref", help="1-based index, negative index, or id prefix")
+    ledger_diff = ledger_sub.add_parser("diff", help="compare two records")
+    ledger_diff.add_argument("ref_a")
+    ledger_diff.add_argument("ref_b")
+
+    bench = sub.add_parser(
+        "bench", help="run the bench-regression suite"
+    )
+    bench.add_argument("names", nargs="*", metavar="bench",
+                       help="benches to run (default: the full suite)")
+    bench.add_argument("--quick", action="store_true",
+                       help="small parameterizations (CI-sized)")
+    bench.add_argument("--out", default=None, metavar="PATH",
+                       help="report file (default: BENCH_<timestamp>.json)")
+    bench.add_argument("--input", default=None, metavar="PATH",
+                       help="compare/print a saved report instead of running")
+    bench.add_argument("--compare", default=None, metavar="BASELINE",
+                       help="diff against a baseline report")
+    bench.add_argument("--fail-on-regress", type=float, default=None,
+                       metavar="PCT",
+                       help="regression threshold in percent "
+                            "(default 10; implies --compare must be set)")
+    bench.add_argument("--warn-only", action="store_true",
+                       help="report regressions but exit 0 (CI mode)")
+    bench.add_argument("--json", action="store_true",
+                       help="emit the report (and comparison) as JSON")
+
     test_module = sub.add_parser(
         "test-module",
         help="memtest-style RowHammer test of one simulated module",
@@ -199,6 +254,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _stats(args)
     if args.command == "trace":
         return _trace(args)
+    if args.command == "profile":
+        return _profile(args)
+    if args.command == "ledger":
+        return _ledger(args)
+    if args.command == "bench":
+        return _bench(args)
     if args.command == "test-module":
         return _test_module(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
@@ -248,6 +309,15 @@ def _write_metrics_snapshot(runner: ExperimentRunner, path: str,
     print(f"metrics: {len(runner.metrics)} series -> {path}", file=sys.stderr)
 
 
+def _print_batch_errors(summary: dict) -> None:
+    """Surface a batch's failed jobs on stderr (never silently dropped)."""
+    for job in summary["errored"]:
+        seed = "-" if job["seed"] is None else job["seed"]
+        print(f"error: {job['name']} (seed {seed}): {job['error']}",
+              file=sys.stderr)
+    print(f"{summary['errors']}/{summary['jobs']} jobs failed", file=sys.stderr)
+
+
 def _run(args) -> int:
     runner = _make_runner(args.parallel, args.cache_dir, collect_metrics=args.metrics)
     jobs = [Job(name, {}, args.seed) for name in args.names]
@@ -261,9 +331,16 @@ def _run(args) -> int:
                 if i:
                     print()
                 print(f"== {result.name} ==")
-            print("\n".join(_render_text(body)))
+            if result.error and not args.record:
+                print(f"error: {result.error}")
+            else:
+                print("\n".join(_render_text(body)))
     if args.metrics:
         _write_metrics_snapshot(runner, args.metrics_out, "run", args.names)
+    summary = runner.summary(results)
+    if summary["errors"]:
+        _print_batch_errors(summary)
+        return 1
     return 0
 
 
@@ -287,13 +364,20 @@ def _write_report(names: List[str], seed: int, output: str,
         lines.append(f"*{_format_provenance(result)} · repro {result.version}*")
         lines.append("")
         lines.append("```")
-        lines.extend(_render_text(result.payload))
+        if result.error:
+            lines.append(f"error: {result.error}")
+        else:
+            lines.extend(_render_text(result.payload))
         lines.append("```")
         lines.append("")
         print(f"ran {result.name} ({result.duration_s:.3f} s)")
     with open(output, "w") as handle:
         handle.write("\n".join(lines))
     print(f"wrote {output}")
+    summary = runner.summary(results)
+    if summary["errors"]:
+        _print_batch_errors(summary)
+        return 1
     return 0
 
 
@@ -307,17 +391,24 @@ def _sweep(args) -> int:
         return 2
     if args.metrics:
         _write_metrics_snapshot(runner, args.metrics_out, "sweep", [args.name])
+    summary = runner.summary(results)
     if args.json:
         print(json.dumps([r.to_json_dict() for r in results], indent=2, default=repr))
+        if summary["errors"]:
+            _print_batch_errors(summary)
+            return 1
         return 0
     name = registry.resolve(args.name)
-    hits = sum(r.cache_hit for r in results)
     print(f"sweep {name}: {len(results)} seeds from base {args.base_seed} "
-          f"({hits} cache hits)")
+          f"({summary['cache_hits']} cache hits, {summary['errors']} errors)")
     for result in results:
-        print(f"  {_format_provenance(result)}")
+        suffix = f" · ERROR {result.error}" if result.error else ""
+        print(f"  {_format_provenance(result)}{suffix}")
     if cache_dir is not None:
         print(f"cache: {cache_dir}")
+    if summary["errors"]:
+        _print_batch_errors(summary)
+        return 1
     return 0
 
 
@@ -351,8 +442,12 @@ def _stats(args) -> int:
 
 def _trace(args) -> int:
     """Run one experiment with event tracing on; emit the JSONL trace."""
-    recorder = telem.enable_tracing(capacity=args.buffer, spill_path=args.spill,
-                                    fresh=True)
+    try:
+        recorder = telem.enable_tracing(capacity=args.buffer, spill_path=args.spill,
+                                        fresh=True)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     try:
         execute_job(args.name, seed=args.seed)
     finally:
@@ -373,6 +468,182 @@ def _trace(args) -> int:
     print(f"trace {registry.resolve(args.name)}: {recorder.emitted} events "
           f"({kinds}); {recorder.dropped} dropped; wrote {written} -> {destination}",
           file=sys.stderr)
+    return 0
+
+
+def _profile(args) -> int:
+    """Run one experiment under the span profiler; render the tree."""
+    from repro.telemetry import SpanProfile
+
+    result = execute_job(args.name, seed=args.seed, collect_profile=True)
+    profile = SpanProfile.from_snapshot(result.profile or {})
+    if args.json:
+        print(json.dumps({
+            "name": result.name,
+            "seed": result.seed,
+            "duration_s": result.duration_s,
+            "coverage_s": profile.total_s(),
+            "profile": result.profile,
+        }, indent=2, sort_keys=True))
+        return 0
+    if args.folded is not None:
+        folded = profile.render_folded()
+        if args.folded == "-":
+            sys.stdout.write(folded)
+        else:
+            with open(args.folded, "w") as handle:
+                handle.write(folded)
+            print(f"wrote folded stacks -> {args.folded}", file=sys.stderr)
+            print(profile.render_tree())
+        return 0
+    coverage = profile.total_s()
+    pct = 100.0 * coverage / result.duration_s if result.duration_s > 0 else 0.0
+    print(f"# {result.name} · seed {result.seed} · {result.duration_s:.3f} s "
+          f"wall · spans cover {coverage:.3f} s ({pct:.1f}%)")
+    print(profile.render_tree())
+    return 0
+
+
+def _open_ledger(args):
+    from repro.telemetry import ledger as ledger_mod
+
+    if args.path is not None:
+        return ledger_mod.RunLedger(args.path)
+    return ledger_mod.RunLedger(ledger_mod.ledger_path())
+
+
+def _ledger(args) -> int:
+    """Inspect the append-only run ledger."""
+    book = _open_ledger(args)
+    if args.ledger_command == "list":
+        records = book.records()
+        if args.name is not None:
+            records = [r for r in records if r.get("name") == args.name]
+        if not records:
+            print(f"(ledger {book.path} is empty)")
+            return 0
+        total = len(records)
+        start = max(0, total - args.limit)
+        print(f"# {book.path} · {total} records (showing {total - start})")
+        for offset, record in enumerate(records[start:], start=start + 1):
+            status = "ok" if record.get("ok", True) else "ERR"
+            cached = " cache" if record.get("cache_hit") else ""
+            seed = record.get("seed")
+            seed_s = "-" if seed is None else seed
+            print(f"{offset:>4}  {record.get('id', '?'):<12}  "
+                  f"{record.get('time', '?'):<24}  {status:<3} "
+                  f"{record.get('name', '?')}  seed {seed_s}  "
+                  f"{record.get('duration_s', 0.0):.3f} s{cached}")
+        return 0
+    if args.ledger_command == "show":
+        record = book.find(args.ref)
+        if record is None:
+            print(f"error: no ledger record matching {args.ref!r} in {book.path}",
+                  file=sys.stderr)
+            return 2
+        print(json.dumps(record, indent=2, sort_keys=True))
+        return 0
+    if args.ledger_command == "diff":
+        rec_a = book.find(args.ref_a)
+        rec_b = book.find(args.ref_b)
+        for ref, rec in ((args.ref_a, rec_a), (args.ref_b, rec_b)):
+            if rec is None:
+                print(f"error: no ledger record matching {ref!r} in {book.path}",
+                      file=sys.stderr)
+                return 2
+        return _ledger_diff(rec_a, rec_b)
+    raise AssertionError(args.ledger_command)  # pragma: no cover
+
+
+def _ledger_diff(rec_a: dict, rec_b: dict) -> int:
+    """Print a field-by-field comparison of two ledger records."""
+    print(f"a: {rec_a.get('id')}  {rec_a.get('time')}  {rec_a.get('name')}")
+    print(f"b: {rec_b.get('id')}  {rec_b.get('time')}  {rec_b.get('name')}")
+    for key in ("name", "seed", "params", "git_sha", "repro_version", "ok"):
+        va, vb = rec_a.get(key), rec_b.get(key)
+        marker = "  " if va == vb else "! "
+        print(f"{marker}{key}: {va!r} -> {vb!r}")
+    da, db = rec_a.get("duration_s", 0.0), rec_b.get("duration_s", 0.0)
+    delta = f" ({100.0 * (db - da) / da:+.1f}%)" if da else ""
+    print(f"  duration_s: {da:.3f} -> {db:.3f}{delta}")
+    same_payload = rec_a.get("payload_digest") == rec_b.get("payload_digest")
+    print(f"{'  ' if same_payload else '! '}payload: "
+          f"{'identical' if same_payload else 'DIFFERENT'} "
+          f"({rec_a.get('payload_digest')} vs {rec_b.get('payload_digest')})")
+    totals_a = rec_a.get("metrics_totals") or {}
+    totals_b = rec_b.get("metrics_totals") or {}
+    moved = {k for k in set(totals_a) | set(totals_b)
+             if totals_a.get(k, 0) != totals_b.get(k, 0)}
+    if moved:
+        print("! metrics moved:")
+        for key in sorted(moved):
+            print(f"!   {key}: {totals_a.get(key, 0):g} -> {totals_b.get(key, 0):g}")
+    elif totals_a or totals_b:
+        print("  metrics totals: identical")
+    return 0
+
+
+def _bench(args) -> int:
+    """Run (or load) the bench suite; optionally gate on a baseline."""
+    from repro import bench as bench_mod
+
+    threshold = args.fail_on_regress
+    if threshold is not None and args.compare is None:
+        print("error: --fail-on-regress requires --compare", file=sys.stderr)
+        return 2
+    if args.input is not None:
+        try:
+            report = bench_mod.load_report(args.input)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    else:
+        try:
+            report = bench_mod.run_suite(args.names or None, quick=args.quick)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        out = bench_mod.write_report(report, args.out)
+        print(f"wrote {out}", file=sys.stderr)
+
+    comparison = None
+    if args.compare is not None:
+        try:
+            baseline = bench_mod.load_report(args.compare)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        comparison = bench_mod.compare_reports(
+            report, baseline,
+            threshold_pct=threshold if threshold is not None
+            else bench_mod.DEFAULT_REGRESS_PCT,
+        )
+
+    if args.json:
+        body = {"report": report}
+        if comparison is not None:
+            body["comparison"] = comparison
+        print(json.dumps(body, indent=2, sort_keys=True))
+    else:
+        print(f"{'bench':<22}  {'wall':>10}  {'throughput':>16}")
+        for bench in report["benches"]:
+            tput = (f"{bench['throughput']:,.0f} {bench['unit']}/s"
+                    if bench.get("throughput") else "-")
+            print(f"{bench['name']:<22}  {bench['wall_s']:>9.3f}s  {tput:>16}")
+        if comparison is not None:
+            print(f"\nvs baseline (threshold {comparison['threshold_pct']:g}%):")
+            for row in comparison["rows"]:
+                if row["note"]:
+                    print(f"  {row['name']:<22}  ({row['note']})")
+                    continue
+                flag = "  REGRESSED" if row["regressed"] else ""
+                print(f"  {row['name']:<22}  {row['base_wall_s']:.3f}s -> "
+                      f"{row['wall_s']:.3f}s  ({row['delta_pct']:+.1f}%){flag}")
+
+    if comparison is not None and not comparison["ok"]:
+        names = ", ".join(comparison["regressions"])
+        print(f"regression: {names}", file=sys.stderr)
+        return 0 if args.warn_only else 1
     return 0
 
 

@@ -160,27 +160,32 @@ class MemoryController:
 
         This is the faithful (per-command) path: every activation passes
         through timing, refresh, perf counters, and the mitigation hook.
+        The whole pattern is one profiling span — the per-command loop
+        stays span-free so profiling never distorts what it measures.
         """
-        for _ in range(iterations):
-            for row in rows:
-                self.activate(bank, row)
+        with telem.span("ctrl.activation_pattern"):
+            for _ in range(iterations):
+                for row in rows:
+                    self.activate(bank, row)
 
     def run_trace(self, trace: Iterable) -> None:
         """Replay (bank, row, is_write) tuples through the full command path."""
-        for bank, row, is_write in trace:
-            if is_write:
-                self.write(bank, row, self.module.read_row(bank, row, self.time_ns))
-            else:
-                self.read(bank, row)
+        with telem.span("ctrl.run_trace"):
+            for bank, row, is_write in trace:
+                if is_write:
+                    self.write(bank, row, self.module.read_row(bank, row, self.time_ns))
+                else:
+                    self.read(bank, row)
 
     # ------------------------------------------------------------------
     # End-of-run accounting
     # ------------------------------------------------------------------
     def finish(self) -> int:
         """Materialize pending flips everywhere; return total module flips."""
-        self.perf.flush(self.time_ns)
-        self.module.settle(self.time_ns)
-        return self.module.total_flips()
+        with telem.span("ctrl.finish"):
+            self.perf.flush(self.time_ns)
+            self.module.settle(self.time_ns)
+            return self.module.total_flips()
 
     def total_flips(self) -> int:
         """Flips materialized so far (call :meth:`finish` first for finality)."""

@@ -108,6 +108,10 @@ class FrFcfsScheduler:
 
     def execute(self, requests: List[MemRequest]) -> SchedulerStats:
         """Schedule all requests (sorted by arrival); returns statistics."""
+        with telem.span("sched.execute", policy="frfcfs"):
+            return self._execute_body(requests)
+
+    def _execute_body(self, requests: List[MemRequest]) -> SchedulerStats:
         stats = SchedulerStats()
         pending = sorted(requests)
         for req in pending:

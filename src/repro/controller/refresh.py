@@ -85,9 +85,10 @@ class RefreshEngine:
     def tick(self, time_ns: float) -> int:
         """Issue all REF commands due by ``time_ns``; return rows refreshed."""
         refreshed = 0
-        while self.due(time_ns):
-            refreshed += self._issue_ref(self.next_ref_ns)
-            self.next_ref_ns += self.interval_ns
+        with telem.span("ctrl.refresh_tick"):
+            while self.due(time_ns):
+                refreshed += self._issue_ref(self.next_ref_ns)
+                self.next_ref_ns += self.interval_ns
         return refreshed
 
     def _issue_ref(self, time_ns: float) -> int:

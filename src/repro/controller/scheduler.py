@@ -117,6 +117,10 @@ class CommandScheduler:
     def execute(self, requests: Iterable[MemRequest]) -> SchedulerStats:
         """Service ``requests`` (must be sorted by arrival); fills their
         ``completed_ns`` and returns aggregate statistics."""
+        with telem.span("sched.execute", policy="inorder"):
+            return self._execute_body(requests)
+
+    def _execute_body(self, requests: Iterable[MemRequest]) -> SchedulerStats:
         stats = SchedulerStats()
         timing = self.timing
         for req in requests:

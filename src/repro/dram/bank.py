@@ -177,6 +177,12 @@ class DramBank:
             telem.counter("dram_activations_total", bank=self.index).inc(count)
         if telem.trace_on:
             telem.trace("activate", t=time, bank=self.index, row=row, count=count)
+        if telem.spans_on:
+            with telem.span("dram.bulk_activate"):
+                return self._bulk_activate_body(row, count, time)
+        self._bulk_activate_body(row, count, time)
+
+    def _bulk_activate_body(self, row: int, count: int, time: float) -> None:
         self._materialize(row, time)
         self._pressure[row] = 0.0
         self._peak[row] = 0.0
@@ -248,20 +254,22 @@ class DramBank:
 
     def refresh_all(self, time: float = 0.0) -> int:
         """Refresh every row that has any accumulated state; return flip count."""
-        flips = 0
-        for row in list(self._peak):
-            flips += len(self.refresh_row(row, time))
-        return flips
+        with telem.span("dram.refresh_all"):
+            flips = 0
+            for row in list(self._peak):
+                flips += len(self.refresh_row(row, time))
+            return flips
 
     def settle(self, time: float = 0.0) -> int:
         """Materialize pending flips everywhere without resetting counters'
         refresh semantics — used by checkers at end of an experiment."""
-        flips = 0
-        for row in list(self._peak):
-            flips += len(self._materialize(row, time, cause="settle"))
-        if telem.metrics_on:
-            telem.histogram("dram_rows_touched").observe(len(self._data))
-        return flips
+        with telem.span("dram.settle"):
+            flips = 0
+            for row in list(self._peak):
+                flips += len(self._materialize(row, time, cause="settle"))
+            if telem.metrics_on:
+                telem.histogram("dram_rows_touched").observe(len(self._data))
+            return flips
 
     def touched_rows(self) -> List[int]:
         """Rows whose data has been instantiated."""

@@ -88,19 +88,20 @@ def evaluate_code_against_histogram(
         trials_per_class: sampling cap per flip-count class.
     """
     evaluation = EccEvaluation()
-    for flips, word_count in sorted(flip_histogram.items()):
-        trials = min(word_count, trials_per_class)
-        tally: Counter = Counter()
-        for _ in range(trials):
-            data = rng.integers(0, 2, size=code.data_bits).astype(np.uint8)
-            codeword = code.encode(data)
-            positions = rng.choice(code.code_bits, size=min(flips, code.code_bits), replace=False)
-            corrupted = codeword.copy()
-            corrupted[positions] ^= 1
-            result = code.decode(corrupted)
-            tally[classify_against_truth(result, data)] += 1
-        for status, tally_count in tally.items():
-            evaluation.add(status, count=round(tally_count * word_count / trials))
+    with telem.span("ecc.evaluate", code=type(code).__name__):
+        for flips, word_count in sorted(flip_histogram.items()):
+            trials = min(word_count, trials_per_class)
+            tally: Counter = Counter()
+            for _ in range(trials):
+                data = rng.integers(0, 2, size=code.data_bits).astype(np.uint8)
+                codeword = code.encode(data)
+                positions = rng.choice(code.code_bits, size=min(flips, code.code_bits), replace=False)
+                corrupted = codeword.copy()
+                corrupted[positions] ^= 1
+                result = code.decode(corrupted)
+                tally[classify_against_truth(result, data)] += 1
+            for status, tally_count in tally.items():
+                evaluation.add(status, count=round(tally_count * word_count / trials))
     if telem.trace_on:
         telem.trace("ecc_eval", code=type(code).__name__,
                     words=evaluation.words_total,

@@ -72,6 +72,7 @@ from repro.experiments.runner import (
     ResultCache,
     derive_seed,
     execute_job,
+    execute_job_safe,
 )
 
 #: The single run-one-experiment entry point (CLI ``run``/``report``/
@@ -97,6 +98,7 @@ __all__ = [
     "DuplicateExperimentError",
     "derive_seed",
     "execute_job",
+    "execute_job_safe",
     "run_experiment",
     "to_jsonable",
     "canonical_json",

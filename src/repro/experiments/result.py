@@ -59,6 +59,15 @@ class ExperimentResult:
     counters/gauges/histograms the simulated hardware emitted while
     this experiment executed.  It travels through the result cache, so
     a cached result still answers "what did the hardware do".
+
+    ``profile`` is the analogous
+    :meth:`~repro.telemetry.SpanProfiler.snapshot` of wall-clock spans
+    when the job ran under the span profiler.
+
+    ``error`` is ``None`` for a successful run; a fault-tolerant batch
+    (:meth:`~repro.experiments.runner.ExperimentRunner.run`) captures a
+    raising job as a result with ``payload=None`` and ``error`` set to
+    ``"ExcType: message"`` — never cached, always surfaced.
     """
 
     name: str
@@ -70,6 +79,12 @@ class ExperimentResult:
     version: str = ""
     cache_hit: bool = False
     metrics: Optional[Dict[str, Any]] = None
+    profile: Optional[Dict[str, Any]] = None
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
 
     def payload_json(self) -> str:
         """Canonical JSON of the payload (byte-identical for equal seeds)."""
@@ -85,6 +100,8 @@ class ExperimentResult:
             "version": self.version,
             "cache_hit": self.cache_hit,
             "metrics": self.metrics,
+            "profile": self.profile,
+            "error": self.error,
             "payload": self.payload,
         }
 
@@ -100,6 +117,8 @@ class ExperimentResult:
             "version": record.get("version", ""),
             "cache_hit": bool(record.get("cache_hit", False)),
             "metrics": record.get("metrics"),
+            "profile": record.get("profile"),
+            "error": record.get("error"),
         }
         fields.update(overrides)
         return cls(**fields)

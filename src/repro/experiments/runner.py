@@ -33,7 +33,8 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.experiments import registry
 from repro.experiments.result import ExperimentResult, canonical_json, to_jsonable
-from repro.telemetry import MetricsRegistry
+from repro.telemetry import MetricsRegistry, RunLedger, SpanProfile, SpanProfiler
+from repro.telemetry import default_ledger
 from repro.telemetry import runtime as telem
 
 try:  # not available on Windows; RSS reads as 0 there
@@ -71,7 +72,8 @@ def _peak_rss_kb() -> int:
 
 def execute_job(name: str, params: Optional[Mapping[str, Any]] = None,
                 seed: Optional[int] = 0,
-                collect_metrics: bool = False) -> ExperimentResult:
+                collect_metrics: bool = False,
+                collect_profile: bool = False) -> ExperimentResult:
     """Run one experiment in-process and return its structured result.
 
     This is the single run-one-experiment path shared by the CLI's
@@ -83,6 +85,14 @@ def execute_job(name: str, params: Optional[Mapping[str, Any]] = None,
     telemetry registry; the snapshot is attached to the result (and the
     caller's registry is restored afterwards), so per-job metrics can be
     shipped across process boundaries and merged in the parent.
+    ``collect_profile`` does the same with a fresh span profiler: the
+    whole job runs under a root ``job{name=...}`` span and the profile
+    snapshot rides in ``result.profile``.
+
+    Exceptions raised inside the experiment propagate (the batch-level
+    fault tolerance lives in :meth:`ExperimentRunner.run`); the
+    ``job_end`` trace event still fires, with ``ok``/``error`` fields
+    distinguishing the failure.
     """
     import repro
 
@@ -90,22 +100,43 @@ def execute_job(name: str, params: Optional[Mapping[str, Any]] = None,
     kwargs = spec.bind(params=params, seed=seed)
     if collect_metrics:
         prev_registry = telem.swap_registry(MetricsRegistry())
-        prev_on = telem.metrics_on
+        prev_metrics_on = telem.metrics_on
         telem.enable_metrics()
+    if collect_profile:
+        prev_profiler = telem.swap_profiler(SpanProfiler())
+        prev_spans_on = telem.spans_on
+        telem.enable_profiling()
     if telem.trace_on:
         telem.trace("job_start", name=spec.name, seed=seed)
     snapshot: Optional[Dict[str, Any]] = None
+    profile: Optional[Dict[str, Any]] = None
+    ok = True
+    error: Optional[str] = None
     start = time.perf_counter()
     try:
-        payload = spec.fn(**kwargs)
+        with telem.span("job", name=spec.name):
+            payload = spec.fn(**kwargs)
+    except BaseException as exc:
+        ok = False
+        error = f"{type(exc).__name__}: {exc}"
+        raise
     finally:
         duration = time.perf_counter() - start
         if telem.trace_on:
-            telem.trace("job_end", name=spec.name, seed=seed, duration_s=duration)
+            end_fields: Dict[str, Any] = {"name": spec.name, "seed": seed,
+                                          "duration_s": duration, "ok": ok}
+            if error is not None:
+                end_fields["error"] = error
+            telem.trace("job_end", **end_fields)
+        if collect_profile:
+            profile = telem.get_profiler().snapshot()
+            telem.swap_profiler(prev_profiler)
+            if not prev_spans_on:
+                telem.disable_profiling()
         if collect_metrics:
             snapshot = telem.get_registry().snapshot()
             telem.swap_registry(prev_registry)
-            if not prev_on:
+            if not prev_metrics_on:
                 telem.disable_metrics()
     return ExperimentResult(
         name=spec.name,
@@ -116,16 +147,54 @@ def execute_job(name: str, params: Optional[Mapping[str, Any]] = None,
         peak_rss_kb=_peak_rss_kb(),
         version=repro.__version__,
         metrics=snapshot,
+        profile=profile,
     )
 
 
-def _pool_worker(job: Tuple[str, Dict[str, Any], Optional[int], bool]) -> ExperimentResult:
+def execute_job_safe(name: str, params: Optional[Mapping[str, Any]] = None,
+                     seed: Optional[int] = 0,
+                     collect_metrics: bool = False,
+                     collect_profile: bool = False) -> ExperimentResult:
+    """:func:`execute_job`, but a raising experiment becomes an errored
+    :class:`ExperimentResult` (``payload=None``, ``error`` set) instead
+    of propagating — the unit of the batch runner's fault tolerance.
+
+    Framework-level errors (unknown experiment name, bad params) still
+    raise: they are caller bugs, not job failures.
+    """
+    import repro
+
+    spec = registry.get(name)
+    spec.bind(params=params, seed=seed)  # param errors are caller bugs: raise now
+    start = time.perf_counter()
+    try:
+        return execute_job(name, params=params, seed=seed,
+                           collect_metrics=collect_metrics,
+                           collect_profile=collect_profile)
+    except Exception as exc:
+        return ExperimentResult(
+            name=spec.name,
+            payload=None,
+            seed=seed if spec.accepts_seed else None,
+            params=dict(params or {}),
+            duration_s=time.perf_counter() - start,
+            peak_rss_kb=_peak_rss_kb(),
+            version=repro.__version__,
+            error=f"{type(exc).__name__}: {exc}",
+        )
+
+
+def _pool_worker(job: Tuple[str, Dict[str, Any], Optional[int], bool, bool]) -> ExperimentResult:
     # Re-import inside the worker so spawn-based pools (macOS/Windows)
     # repopulate the registry; under fork this is a no-op.
     import repro.experiments  # noqa: F401
 
-    name, params, seed, collect_metrics = job
-    return execute_job(name, params=params, seed=seed, collect_metrics=collect_metrics)
+    name, params, seed, collect_metrics, collect_profile = job
+    # The safe variant keeps one raising job from poisoning pool.map
+    # and aborting its completed siblings.
+    return execute_job_safe(name, params=params, seed=seed,
+                            collect_metrics=collect_metrics,
+                            collect_profile=collect_profile)
 
 
 class ResultCache:
@@ -180,30 +249,82 @@ class ExperimentRunner:
     the parent-side merge across all jobs this runner executed (cache
     hits included — their stored snapshots are re-absorbed, so a fully
     cached re-run still reports what the hardware did).
+    ``collect_profile=True`` does the same for span profiles into
+    :attr:`profile`.
+
+    Batches are **fault tolerant**: a job that raises becomes an
+    errored result (``error`` set, ``payload=None``) instead of
+    aborting its completed siblings; errored results are never cached
+    and are tallied in ``runner_jobs_total{outcome="error"}``.
+
+    Every finished job is also appended to the **run ledger** (see
+    :mod:`repro.telemetry.ledger`) unless ``ledger=False`` or the
+    ``REPRO_LEDGER=off`` environment switch disables it.
     """
 
     def __init__(self, cache_dir: Optional[Union[str, Path]] = None,
                  max_workers: Optional[int] = None,
-                 collect_metrics: bool = False):
+                 collect_metrics: bool = False,
+                 collect_profile: bool = False,
+                 ledger: Union[None, bool, RunLedger] = None):
         self.cache = ResultCache(cache_dir) if cache_dir is not None else None
         self.max_workers = max_workers
         self.collect_metrics = collect_metrics
+        self.collect_profile = collect_profile
         self.metrics: Optional[MetricsRegistry] = (
             MetricsRegistry() if collect_metrics else None
         )
+        self.profile: Optional[SpanProfile] = (
+            SpanProfile() if collect_profile else None
+        )
+        if ledger is None or ledger is True:
+            self.ledger = default_ledger()
+        elif ledger is False:
+            self.ledger = None
+        else:
+            self.ledger = ledger
 
     def _absorb(self, result: ExperimentResult) -> None:
-        """Merge one job's metric snapshot into the parent registry."""
-        if self.metrics is None:
-            return
-        if result.metrics:
-            self.metrics.merge(result.metrics)
-        self.metrics.counter("runner_jobs_total",
-                             cache_hit=str(result.cache_hit).lower()).inc()
+        """Account one finished job: merge its metric/span snapshots
+        into the parent sinks and append it to the run ledger."""
+        if self.metrics is not None:
+            if result.metrics:
+                self.metrics.merge(result.metrics)
+            self.metrics.counter(
+                "runner_jobs_total",
+                cache_hit=str(result.cache_hit).lower(),
+                outcome="error" if result.error else "ok",
+            ).inc()
+        if self.profile is not None and result.profile:
+            self.profile.merge(result.profile)
+        if self.ledger is not None:
+            self.ledger.record(result)
+
+    def summary(self, results: Sequence[ExperimentResult]) -> Dict[str, Any]:
+        """Aggregate view of one batch: counts by outcome plus the
+        errored jobs' identities — what the CLI prints as the run
+        summary so failures are surfaced, not silently dropped."""
+        errored = [r for r in results if r.error]
+        return {
+            "jobs": len(results),
+            "ok": len(results) - len(errored),
+            "errors": len(errored),
+            "cache_hits": sum(r.cache_hit for r in results),
+            "duration_s": sum(r.duration_s for r in results),
+            "errored": [
+                {"name": r.name, "seed": r.seed, "params": dict(r.params),
+                 "error": r.error}
+                for r in errored
+            ],
+        }
 
     def run_one(self, name: str, params: Optional[Mapping[str, Any]] = None,
                 seed: Optional[int] = 0) -> ExperimentResult:
-        """Run (or fetch from cache) a single experiment."""
+        """Run (or fetch from cache) a single experiment.
+
+        Unlike the batch path, a raising experiment propagates here —
+        one job means there are no siblings to protect.
+        """
         params = dict(params or {})
         if self.cache is not None:
             hit = self.cache.get(name, params, seed)
@@ -211,7 +332,8 @@ class ExperimentRunner:
                 self._absorb(hit)
                 return hit
         result = execute_job(name, params=params, seed=seed,
-                             collect_metrics=self.collect_metrics)
+                             collect_metrics=self.collect_metrics,
+                             collect_profile=self.collect_profile)
         if self.cache is not None:
             self.cache.put(result)
         self._absorb(result)
@@ -221,6 +343,8 @@ class ExperimentRunner:
         """Run a batch of jobs, preserving input order in the output.
 
         Cache hits resolve up front; only misses hit the process pool.
+        A raising job yields an errored result in its slot; completed
+        siblings are kept, and nothing errored reaches the cache.
         """
         results: List[Optional[ExperimentResult]] = [None] * len(jobs)
         misses: List[Tuple[int, Job]] = []
@@ -236,17 +360,19 @@ class ExperimentRunner:
         if misses:
             workers = self.max_workers or 1
             if workers > 1 and len(misses) > 1:
-                payloads = [(j.name, dict(j.params), j.seed, self.collect_metrics)
+                payloads = [(j.name, dict(j.params), j.seed,
+                             self.collect_metrics, self.collect_profile)
                             for _, j in misses]
                 with ProcessPoolExecutor(max_workers=min(workers, len(misses))) as pool:
                     fresh = list(pool.map(_pool_worker, payloads))
             else:
-                fresh = [execute_job(j.name, params=j.params, seed=j.seed,
-                                     collect_metrics=self.collect_metrics)
+                fresh = [execute_job_safe(j.name, params=j.params, seed=j.seed,
+                                          collect_metrics=self.collect_metrics,
+                                          collect_profile=self.collect_profile)
                          for _, j in misses]
             for (i, _job), result in zip(misses, fresh):
                 results[i] = result
-                if self.cache is not None:
+                if self.cache is not None and result.error is None:
                     self.cache.put(result)
         ordered = [r for r in results if r is not None]
         for result in ordered:

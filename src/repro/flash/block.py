@@ -143,15 +143,16 @@ class FlashBlock:
         bits = np.asarray(bits, dtype=np.uint8)
         if bits.shape != (self.cells,):
             raise ValueError(f"LSB page must have {self.cells} bits")
-        old = self.vth[wordline].copy()
-        wear_mult = self.params.program_sigma_at(self.pe_cycles) / self.params.program_sigma
-        lm_noise = self._program_rng.normal(0.0, self.params.lm_sigma * wear_mult, size=self.cells)
-        self.vth[wordline] = np.where(
-            bits == 1, self.vth[wordline], self.params.lm_mean + lm_noise
-        )
-        state.lsb_programmed = True
-        state.true_lsb = bits.copy()
-        self._apply_interference(wordline, self.vth[wordline] - old)
+        with telem.span("flash.program", page="lsb"):
+            old = self.vth[wordline].copy()
+            wear_mult = self.params.program_sigma_at(self.pe_cycles) / self.params.program_sigma
+            lm_noise = self._program_rng.normal(0.0, self.params.lm_sigma * wear_mult, size=self.cells)
+            self.vth[wordline] = np.where(
+                bits == 1, self.vth[wordline], self.params.lm_mean + lm_noise
+            )
+            state.lsb_programmed = True
+            state.true_lsb = bits.copy()
+            self._apply_interference(wordline, self.vth[wordline] - old)
 
     def program_msb(self, wordline: int, bits: np.ndarray, supplied_lsb: Optional[np.ndarray] = None) -> None:
         """Second programming step: MSB page, finalizing the 4-level state.
@@ -169,24 +170,25 @@ class FlashBlock:
         bits = np.asarray(bits, dtype=np.uint8)
         if bits.shape != (self.cells,):
             raise ValueError(f"MSB page must have {self.cells} bits")
-        if supplied_lsb is None:
-            lsb_seen = read_lsb_partial(self.vth[wordline], self.params.lm_read_ref)
-        else:
-            lsb_seen = np.asarray(supplied_lsb, dtype=np.uint8)
-        old = self.vth[wordline].copy()
-        targets = state_from_bits(lsb_seen, bits)
-        means = np.asarray(self.params.state_means)[targets]
-        # ER-target cells are not programmed (stay at their erased Vth).
-        programmed = targets != 0
-        new = np.where(
-            programmed,
-            means + self._program_noise(self.cells),
-            self.vth[wordline],
-        )
-        self.vth[wordline] = new
-        state.msb_programmed = True
-        state.true_msb = bits.copy()
-        self._apply_interference(wordline, self.vth[wordline] - old)
+        with telem.span("flash.program", page="msb"):
+            if supplied_lsb is None:
+                lsb_seen = read_lsb_partial(self.vth[wordline], self.params.lm_read_ref)
+            else:
+                lsb_seen = np.asarray(supplied_lsb, dtype=np.uint8)
+            old = self.vth[wordline].copy()
+            targets = state_from_bits(lsb_seen, bits)
+            means = np.asarray(self.params.state_means)[targets]
+            # ER-target cells are not programmed (stay at their erased Vth).
+            programmed = targets != 0
+            new = np.where(
+                programmed,
+                means + self._program_noise(self.cells),
+                self.vth[wordline],
+            )
+            self.vth[wordline] = new
+            state.msb_programmed = True
+            state.true_msb = bits.copy()
+            self._apply_interference(wordline, self.vth[wordline] - old)
 
     def program_full(self, wordline: int, lsb: np.ndarray, msb: np.ndarray) -> None:
         """Both steps back-to-back (no exposure window)."""
@@ -248,25 +250,26 @@ class FlashBlock:
         """
         state = self._state(wordline)
         refs = read_refs if read_refs is not None else self.params.read_refs
-        if which == "lsb":
-            if not state.lsb_programmed:
-                raise RuntimeError("LSB page not programmed")
-            bits = (
-                read_lsb(self.vth[wordline], refs)
-                if state.msb_programmed
-                else read_lsb_partial(self.vth[wordline], self.params.lm_read_ref)
-            )
-        elif which == "msb":
-            if not state.msb_programmed:
-                raise RuntimeError("MSB page not programmed")
-            bits = read_msb(self.vth[wordline], refs)
-        else:
-            raise ValueError("which must be 'lsb' or 'msb'")
-        if telem.metrics_on:
-            telem.counter("flash_page_reads_total", page=which).inc()
-        if disturb:
-            self.apply_read_disturb(1)
-        return bits
+        with telem.span("flash.read", page=which):
+            if which == "lsb":
+                if not state.lsb_programmed:
+                    raise RuntimeError("LSB page not programmed")
+                bits = (
+                    read_lsb(self.vth[wordline], refs)
+                    if state.msb_programmed
+                    else read_lsb_partial(self.vth[wordline], self.params.lm_read_ref)
+                )
+            elif which == "msb":
+                if not state.msb_programmed:
+                    raise RuntimeError("MSB page not programmed")
+                bits = read_msb(self.vth[wordline], refs)
+            else:
+                raise ValueError("which must be 'lsb' or 'msb'")
+            if telem.metrics_on:
+                telem.counter("flash_page_reads_total", page=which).inc()
+            if disturb:
+                self.apply_read_disturb(1)
+            return bits
 
     def page_errors(self, wordline: int, which: str, read_refs=None) -> int:
         """Raw bit errors of one page versus its programmed truth."""

@@ -20,6 +20,7 @@ from typing import List, Set
 import numpy as np
 
 from repro.retention.population import CellPopulation
+from repro.telemetry import runtime as telem
 from repro.utils.rng import derive_rng
 from repro.utils.validation import check_positive, check_probability
 
@@ -79,23 +80,24 @@ def profile_population(
         test_interval_s=test_interval_s,
         observed_retention_s=observed,
     )
-    for _ in range(rounds):
-        # VRT cells toggle between rounds; a cell LOW at any point during
-        # the test interval is at risk of being caught this round.
-        vrt_low = population.vrt.ever_low_during(round_spacing_s)
-        times = population.nominal_s.copy()
-        # This round's pattern hits each DPD cell's worst case with
-        # probability `pattern_coverage`; otherwise retention looks nominal.
-        dpd_hit = rng.random(population.n_cells) < pattern_coverage
-        times = np.where(dpd_hit, times * population.dpd_factor, times)
-        if len(population.vrt_indices):
-            low_cells = population.vrt_indices[vrt_low]
-            times[low_cells] *= population.params.vrt_low_factor
-        np.minimum(observed, times, out=observed)
-        failing = np.nonzero(times < test_interval_s)[0]
-        new = [int(i) for i in failing if int(i) not in discovered]
-        discovered.update(new)
-        result.round_discoveries.append(len(new))
+    with telem.span("retention.profile"):
+        for _ in range(rounds):
+            # VRT cells toggle between rounds; a cell LOW at any point during
+            # the test interval is at risk of being caught this round.
+            vrt_low = population.vrt.ever_low_during(round_spacing_s)
+            times = population.nominal_s.copy()
+            # This round's pattern hits each DPD cell's worst case with
+            # probability `pattern_coverage`; otherwise retention looks nominal.
+            dpd_hit = rng.random(population.n_cells) < pattern_coverage
+            times = np.where(dpd_hit, times * population.dpd_factor, times)
+            if len(population.vrt_indices):
+                low_cells = population.vrt_indices[vrt_low]
+                times[low_cells] *= population.params.vrt_low_factor
+            np.minimum(observed, times, out=observed)
+            failing = np.nonzero(times < test_interval_s)[0]
+            new = [int(i) for i in failing if int(i) not in discovered]
+            discovered.update(new)
+            result.round_discoveries.append(len(new))
     return result
 
 
@@ -117,10 +119,11 @@ def field_escapes(
     check_positive("field_refresh_interval_s", field_refresh_interval_s)
     escapes: Set[int] = set()
     steps = max(1, int(observation_s / check_every_s))
-    for _ in range(steps):
-        vrt_low = population.vrt.ever_low_during(check_every_s)
-        failing = population.failing_cells(
-            field_refresh_interval_s, worst_case_pattern=True, vrt_low_mask=vrt_low
-        )
-        escapes.update(int(i) for i in failing if int(i) not in profiling.discovered)
+    with telem.span("retention.field_escapes"):
+        for _ in range(steps):
+            vrt_low = population.vrt.ever_low_during(check_every_s)
+            failing = population.failing_cells(
+                field_refresh_interval_s, worst_case_pattern=True, vrt_low_mask=vrt_low
+            )
+            escapes.update(int(i) for i in failing if int(i) not in profiling.discovered)
     return escapes

@@ -30,21 +30,29 @@ from repro.telemetry.metrics import (
     Histogram,
     MetricsRegistry,
 )
+from repro.telemetry.ledger import RunLedger, build_record, default_ledger
 from repro.telemetry.runtime import (
     counter,
     disable_all,
     disable_metrics,
+    disable_profiling,
     disable_tracing,
     enable_metrics,
+    enable_profiling,
     enable_tracing,
     gauge,
+    get_profiler,
     get_registry,
     get_tracer,
     histogram,
+    profiled,
+    span,
+    swap_profiler,
     swap_registry,
     swap_tracer,
     trace,
 )
+from repro.telemetry.spans import SpanProfile, SpanProfiler
 from repro.telemetry.trace import TraceEvent, TraceRecorder
 
 __all__ = [
@@ -55,17 +63,28 @@ __all__ = [
     "DEFAULT_BUCKETS",
     "TraceEvent",
     "TraceRecorder",
+    "SpanProfile",
+    "SpanProfiler",
+    "RunLedger",
+    "build_record",
+    "default_ledger",
     "enable_metrics",
     "disable_metrics",
     "enable_tracing",
     "disable_tracing",
+    "enable_profiling",
+    "disable_profiling",
     "disable_all",
     "get_registry",
     "swap_registry",
     "get_tracer",
     "swap_tracer",
+    "get_profiler",
+    "swap_profiler",
     "counter",
     "gauge",
     "histogram",
     "trace",
+    "span",
+    "profiled",
 ]

@@ -23,33 +23,46 @@ from __future__ import annotations
 from typing import Any, Optional, Sequence
 
 from repro.telemetry.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.telemetry.spans import SpanProfiler, span_name
 from repro.telemetry.trace import TraceRecorder
 
 __all__ = [
     "metrics_on",
     "trace_on",
+    "spans_on",
     "enable_metrics",
     "disable_metrics",
     "enable_tracing",
     "disable_tracing",
+    "enable_profiling",
+    "disable_profiling",
     "disable_all",
     "get_registry",
     "swap_registry",
     "get_tracer",
     "swap_tracer",
+    "get_profiler",
+    "swap_profiler",
     "counter",
     "gauge",
     "histogram",
     "trace",
+    "span",
+    "profiled",
 ]
 
 #: Hot-path guards. Read directly (``telem.metrics_on``) by instrument
 #: sites; mutate only through the enable/disable helpers below.
 metrics_on: bool = False
 trace_on: bool = False
+spans_on: bool = False
 
 _registry = MetricsRegistry()
 _tracer = TraceRecorder()
+_profiler = SpanProfiler()
+
+#: Distinguishes "argument not passed" from an explicit ``None``.
+_UNSET: Any = object()
 
 
 # ----------------------------------------------------------------------
@@ -70,12 +83,24 @@ def disable_metrics() -> None:
 
 
 def enable_tracing(capacity: Optional[int] = None,
-                   spill_path: Optional[Any] = None,
+                   spill_path: Any = _UNSET,
                    fresh: bool = False) -> TraceRecorder:
-    """Turn event tracing on; optionally with a fresh, resized recorder."""
+    """Turn event tracing on, optionally rebuilding the recorder.
+
+    The recorder is rebuilt (with an empty buffer) when ``fresh`` is
+    set or when any field is passed; fields *not* passed carry over
+    from the current recorder, so re-enabling with only ``spill_path``
+    keeps the configured capacity.  Pass ``spill_path=None`` explicitly
+    to drop an existing spill destination.
+    """
     global trace_on, _tracer
-    if fresh or capacity is not None or spill_path is not None:
-        _tracer = TraceRecorder(capacity=capacity or 65536, spill_path=spill_path)
+    if capacity is not None and capacity < 1:
+        raise ValueError(f"trace capacity must be >= 1, got {capacity}")
+    if fresh or capacity is not None or spill_path is not _UNSET:
+        _tracer = TraceRecorder(
+            capacity=capacity if capacity is not None else _tracer.capacity,
+            spill_path=spill_path if spill_path is not _UNSET else _tracer.spill_path,
+        )
     trace_on = True
     return _tracer
 
@@ -85,9 +110,24 @@ def disable_tracing() -> None:
     trace_on = False
 
 
+def enable_profiling(fresh: bool = False) -> SpanProfiler:
+    """Turn span profiling on; optionally start from an empty profiler."""
+    global spans_on, _profiler
+    if fresh:
+        _profiler = SpanProfiler()
+    spans_on = True
+    return _profiler
+
+
+def disable_profiling() -> None:
+    global spans_on
+    spans_on = False
+
+
 def disable_all() -> None:
     disable_metrics()
     disable_tracing()
+    disable_profiling()
 
 
 # ----------------------------------------------------------------------
@@ -120,6 +160,23 @@ def swap_tracer(tracer: TraceRecorder) -> TraceRecorder:
     return previous
 
 
+def get_profiler() -> SpanProfiler:
+    return _profiler
+
+
+def swap_profiler(profiler: SpanProfiler) -> SpanProfiler:
+    """Install ``profiler`` as the process sink; return the previous one.
+
+    The runner uses this (like :func:`swap_registry`) to give each
+    in-process job an isolated profiler whose snapshot travels inside
+    the job's result.
+    """
+    global _profiler
+    previous = _profiler
+    _profiler = profiler
+    return previous
+
+
 # ----------------------------------------------------------------------
 # Recording helpers (call only behind the guards)
 # ----------------------------------------------------------------------
@@ -138,3 +195,80 @@ def histogram(name: str, edges: Optional[Sequence[float]] = None,
 
 def trace(kind: str, t: Optional[float] = None, **fields: Any) -> None:
     _tracer.emit(kind, t, **fields)
+
+
+# ----------------------------------------------------------------------
+# Span profiling (see repro.telemetry.spans)
+# ----------------------------------------------------------------------
+class _Span:
+    """One open span; created per ``with`` entry, never shared."""
+
+    __slots__ = ("name", "_profiler")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._profiler: Optional[SpanProfiler] = None
+
+    def __enter__(self) -> "_Span":
+        if spans_on:
+            # Pin the sink so a profiler swap mid-span cannot unbalance
+            # the new profiler's stack.
+            self._profiler = _profiler
+            self._profiler.push(self.name)
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        if self._profiler is not None:
+            self._profiler.pop()
+            self._profiler = None
+
+
+class _NullSpan:
+    """Shared no-op context manager returned while profiling is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+def span(_name: str, **labels: Any):
+    """Open a profiling span: ``with telem.span("ecc.evaluate", code=c):``.
+
+    Near-zero when profiling is off: one flag check, then a shared
+    no-op context manager (no allocation, no clock reads).  The span
+    name is positional-only in spirit (``_name``) so any label key —
+    including ``name`` — stays usable.
+    """
+    if not spans_on:
+        return _NULL_SPAN
+    return _Span(span_name(_name, labels))
+
+
+def profiled(_name: str, **labels: Any):
+    """Decorator form of :func:`span` for whole-function phases::
+
+        @telem.profiled("retention.profile")
+        def profile_population(...): ...
+
+    The flag is checked per call, so decorated functions stay on the
+    undecorated fast path while profiling is off.
+    """
+    import functools
+
+    def decorate(fn):
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any):
+            if not spans_on:
+                return fn(*args, **kwargs)
+            with _Span(span_name(_name, labels)):
+                return fn(*args, **kwargs)
+        return wrapper
+
+    return decorate

@@ -1,0 +1,16 @@
+"""Suite-wide fixtures.
+
+The run ledger defaults to appending under ``~/.cache/repro``; tests
+must never touch the developer's real ledger, so the switch is forced
+off for every test.  Ledger tests opt back in with ``monkeypatch`` or
+by constructing :class:`~repro.telemetry.ledger.RunLedger` on a tmp
+path directly.
+"""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _ledger_off(monkeypatch):
+    monkeypatch.setenv("REPRO_LEDGER", "off")
+    monkeypatch.delenv("REPRO_LEDGER_PATH", raising=False)

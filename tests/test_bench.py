@@ -1,0 +1,173 @@
+"""The bench-regression harness: suite execution, report schema,
+baseline comparison, and the ``repro bench`` CLI gate."""
+
+import json
+
+import pytest
+
+from repro import bench as B
+from repro.cli import main
+
+
+def _report(benches, schema=B.BENCH_SCHEMA):
+    return {"schema": schema, "ts": 0.0, "time": "t", "host": "h",
+            "repro_version": "1.0.0", "git_sha": "", "quick": True,
+            "benches": benches}
+
+
+def _bench(name, wall_s, throughput=None, unit="ops"):
+    return {"name": name, "experiment": name, "params": {}, "seed": 0,
+            "quick": True, "wall_s": wall_s, "unit": unit, "units": 0.0,
+            "throughput": throughput, "peak_rss_kb": 0, "spans": []}
+
+
+class TestBenchSpec:
+    def test_quick_bindings_fall_back_to_full(self):
+        spec = B.BenchSpec(name="x", experiment="e", params={"n": 10})
+        assert spec.bindings(quick=True) == {"n": 10}
+        spec = B.BenchSpec(name="x", experiment="e", params={"n": 10},
+                           quick_params={"n": 2})
+        assert spec.bindings(quick=True) == {"n": 2}
+        assert spec.bindings(quick=False) == {"n": 10}
+
+    def test_suite_names_are_unique_and_resolvable(self):
+        from repro.experiments import registry
+
+        names = B.bench_names()
+        assert len(names) == len(set(names))
+        for spec in B.SUITE:
+            registry.get(spec.experiment)  # must not raise
+
+
+class TestRunBench:
+    def test_one_quick_bench_measures_and_profiles(self):
+        spec = next(s for s in B.SUITE if s.name == "dram_hammer")
+        entry = B.run_bench(spec, quick=True)
+        assert entry["name"] == "dram_hammer"
+        assert entry["wall_s"] > 0
+        assert entry["units"] > 0
+        assert entry["throughput"] == pytest.approx(
+            entry["units"] / entry["wall_s"])
+        assert any(s["path"] == ["job{name=rowhammer_basic}"]
+                   for s in entry["spans"])
+        json.dumps(entry)
+
+    def test_run_suite_filters_and_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown bench"):
+            B.run_suite(["nope"])
+        report = B.run_suite(["dram_hammer"], quick=True)
+        assert [b["name"] for b in report["benches"]] == ["dram_hammer"]
+        assert report["schema"] == B.BENCH_SCHEMA
+        assert report["quick"] is True
+
+
+class TestReportIo:
+    def test_write_load_round_trip(self, tmp_path):
+        report = _report([_bench("a", 1.0)])
+        path = B.write_report(report, tmp_path / "r.json")
+        assert B.load_report(path) == report
+
+    def test_default_filename_is_timestamped(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        path = B.write_report(_report([]))
+        assert path.name.startswith("BENCH_") and path.name.endswith(".json")
+        assert path.exists()
+
+    def test_load_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(_report([], schema=99)))
+        with pytest.raises(ValueError, match="schema"):
+            B.load_report(path)
+
+    def test_load_rejects_non_report(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{}")
+        with pytest.raises(ValueError, match="benches"):
+            B.load_report(path)
+
+
+class TestCompare:
+    def test_within_threshold_is_ok(self):
+        cur = _report([_bench("a", 1.05)])
+        base = _report([_bench("a", 1.0)])
+        comparison = B.compare_reports(cur, base, threshold_pct=10.0)
+        assert comparison["ok"]
+        assert comparison["rows"][0]["delta_pct"] == pytest.approx(5.0)
+
+    def test_regression_detected(self):
+        cur = _report([_bench("a", 1.5), _bench("b", 1.0)])
+        base = _report([_bench("a", 1.0), _bench("b", 1.0)])
+        comparison = B.compare_reports(cur, base, threshold_pct=10.0)
+        assert not comparison["ok"]
+        assert comparison["regressions"] == ["a"]
+
+    def test_speedup_never_regresses(self):
+        comparison = B.compare_reports(_report([_bench("a", 0.5)]),
+                                       _report([_bench("a", 1.0)]))
+        assert comparison["ok"]
+
+    def test_new_and_missing_benches_are_noted_not_failed(self):
+        cur = _report([_bench("new", 1.0)])
+        base = _report([_bench("old", 1.0)])
+        comparison = B.compare_reports(cur, base)
+        notes = {r["name"]: r["note"] for r in comparison["rows"]}
+        assert notes == {"new": "new", "old": "missing"}
+        assert comparison["ok"]
+
+
+class TestBenchCli:
+    def test_compare_exits_nonzero_on_injected_regression(self, tmp_path, capsys):
+        # Acceptance: a synthetic 2x slowdown must fail the gate.
+        base = tmp_path / "base.json"
+        cur = tmp_path / "cur.json"
+        B.write_report(_report([_bench("a", 1.0)]), base)
+        B.write_report(_report([_bench("a", 2.0)]), cur)
+        assert main(["bench", "--input", str(cur), "--compare", str(base),
+                     "--fail-on-regress", "10"]) == 1
+        captured = capsys.readouterr()
+        assert "REGRESSED" in captured.out
+        assert "regression: a" in captured.err
+
+    def test_warn_only_reports_but_passes(self, tmp_path, capsys):
+        base = tmp_path / "base.json"
+        cur = tmp_path / "cur.json"
+        B.write_report(_report([_bench("a", 1.0)]), base)
+        B.write_report(_report([_bench("a", 2.0)]), cur)
+        assert main(["bench", "--input", str(cur), "--compare", str(base),
+                     "--warn-only"]) == 0
+        assert "regression: a" in capsys.readouterr().err
+
+    def test_no_regression_passes(self, tmp_path, capsys):
+        base = tmp_path / "base.json"
+        cur = tmp_path / "cur.json"
+        B.write_report(_report([_bench("a", 1.0)]), base)
+        B.write_report(_report([_bench("a", 1.01)]), cur)
+        assert main(["bench", "--input", str(cur), "--compare", str(base)]) == 0
+        assert "+1.0%" in capsys.readouterr().out
+
+    def test_fail_on_regress_requires_compare(self, capsys):
+        assert main(["bench", "--fail-on-regress", "10"]) == 2
+        assert "--compare" in capsys.readouterr().err
+
+    def test_unreadable_input_errors(self, tmp_path, capsys):
+        assert main(["bench", "--input", str(tmp_path / "missing.json")]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_json_output_carries_comparison(self, tmp_path, capsys):
+        base = tmp_path / "base.json"
+        cur = tmp_path / "cur.json"
+        B.write_report(_report([_bench("a", 1.0)]), base)
+        B.write_report(_report([_bench("a", 2.0)]), cur)
+        assert main(["bench", "--input", str(cur), "--compare", str(base),
+                     "--warn-only", "--json"]) == 0
+        body = json.loads(capsys.readouterr().out)
+        assert body["comparison"]["regressions"] == ["a"]
+        assert body["report"]["benches"][0]["name"] == "a"
+
+    def test_quick_run_writes_report(self, tmp_path, capsys):
+        out = tmp_path / "report.json"
+        assert main(["bench", "dram_hammer", "--quick",
+                     "--out", str(out)]) == 0
+        report = B.load_report(out)
+        assert [b["name"] for b in report["benches"]] == ["dram_hammer"]
+        assert "dram_hammer" in capsys.readouterr().out

@@ -120,9 +120,11 @@ class TestReportCommand:
         assert "## twostep_study" in text and "## sidedness_ablation" in text
         assert "seed 2" in text
 
-    def test_report_propagates_inner_errors(self, tmp_path):
+    def test_report_propagates_inner_errors(self, tmp_path, capsys):
         # Regression: the old _write_report swallowed TypeError and
-        # re-ran without a seed; inner errors must now surface.
+        # re-ran without a seed; inner errors must now surface.  With
+        # the fault-tolerant batch runner they surface as an errored
+        # result, a stderr report, and a nonzero exit — never silently.
         from repro.experiments import experiment
 
         @experiment("_report_probe", "raises inside", section="II", tags=("test",))
@@ -130,11 +132,14 @@ class TestReportCommand:
             raise TypeError("inner failure")
 
         try:
-            with pytest.raises(TypeError, match="inner failure"):
-                main(["report", "_report_probe",
-                      "--output", str(tmp_path / "r.md")])
+            assert main(["report", "_report_probe",
+                         "--output", str(tmp_path / "r.md")]) == 1
         finally:
             registry.unregister("_report_probe")
+        captured = capsys.readouterr()
+        assert "TypeError: inner failure" in captured.err
+        assert "1/1 jobs failed" in captured.err
+        assert "error: TypeError: inner failure" in (tmp_path / "r.md").read_text()
 
 
 class TestSweepCommand:
@@ -143,10 +148,10 @@ class TestSweepCommand:
         argv = ["sweep", "c12", "--seeds", "3", "--cache-dir", str(cache)]
         assert main(argv) == 0
         out = capsys.readouterr().out
-        assert "3 seeds" in out and "(0 cache hits)" in out
+        assert "3 seeds" in out and "(0 cache hits, 0 errors)" in out
         assert len(list((cache / "twostep_study").glob("*.json"))) == 3
         assert main(argv) == 0
-        assert "(3 cache hits)" in capsys.readouterr().out
+        assert "(3 cache hits, 0 errors)" in capsys.readouterr().out
 
     def test_sweep_json_round_trip(self, tmp_path, capsys):
         assert main(["sweep", "c12", "--seeds", "2", "--json",
@@ -227,7 +232,7 @@ class TestTelemetryCommands:
         text = capsys.readouterr().out
         assert f'dram_activations_total{{bank="0"}} {payload["activations"]}' in text
         assert "# TYPE dram_activations_total counter" in text
-        assert 'runner_jobs_total{cache_hit="false"} 1' in text
+        assert 'runner_jobs_total{cache_hit="false",outcome="ok"} 1' in text
 
     def test_stats_table_and_json(self, tmp_path, capsys):
         out, _ = self._run_with_metrics(tmp_path, capsys)
@@ -262,3 +267,39 @@ class TestTelemetryCommands:
         err = capsys.readouterr().err
         assert "0 dropped" in err
         assert len(spill.read_text().splitlines()) > 64
+
+
+class TestProfileCommand:
+    def test_profile_prints_span_tree(self, capsys):
+        assert main(["profile", "rowhammer_basic", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "# rowhammer_basic · seed 1" in out
+        assert "job{name=rowhammer_basic}" in out
+        assert "dram.bulk_activate" in out
+        from repro.telemetry import runtime as telem
+
+        assert not telem.spans_on  # the command turned profiling back off
+
+    def test_profile_json(self, capsys):
+        assert main(["profile", "rowhammer_basic", "--json"]) == 0
+        body = json.loads(capsys.readouterr().out)
+        assert body["name"] == "rowhammer_basic"
+        assert body["duration_s"] > 0
+        assert body["coverage_s"] == pytest.approx(body["duration_s"], rel=0.05)
+        paths = [entry["path"] for entry in body["profile"]["spans"]]
+        assert ["job{name=rowhammer_basic}"] in paths
+
+    def test_profile_folded_to_file(self, tmp_path, capsys):
+        out = tmp_path / "folded.txt"
+        assert main(["profile", "rowhammer_basic", "--folded", str(out)]) == 0
+        folded = out.read_text()
+        assert folded.startswith("job{name=rowhammer_basic}")
+        # every line is "stack <integer-microseconds>"
+        for line in folded.splitlines():
+            stack, count = line.rsplit(" ", 1)
+            assert int(count) >= 0
+
+    def test_profile_folded_to_stdout(self, capsys):
+        assert main(["profile", "rowhammer_basic", "--folded", "-"]) == 0
+        out = capsys.readouterr().out
+        assert "job{name=rowhammer_basic};" in out

@@ -1,12 +1,30 @@
 """The experiment runner: provenance, determinism, caching, seed
-derivation, and the process-pool fan-out."""
+derivation, the process-pool fan-out, and batch fault tolerance."""
 
 import json
+import multiprocessing
+import os
+import time
 
 import pytest
 
 from repro import experiments as E
-from repro.experiments import ExperimentRunner, Job, derive_seed
+from repro.experiments import ExperimentRunner, Job, derive_seed, execute_job_safe
+from repro.experiments.registry import experiment, unregister
+
+
+@pytest.fixture()
+def failing_experiment():
+    """A registered experiment that raises for odd seeds."""
+
+    @experiment("_flaky_probe", "fails on odd seeds", section="II", tags=("test",))
+    def _flaky_probe(seed: int = 0):
+        if seed % 2:
+            raise RuntimeError(f"odd seed {seed}")
+        return {"seed": seed}
+
+    yield "_flaky_probe"
+    unregister("_flaky_probe")
 
 
 class TestExecuteJob:
@@ -108,6 +126,145 @@ class TestRunnerBatch:
         pooled = ExperimentRunner(max_workers=2).run(jobs)
         assert [r.payload for r in pooled] == [r.payload for r in inline]
         assert all(not r.cache_hit for r in pooled)
+
+
+class TestFaultTolerance:
+    def test_execute_job_safe_converts_exception_to_errored_result(self, failing_experiment):
+        result = execute_job_safe(failing_experiment, seed=1)
+        assert result.error == "RuntimeError: odd seed 1"
+        assert not result.ok
+        assert result.payload is None
+        assert result.seed == 1
+        assert result.duration_s > 0
+
+    def test_execute_job_safe_passes_through_success(self, failing_experiment):
+        result = execute_job_safe(failing_experiment, seed=2)
+        assert result.ok and result.error is None
+        assert result.payload == {"seed": 2}
+
+    def test_execute_job_safe_still_raises_framework_errors(self, failing_experiment):
+        with pytest.raises(E.UnknownExperimentError):
+            execute_job_safe("nonexistent")
+        with pytest.raises(ValueError, match="no parameter"):
+            execute_job_safe(failing_experiment, params={"bogus_param": 1})
+
+    def test_execute_job_still_propagates(self, failing_experiment):
+        with pytest.raises(RuntimeError, match="odd seed"):
+            E.execute_job(failing_experiment, seed=1)
+
+    def test_run_one_still_propagates(self, failing_experiment):
+        with pytest.raises(RuntimeError, match="odd seed"):
+            ExperimentRunner().run_one(failing_experiment, seed=1)
+
+    def test_batch_keeps_siblings_and_slots_errors(self, failing_experiment):
+        runner = ExperimentRunner()
+        results = runner.run([Job(failing_experiment, {}, s) for s in (0, 1, 2)])
+        assert [r.error is None for r in results] == [True, False, True]
+        assert results[1].error == "RuntimeError: odd seed 1"
+        assert results[0].payload == {"seed": 0}
+        summary = runner.summary(results)
+        assert (summary["jobs"], summary["ok"], summary["errors"]) == (3, 2, 1)
+        assert summary["errored"][0]["seed"] == 1
+
+    def test_parallel_batch_survives_failures(self, failing_experiment):
+        runner = ExperimentRunner(max_workers=2)
+        results = runner.run([Job(failing_experiment, {}, s) for s in range(4)])
+        assert [r.error is None for r in results] == [True, False, True, False]
+
+    def test_errored_results_never_reach_the_cache(self, tmp_path, failing_experiment):
+        runner = ExperimentRunner(cache_dir=tmp_path)
+        runner.run([Job(failing_experiment, {}, s) for s in (0, 1)])
+        rerun = ExperimentRunner(cache_dir=tmp_path).run(
+            [Job(failing_experiment, {}, s) for s in (0, 1)])
+        assert rerun[0].cache_hit  # success was cached
+        assert not rerun[1].cache_hit  # failure re-ran
+
+    def test_outcome_label_tallies_errors(self, failing_experiment):
+        runner = ExperimentRunner(collect_metrics=True)
+        runner.run([Job(failing_experiment, {}, s) for s in (0, 1, 2)])
+        assert runner.metrics.value("runner_jobs_total",
+                                    cache_hit="false", outcome="ok") == 2
+        assert runner.metrics.value("runner_jobs_total",
+                                    cache_hit="false", outcome="error") == 1
+
+    def test_job_end_trace_distinguishes_outcomes(self, failing_experiment):
+        from repro.telemetry import runtime as telem
+
+        recorder = telem.enable_tracing(fresh=True)
+        try:
+            E.execute_job(failing_experiment, seed=0)
+            with pytest.raises(RuntimeError):
+                E.execute_job(failing_experiment, seed=1)
+        finally:
+            telem.disable_tracing()
+        ends = [e for e in recorder.events() if e.kind == "job_end"]
+        assert len(ends) == 2
+        assert ends[0].fields["ok"] is True
+        assert "error" not in ends[0].fields
+        assert ends[1].fields["ok"] is False
+        assert ends[1].fields["error"] == "RuntimeError: odd seed 1"
+
+
+def _pid_probe(seed: int = 0):
+    from repro.telemetry import runtime as telem
+
+    time.sleep(0.05)  # keep one worker from draining the whole queue
+    if telem.metrics_on:
+        telem.counter("probe_jobs_total", pid=os.getpid()).inc()
+    return {"pid": os.getpid()}
+
+
+@pytest.fixture()
+def pid_probe():
+    """Register the probe before the pool forks so workers inherit it."""
+    experiment("_pid_probe", "reports its worker pid",
+               section="II", tags=("test",))(_pid_probe)
+    yield "_pid_probe"
+    unregister("_pid_probe")
+
+
+fork_only = pytest.mark.skipif(
+    multiprocessing.get_start_method() != "fork",
+    reason="pool workers must inherit the test-registered experiment",
+)
+
+
+class TestCrossProcessMerge:
+    @fork_only
+    def test_parent_merges_metrics_from_distinct_workers(self, pid_probe):
+        runner = ExperimentRunner(max_workers=3, collect_metrics=True)
+        results = runner.run([Job("_pid_probe", {}, s) for s in range(3)])
+        pids = {r.payload["pid"] for r in results}
+        assert os.getpid() not in pids  # genuinely ran out-of-process
+        assert len(pids) >= 2  # more than one worker contributed
+        # Every worker's series survived the snapshot/merge round trip.
+        assert runner.metrics.total("probe_jobs_total") == 3
+        for pid in pids:
+            assert runner.metrics.value("probe_jobs_total", pid=pid) >= 1
+
+    @fork_only
+    def test_cache_hits_reabsorb_worker_snapshots(self, pid_probe, tmp_path):
+        jobs = [Job("_pid_probe", {}, s) for s in range(3)]
+        first = ExperimentRunner(cache_dir=tmp_path, max_workers=3,
+                                 collect_metrics=True)
+        first.run(jobs)
+        # A fresh runner re-running the same jobs is all cache hits, yet
+        # its merged metrics must equal the original run's: the per-job
+        # snapshots survived the on-disk cache and were re-absorbed.
+        second = ExperimentRunner(cache_dir=tmp_path, max_workers=3,
+                                  collect_metrics=True)
+        rerun = second.run(jobs)
+        assert all(r.cache_hit for r in rerun)
+        assert (second.metrics.total("probe_jobs_total")
+                == first.metrics.total("probe_jobs_total") == 3)
+        assert second.metrics.value("runner_jobs_total",
+                                    cache_hit="true", outcome="ok") == 3
+
+    @fork_only
+    def test_parent_merges_profiles_from_workers(self, pid_probe):
+        runner = ExperimentRunner(max_workers=2, collect_profile=True)
+        runner.run([Job("_pid_probe", {}, s) for s in range(2)])
+        assert runner.profile.get("job{name=_pid_probe}")[0] == 2
 
 
 class TestSweep:

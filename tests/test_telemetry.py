@@ -21,13 +21,17 @@ from repro.telemetry import runtime as telem
 @pytest.fixture(autouse=True)
 def _clean_telemetry():
     """Every test sees pristine, disabled global telemetry state."""
+    from repro.telemetry import SpanProfiler
+
     prev_registry = telem.swap_registry(MetricsRegistry())
     prev_tracer = telem.swap_tracer(TraceRecorder())
+    prev_profiler = telem.swap_profiler(SpanProfiler())
     telem.disable_all()
     yield
     telem.disable_all()
     telem.swap_registry(prev_registry)
     telem.swap_tracer(prev_tracer)
+    telem.swap_profiler(prev_profiler)
 
 
 # ----------------------------------------------------------------------
@@ -282,6 +286,52 @@ class TestRuntime:
         assert telem.get_registry() is mine
         assert telem.swap_registry(original) is mine
 
+    def test_enable_tracing_rejects_nonpositive_capacity(self):
+        # Regression: `capacity or 65536` silently coerced an explicit 0
+        # into the default instead of refusing it.
+        with pytest.raises(ValueError, match="capacity must be >= 1, got 0"):
+            telem.enable_tracing(capacity=0)
+        with pytest.raises(ValueError, match="got -5"):
+            telem.enable_tracing(capacity=-5)
+        assert not telem.trace_on  # a rejected call flips nothing on
+
+    def test_reenabling_with_only_spill_keeps_capacity(self, tmp_path):
+        # Regression: rebuilding the recorder for a spill_path-only call
+        # used to reset a previously configured capacity to the default.
+        telem.enable_tracing(capacity=128)
+        spill = tmp_path / "spill.jsonl"
+        recorder = telem.enable_tracing(spill_path=spill)
+        assert recorder.capacity == 128
+        assert recorder.spill_path == spill
+
+    def test_reenabling_with_only_capacity_keeps_spill(self, tmp_path):
+        spill = tmp_path / "spill.jsonl"
+        telem.enable_tracing(capacity=64, spill_path=spill)
+        recorder = telem.enable_tracing(capacity=32)
+        assert recorder.capacity == 32
+        assert recorder.spill_path == spill
+
+    def test_explicit_none_spill_drops_destination(self, tmp_path):
+        telem.enable_tracing(capacity=64, spill_path=tmp_path / "spill.jsonl")
+        recorder = telem.enable_tracing(spill_path=None)
+        assert recorder.spill_path is None
+        assert recorder.capacity == 64
+
+    def test_reenabling_with_no_args_keeps_recorder_and_buffer(self):
+        recorder = telem.enable_tracing(capacity=16)
+        telem.trace("probe")
+        telem.disable_tracing()
+        assert telem.enable_tracing() is recorder  # no silent rebuild
+        assert recorder.emitted == 1
+
+    def test_fresh_rebuilds_with_carried_config(self, tmp_path):
+        telem.enable_tracing(capacity=16, spill_path=tmp_path / "s.jsonl")
+        telem.trace("probe")
+        recorder = telem.enable_tracing(fresh=True)
+        assert recorder.emitted == 0
+        assert recorder.capacity == 16
+        assert recorder.spill_path == tmp_path / "s.jsonl"
+
 
 # ----------------------------------------------------------------------
 # The runner integration: per-job snapshots, parent-side merge
@@ -315,7 +365,8 @@ class TestRunnerIntegration:
         expected_flips = sum(r.payload["bit_flips"] for r in results)
         assert runner.metrics.total("dram_activations_total") == expected_acts
         assert runner.metrics.total("dram_bit_flips_total") == expected_flips
-        assert runner.metrics.value("runner_jobs_total", cache_hit="false") == 3
+        assert runner.metrics.value("runner_jobs_total",
+                                    cache_hit="false", outcome="ok") == 3
 
     def test_cached_rerun_still_reports_metrics(self, tmp_path):
         first = ExperimentRunner(cache_dir=tmp_path, collect_metrics=True)
@@ -326,7 +377,8 @@ class TestRunnerIntegration:
         assert hit.metrics == fresh.metrics  # snapshot survived the disk trip
         assert (second.metrics.total("dram_activations_total")
                 == fresh.payload["activations"])
-        assert second.metrics.value("runner_jobs_total", cache_hit="true") == 1
+        assert second.metrics.value("runner_jobs_total",
+                                    cache_hit="true", outcome="ok") == 1
 
     def test_metrics_off_runner_has_no_registry(self):
         runner = ExperimentRunner()
