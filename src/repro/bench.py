@@ -28,7 +28,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
 
-from repro.experiments.runner import execute_job
+from repro.experiments.runner import JobTimeout, call_with_deadline, execute_job
 from repro.telemetry.ledger import git_sha
 
 __all__ = [
@@ -140,20 +140,44 @@ def _counter_total(metrics: Optional[Mapping[str, Any]], name: str) -> float:
     ))
 
 
-def run_bench(spec: BenchSpec, quick: bool = False) -> Dict[str, Any]:
+def run_bench(spec: BenchSpec, quick: bool = False,
+              timeout_s: Optional[float] = None) -> Dict[str, Any]:
     """Execute one bench; returns its JSON-safe report entry.
 
     The job runs through :func:`execute_job` with metrics *and* the
     span profiler on, so the entry carries a per-phase breakdown along
-    with the headline wall time.
+    with the headline wall time.  With ``timeout_s`` the bench runs
+    under a wall-clock deadline: a bench that exceeds it yields an
+    entry with ``error`` set (``"JobTimeout: ..."``) instead of hanging
+    the suite.
     """
-    result = execute_job(
-        spec.experiment,
-        params=spec.bindings(quick),
-        seed=spec.seed,
-        collect_metrics=True,
-        collect_profile=True,
-    )
+    start = time.perf_counter()
+    try:
+        result = call_with_deadline(
+            lambda: execute_job(
+                spec.experiment,
+                params=spec.bindings(quick),
+                seed=spec.seed,
+                collect_metrics=True,
+                collect_profile=True,
+            ),
+            timeout_s,
+        )
+    except JobTimeout as exc:
+        return {
+            "name": spec.name,
+            "experiment": spec.experiment,
+            "params": spec.bindings(quick),
+            "seed": spec.seed,
+            "quick": quick,
+            "wall_s": time.perf_counter() - start,
+            "unit": spec.unit,
+            "units": 0.0,
+            "throughput": None,
+            "peak_rss_kb": 0,
+            "spans": [],
+            "error": f"JobTimeout: {exc}",
+        }
     units = _counter_total(result.metrics, spec.unit_metric) if spec.unit_metric else 0.0
     wall = result.duration_s
     entry: Dict[str, Any] = {
@@ -173,7 +197,8 @@ def run_bench(spec: BenchSpec, quick: bool = False) -> Dict[str, Any]:
 
 
 def run_suite(names: Optional[Sequence[str]] = None,
-              quick: bool = False) -> Dict[str, Any]:
+              quick: bool = False,
+              timeout_s: Optional[float] = None) -> Dict[str, Any]:
     """Run the (possibly filtered) suite; returns the full report."""
     selected = SUITE if not names else [s for s in SUITE if s.name in set(names)]
     if names:
@@ -193,7 +218,8 @@ def run_suite(names: Optional[Sequence[str]] = None,
         "repro_version": repro.__version__,
         "git_sha": git_sha(),
         "quick": quick,
-        "benches": [run_bench(spec, quick=quick) for spec in selected],
+        "benches": [run_bench(spec, quick=quick, timeout_s=timeout_s)
+                    for spec in selected],
     }
 
 

@@ -1,0 +1,43 @@
+"""Chaos engineering for the experiment execution stack.
+
+Deterministic, replayable fault injection (:mod:`repro.chaos.plan`)
+plus the scenario harness that proves the hardened runner recovers
+from every fault it claims to (:mod:`repro.chaos.harness`,
+``repro chaos`` on the CLI).
+"""
+
+from repro.chaos.plan import (
+    DEFAULT_HANG_SECS,
+    ENV_CHAOS,
+    ENV_CHAOS_STATE,
+    FAULT_KINDS,
+    ChaosPlan,
+    ChaosTransientError,
+    FaultSpec,
+    current_plan,
+    enabled,
+    fail_ledger_append,
+    in_worker,
+    injected_counts,
+    on_job_start,
+    reset,
+    tear_cache_write,
+)
+
+__all__ = [
+    "DEFAULT_HANG_SECS",
+    "ENV_CHAOS",
+    "ENV_CHAOS_STATE",
+    "FAULT_KINDS",
+    "ChaosPlan",
+    "ChaosTransientError",
+    "FaultSpec",
+    "current_plan",
+    "enabled",
+    "fail_ledger_append",
+    "in_worker",
+    "injected_counts",
+    "on_job_start",
+    "reset",
+    "tear_cache_write",
+]

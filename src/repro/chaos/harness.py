@@ -1,0 +1,341 @@
+"""Chaos scenarios: prove the hardened runner recovers, on demand.
+
+Each scenario arms a pinned ``REPRO_CHAOS`` schedule (see
+:mod:`repro.chaos.plan`), runs a real sweep through a real
+:class:`~repro.experiments.runner.ExperimentRunner`, and asserts the
+*recovered* end state — all jobs accounted for, structured outcomes
+where faults landed, telemetry counters reporting the injected counts
+exactly.  Nothing is mocked: the SIGKILL is a SIGKILL, the hang is a
+sleep past a real deadline, the torn cache write leaves real truncated
+JSON on disk.
+
+The suite is deterministic (faults pin job seeds that are themselves
+derived deterministically), so CI replays the exact same failure
+schedule every run.  ``repro chaos`` on the CLI runs it end to end.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro import chaos
+from repro.experiments import registry
+from repro.experiments.checkpoint import SweepCheckpoint
+from repro.experiments.runner import ExperimentRunner, Job, derive_seed
+from repro.telemetry import RunLedger
+
+__all__ = [
+    "PROBE_EXPERIMENT",
+    "Check",
+    "ScenarioOutcome",
+    "SCENARIOS",
+    "run_scenario",
+    "run_suite",
+]
+
+#: The experiment every scenario sweeps: fast (~ms), seed-accepting,
+#: and numerically deterministic, so the harness measures the *runner*,
+#: not the workload.
+PROBE_EXPERIMENT = "sidedness_ablation"
+
+#: Injected hangs sleep this long — must exceed :data:`SCENARIO_TIMEOUT_S`
+#: by a wide margin so a missed deadline shows up as a stall, not a pass.
+HANG_SECS = 20.0
+
+#: The per-job deadline scenarios run with.
+SCENARIO_TIMEOUT_S = 2.0
+
+
+@dataclass
+class Check:
+    """One asserted property of a scenario's end state."""
+
+    label: str
+    ok: bool
+    observed: str = ""
+
+
+@dataclass
+class ScenarioOutcome:
+    name: str
+    checks: List[Check] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return all(c.ok for c in self.checks)
+
+    def expect(self, label: str, ok: bool, observed: str = "") -> None:
+        self.checks.append(Check(label, bool(ok), observed))
+
+    def expect_eq(self, label: str, got, want) -> None:
+        self.checks.append(Check(label, got == want, f"got {got!r}, want {want!r}"))
+
+
+class _Arena:
+    """Per-scenario scratch space + chaos environment management."""
+
+    def __init__(self, root: Path, name: str):
+        self.root = root / name
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.cache_dir = self.root / "cache"
+        self.state_dir = self.root / "chaos-state"
+        self.checkpoint_path = self.root / "checkpoint.jsonl"
+        self.ledger_path = self.root / "ledger.jsonl"
+        self._saved: Dict[str, Optional[str]] = {}
+
+    def arm(self, spec: str) -> None:
+        """Install a chaos schedule (with this arena's state dir)."""
+        for key, value in ((chaos.ENV_CHAOS, spec),
+                           (chaos.ENV_CHAOS_STATE, str(self.state_dir))):
+            self._saved.setdefault(key, os.environ.get(key))
+            os.environ[key] = value
+        chaos.reset()
+
+    def disarm(self) -> None:
+        """Remove the chaos schedule (state dir markers are kept)."""
+        for key in (chaos.ENV_CHAOS, chaos.ENV_CHAOS_STATE):
+            self._saved.setdefault(key, os.environ.get(key))
+            os.environ.pop(key, None)
+        chaos.reset()
+
+    def restore(self) -> None:
+        for key, value in self._saved.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+        self._saved.clear()
+        chaos.reset()
+
+    def injected(self) -> Dict[str, int]:
+        return chaos.injected_counts(self.state_dir)
+
+
+def _jobs(n: int, base_seed: int = 0) -> List[Job]:
+    name = registry.resolve(PROBE_EXPERIMENT)
+    return [Job(name, {}, derive_seed(base_seed, i)) for i in range(n)]
+
+
+def _runner(arena: _Arena, workers: int, **kwargs) -> ExperimentRunner:
+    kwargs.setdefault("cache_dir", arena.cache_dir)
+    kwargs.setdefault("ledger", False)
+    return ExperimentRunner(max_workers=workers, collect_metrics=True, **kwargs)
+
+
+def _jobs_metric(runner: ExperimentRunner, **labels) -> float:
+    assert runner.metrics is not None
+    return runner.metrics.value("runner_jobs_total", **labels)
+
+
+# ----------------------------------------------------------------------
+# Scenarios
+# ----------------------------------------------------------------------
+
+def scenario_kill(arena: _Arena, jobs: int, workers: int) -> ScenarioOutcome:
+    """One worker SIGKILLed mid-sweep → pool rebuilt, every job completes."""
+    out = ScenarioOutcome("kill")
+    victim = derive_seed(0, 1)
+    arena.arm(f"kill:seed={victim}")
+    runner = _runner(arena, workers, timeout_s=SCENARIO_TIMEOUT_S)
+    results = runner.run(_jobs(jobs))
+    out.expect_eq("all jobs return results", len(results), jobs)
+    out.expect_eq("every job recovered ok",
+                  sum(r.ok for r in results), jobs)
+    out.expect_eq("exactly one pool rebuild", runner.pool_rebuilds, 1)
+    out.expect_eq("runner_pool_rebuilds_total",
+                  _jobs_metric_total(runner, "runner_pool_rebuilds_total"), 1)
+    out.expect_eq("one kill injected", arena.injected().get("kill", 0), 1)
+    return out
+
+
+def scenario_hang(arena: _Arena, jobs: int, workers: int) -> ScenarioOutcome:
+    """One hung job → structured timeout outcome, worker reclaimed."""
+    out = ScenarioOutcome("hang")
+    victim = derive_seed(0, 2)
+    arena.arm(f"hang:seed={victim}:secs={HANG_SECS:g}")
+    runner = _runner(arena, workers, timeout_s=SCENARIO_TIMEOUT_S)
+    results = runner.run(_jobs(jobs))
+    timeouts = [r for r in results if r.outcome == "timeout"]
+    out.expect_eq("all jobs return results", len(results), jobs)
+    out.expect_eq("exactly one timeout outcome", len(timeouts), 1)
+    out.expect("timeout hit the hung job",
+               bool(timeouts) and timeouts[0].seed == victim,
+               f"timed-out seed {timeouts[0].seed if timeouts else None}")
+    out.expect("timeout error is structured",
+               bool(timeouts) and str(timeouts[0].error).startswith("JobTimeout:"),
+               str(timeouts[0].error) if timeouts else "")
+    out.expect_eq("runner_jobs_total{outcome=timeout}",
+                  _jobs_metric(runner, cache_hit="false", outcome="timeout"), 1)
+    out.expect_eq("hung worker reclaimed (one rebuild)", runner.pool_rebuilds, 1)
+    out.expect_eq("everything else ok",
+                  sum(r.ok for r in results), jobs - 1)
+    return out
+
+
+def scenario_exc(arena: _Arena, jobs: int, workers: int) -> ScenarioOutcome:
+    """One injected transient failure → retried with backoff, sweep clean."""
+    out = ScenarioOutcome("exc")
+    victim = derive_seed(0, 0)
+    arena.arm(f"exc:seed={victim}")
+    runner = _runner(arena, workers, retries=2, backoff_s=0.01)
+    results = runner.run(_jobs(jobs))
+    out.expect_eq("all jobs return results", len(results), jobs)
+    out.expect_eq("transient failure retried to success",
+                  sum(r.ok for r in results), jobs)
+    out.expect_eq("exactly one retry", runner.retries_total, 1)
+    assert runner.metrics is not None
+    out.expect_eq("runner_retries_total{error=ChaosTransientError}",
+                  runner.metrics.value("runner_retries_total",
+                                       error="ChaosTransientError"), 1)
+    out.expect_eq("one exc injected", arena.injected().get("exc", 0), 1)
+    return out
+
+
+def scenario_torn(arena: _Arena, jobs: int, workers: int) -> ScenarioOutcome:
+    """One torn cache write → quarantined on re-read, job re-runs clean."""
+    out = ScenarioOutcome("torn")
+    victim = derive_seed(0, 1)
+    arena.arm(f"torn:seed={victim}")
+    first = _runner(arena, workers)
+    results = first.run(_jobs(jobs))
+    out.expect_eq("first sweep completes", sum(r.ok for r in results), jobs)
+    out.expect_eq("one torn write injected", arena.injected().get("torn", 0), 1)
+    arena.disarm()
+    # Second run, cold process state, warm cache: the torn entry must
+    # read as a miss (and be quarantined), never crash the run.
+    second = _runner(arena, workers)
+    results2 = second.run(_jobs(jobs))
+    out.expect_eq("second sweep completes", sum(r.ok for r in results2), jobs)
+    out.expect_eq("torn entry missed, everything else hit",
+                  sum(r.cache_hit for r in results2), jobs - 1)
+    corrupt = list(arena.cache_dir.glob("*/*.corrupt"))
+    out.expect_eq("torn entry quarantined as .corrupt", len(corrupt), 1)
+    return out
+
+
+def scenario_ledger(arena: _Arena, jobs: int, workers: int) -> ScenarioOutcome:
+    """One injected ledger I/O error → run unaffected, ledger short one line."""
+    out = ScenarioOutcome("ledger")
+    arena.arm("ledger")
+    runner = _runner(arena, 1, ledger=RunLedger(arena.ledger_path))
+    results = runner.run(_jobs(jobs))
+    out.expect_eq("all jobs ok despite ledger fault",
+                  sum(r.ok for r in results), jobs)
+    ledger = RunLedger(arena.ledger_path)
+    records = ledger.scan()
+    out.expect_eq("exactly one append dropped", len(records), jobs - 1)
+    out.expect_eq("no corrupt ledger lines", ledger.corrupt_lines, 0)
+    out.expect_eq("one ledger fault injected", arena.injected().get("ledger", 0), 1)
+    return out
+
+
+def scenario_combined(arena: _Arena, jobs: int, workers: int) -> ScenarioOutcome:
+    """The acceptance scenario: SIGKILL + hang + torn write in one
+    16-job sweep; then a clean ``--resume`` that re-runs only the job
+    that never finished."""
+    out = ScenarioOutcome("combined")
+    jobs = max(jobs, 16)
+    kill_seed = derive_seed(0, 1)
+    hang_seed = derive_seed(0, 6)
+    torn_seed = derive_seed(0, 11)
+    arena.arm(
+        f"kill:seed={kill_seed},"
+        f"hang:seed={hang_seed}:secs={HANG_SECS:g},"
+        f"torn:seed={torn_seed}"
+    )
+    runner = _runner(arena, workers, timeout_s=SCENARIO_TIMEOUT_S,
+                     checkpoint=arena.checkpoint_path)
+    results = runner.run(_jobs(jobs))
+    timeouts = [r for r in results if r.outcome == "timeout"]
+    out.expect_eq("all 16 jobs return results", len(results), jobs)
+    out.expect_eq("one structured timeout", len(timeouts), 1)
+    out.expect("timeout hit the hung job",
+               bool(timeouts) and timeouts[0].seed == hang_seed,
+               f"timed-out seed {timeouts[0].seed if timeouts else None}")
+    out.expect_eq("everything else recovered ok",
+                  sum(r.ok for r in results), jobs - 1)
+    out.expect_eq("two pool rebuilds (kill + hung-worker reclaim)",
+                  runner.pool_rebuilds, 2)
+    out.expect_eq("runner_pool_rebuilds_total",
+                  _jobs_metric_total(runner, "runner_pool_rebuilds_total"), 2)
+    out.expect_eq("runner_jobs_total{outcome=timeout}",
+                  _jobs_metric(runner, cache_hit="false", outcome="timeout"), 1)
+    injected = arena.injected()
+    out.expect_eq("injected counts exact",
+                  (injected.get("kill", 0), injected.get("hang", 0),
+                   injected.get("torn", 0)),
+                  (1, 1, 1))
+
+    # Resume with chaos disarmed: the checkpoint restores the 15
+    # completed jobs; only the timed-out one re-executes.
+    arena.disarm()
+    resumed = ExperimentRunner(cache_dir=None, max_workers=workers,
+                               collect_metrics=True, ledger=False,
+                               checkpoint=arena.checkpoint_path)
+    results2 = resumed.run(_jobs(jobs))
+    out.expect_eq("resume returns all 16", len(results2), jobs)
+    out.expect_eq("resume finishes clean", sum(r.ok for r in results2), jobs)
+    out.expect_eq("resume restored 15 from checkpoint",
+                  _jobs_metric(resumed, cache_hit="true", outcome="ok"), jobs - 1)
+    out.expect_eq("resume re-executed exactly 1",
+                  _jobs_metric(resumed, cache_hit="false", outcome="ok"), 1)
+    return out
+
+
+def _jobs_metric_total(runner: ExperimentRunner, name: str) -> float:
+    assert runner.metrics is not None
+    return runner.metrics.value(name)
+
+
+#: name → (scenario fn, default job count)
+SCENARIOS: Dict[str, Tuple[Callable[[_Arena, int, int], ScenarioOutcome], int]] = {
+    "kill": (scenario_kill, 8),
+    "hang": (scenario_hang, 8),
+    "exc": (scenario_exc, 6),
+    "torn": (scenario_torn, 6),
+    "ledger": (scenario_ledger, 4),
+    "combined": (scenario_combined, 16),
+}
+
+
+def run_scenario(name: str, root: Path, jobs: Optional[int] = None,
+                 workers: int = 4) -> ScenarioOutcome:
+    fn, default_jobs = SCENARIOS[name]
+    arena = _Arena(root, name)
+    try:
+        return fn(arena, jobs or default_jobs, workers)
+    finally:
+        arena.restore()
+
+
+def run_suite(names: Optional[List[str]] = None,
+              workdir: Optional[Path] = None,
+              jobs: Optional[int] = None,
+              workers: int = 4,
+              keep: bool = False) -> List[ScenarioOutcome]:
+    """Run chaos scenarios; returns their outcomes (pass/fail + checks).
+
+    The scratch ``workdir`` (caches, checkpoints, chaos state) is
+    deleted afterwards unless ``keep`` (or an explicit workdir) asks
+    for it to stay for inspection.
+    """
+    selected = names or list(SCENARIOS)
+    unknown = [n for n in selected if n not in SCENARIOS]
+    if unknown:
+        raise ValueError(
+            f"unknown chaos scenario(s) {', '.join(unknown)}; "
+            f"expected any of {', '.join(SCENARIOS)}"
+        )
+    owned = workdir is None
+    root = Path(workdir) if workdir else Path(tempfile.mkdtemp(prefix="repro-chaos-"))
+    try:
+        return [run_scenario(n, root, jobs=jobs, workers=workers)
+                for n in selected]
+    finally:
+        if owned and not keep:
+            shutil.rmtree(root, ignore_errors=True)

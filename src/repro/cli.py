@@ -11,6 +11,8 @@ Usage::
     python -m repro describe para_reliability
     python -m repro report f1 c3 --output report.md
     python -m repro sweep fig1_error_rates --seeds 8 --parallel 4
+    python -m repro sweep fig1_error_rates --seeds 64 --timeout 30 --resume
+    python -m repro chaos
 
 Experiments resolve by registry name *or* legacy alias (``f1``,
 ``c2``…) through :mod:`repro.experiments`.  Results print as text
@@ -28,6 +30,16 @@ span profiler and renders where the time went; ``ledger`` lists, shows,
 and diffs the append-only run manifest every runner job feeds; and
 ``bench`` drives the bench-regression suite (``repro bench --compare
 BASELINE.json`` exits nonzero past the regression threshold).
+
+Hardened execution: ``run``/``sweep`` take ``--timeout`` (per-job
+wall-clock deadline → structured ``timeout`` outcome) and ``--retries``
+(deterministic backoff for transient failures); ``sweep`` checkpoints
+completed jobs (``--checkpoint``/``--no-checkpoint``) and ``--resume``
+restores them, so an interrupted sweep picks up where it left off.
+Exit codes: 0 all jobs ok, 1 one or more jobs failed/timed out, 2 usage
+error, 130 interrupted (completed results flushed to cache/checkpoint).
+``chaos`` runs the fault-injection scenario suite
+(:mod:`repro.chaos.harness`) proving those recovery paths.
 
 Seed handling is introspected from each experiment's registered
 signature — an exception raised *inside* an experiment always
@@ -122,6 +134,12 @@ def build_parser() -> argparse.ArgumentParser:
                      help="collect hardware telemetry and persist the snapshot")
     run.add_argument("--metrics-out", default=DEFAULT_METRICS_PATH,
                      help=f"metrics snapshot file (default: {DEFAULT_METRICS_PATH})")
+    run.add_argument("--timeout", type=float, default=None, metavar="SECS",
+                     help="per-job wall-clock deadline (structured timeout "
+                          "outcome instead of a hang)")
+    run.add_argument("--retries", type=int, default=0, metavar="N",
+                     help="retry budget for transient job failures "
+                          "(default 0: strict determinism)")
 
     report = sub.add_parser("report", help="run several experiments, write a markdown report")
     report.add_argument("names", nargs="+", choices=invocable, metavar="name")
@@ -148,6 +166,21 @@ def build_parser() -> argparse.ArgumentParser:
                        help="collect hardware telemetry and persist the snapshot")
     sweep.add_argument("--metrics-out", default=DEFAULT_METRICS_PATH,
                        help=f"metrics snapshot file (default: {DEFAULT_METRICS_PATH})")
+    sweep.add_argument("--timeout", type=float, default=None, metavar="SECS",
+                       help="per-job wall-clock deadline (structured timeout "
+                            "outcome instead of a hang)")
+    sweep.add_argument("--retries", type=int, default=0, metavar="N",
+                       help="retry budget for transient job failures "
+                            "(default 0: strict determinism)")
+    sweep.add_argument("--checkpoint", default=None, metavar="PATH",
+                       help="sweep checkpoint file (default: "
+                            "<cache-dir>/checkpoint.jsonl when the cache "
+                            "is enabled)")
+    sweep.add_argument("--no-checkpoint", action="store_true",
+                       help="disable sweep checkpointing")
+    sweep.add_argument("--resume", action="store_true",
+                       help="restore completed jobs from the checkpoint "
+                            "instead of re-running them")
 
     stats = sub.add_parser(
         "stats", help="render a metrics snapshot saved by run/sweep --metrics"
@@ -220,6 +253,32 @@ def build_parser() -> argparse.ArgumentParser:
                        help="report regressions but exit 0 (CI mode)")
     bench.add_argument("--json", action="store_true",
                        help="emit the report (and comparison) as JSON")
+    bench.add_argument("--timeout", type=float, default=None, metavar="SECS",
+                       help="per-bench wall-clock deadline (a bench past it "
+                            "reports an error instead of hanging the suite)")
+
+    chaos_cmd = sub.add_parser(
+        "chaos",
+        help="run the fault-injection scenario suite against the "
+             "hardened runner",
+    )
+    chaos_cmd.add_argument("scenarios", nargs="*", metavar="scenario",
+                           help="scenarios to run (default: all); "
+                                "see --list")
+    chaos_cmd.add_argument("--list", action="store_true",
+                           help="list available scenarios and exit")
+    chaos_cmd.add_argument("--jobs", type=int, default=None, metavar="N",
+                           help="sweep size per scenario (defaults per "
+                                "scenario; combined pins 16)")
+    chaos_cmd.add_argument("--workers", type=int, default=4, metavar="N",
+                           help="pool workers per scenario (default 4)")
+    chaos_cmd.add_argument("--workdir", default=None, metavar="DIR",
+                           help="scratch directory (kept for inspection; "
+                                "default: a deleted tempdir)")
+    chaos_cmd.add_argument("--keep", action="store_true",
+                           help="keep the scratch tempdir for inspection")
+    chaos_cmd.add_argument("--json", action="store_true",
+                           help="emit scenario outcomes as JSON")
 
     test_module = sub.add_parser(
         "test-module",
@@ -260,6 +319,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _ledger(args)
     if args.command == "bench":
         return _bench(args)
+    if args.command == "chaos":
+        return _chaos(args)
     if args.command == "test-module":
         return _test_module(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
@@ -287,9 +348,10 @@ def _describe(name: str) -> int:
 
 
 def _make_runner(parallel: int, cache_dir: Optional[str],
-                 collect_metrics: bool = False) -> ExperimentRunner:
+                 collect_metrics: bool = False,
+                 **hardening) -> ExperimentRunner:
     return ExperimentRunner(cache_dir=cache_dir, max_workers=max(1, parallel),
-                            collect_metrics=collect_metrics)
+                            collect_metrics=collect_metrics, **hardening)
 
 
 def _write_metrics_snapshot(runner: ExperimentRunner, path: str,
@@ -319,9 +381,14 @@ def _print_batch_errors(summary: dict) -> None:
 
 
 def _run(args) -> int:
-    runner = _make_runner(args.parallel, args.cache_dir, collect_metrics=args.metrics)
+    runner = _make_runner(args.parallel, args.cache_dir, collect_metrics=args.metrics,
+                          timeout_s=args.timeout, retries=args.retries)
     jobs = [Job(name, {}, args.seed) for name in args.names]
-    results = runner.run(jobs)
+    try:
+        results = runner.run(jobs)
+    except KeyboardInterrupt:
+        print("interrupted; completed results were flushed", file=sys.stderr)
+        return 130
     for i, result in enumerate(results):
         body = result.to_json_dict() if args.record else result.payload
         if args.json:
@@ -381,14 +448,41 @@ def _write_report(names: List[str], seed: int, output: str,
     return 0
 
 
+def _sweep_checkpoint_path(args, cache_dir: Optional[str]) -> Optional[str]:
+    """Where the sweep checkpoint lives: explicit ``--checkpoint`` wins;
+    otherwise it rides inside the cache directory (so ``--no-cache``
+    without an explicit path means no checkpoint and no stray files)."""
+    if args.no_checkpoint:
+        return None
+    if args.checkpoint is not None:
+        return args.checkpoint
+    if cache_dir is not None:
+        import os.path
+
+        return os.path.join(cache_dir, "checkpoint.jsonl")
+    return None
+
+
 def _sweep(args) -> int:
     cache_dir = None if args.no_cache else args.cache_dir
-    runner = _make_runner(args.parallel, cache_dir, collect_metrics=args.metrics)
+    checkpoint = _sweep_checkpoint_path(args, cache_dir)
+    if args.resume and checkpoint is None:
+        print("error: --resume needs a checkpoint (drop --no-checkpoint, "
+              "or pass --checkpoint PATH when using --no-cache)",
+              file=sys.stderr)
+        return 2
+    runner = _make_runner(args.parallel, cache_dir, collect_metrics=args.metrics,
+                          timeout_s=args.timeout, retries=args.retries,
+                          checkpoint=checkpoint, resume=args.resume)
     try:
         results = runner.sweep(args.name, seeds=args.seeds, base_seed=args.base_seed)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except KeyboardInterrupt:
+        where = f"; resume with --resume (checkpoint: {checkpoint})" if checkpoint else ""
+        print(f"interrupted; completed results were flushed{where}", file=sys.stderr)
+        return 130
     if args.metrics:
         _write_metrics_snapshot(runner, args.metrics_out, "sweep", [args.name])
     summary = runner.summary(results)
@@ -399,8 +493,15 @@ def _sweep(args) -> int:
             return 1
         return 0
     name = registry.resolve(args.name)
+    extra = ""
+    if summary["timeouts"]:
+        extra += f", {summary['timeouts']} timeouts"
+    if summary["retries"]:
+        extra += f", {summary['retries']} retries"
+    if summary["pool_rebuilds"]:
+        extra += f", {summary['pool_rebuilds']} pool rebuilds"
     print(f"sweep {name}: {len(results)} seeds from base {args.base_seed} "
-          f"({summary['cache_hits']} cache hits, {summary['errors']} errors)")
+          f"({summary['cache_hits']} cache hits, {summary['errors']} errors{extra})")
     for result in results:
         suffix = f" · ERROR {result.error}" if result.error else ""
         print(f"  {_format_provenance(result)}{suffix}")
@@ -512,11 +613,18 @@ def _open_ledger(args):
     return ledger_mod.RunLedger(ledger_mod.ledger_path())
 
 
+def _warn_corrupt_lines(book) -> None:
+    if book.corrupt_lines:
+        print(f"warning: skipped {book.corrupt_lines} corrupt ledger "
+              f"line(s) in {book.path}", file=sys.stderr)
+
+
 def _ledger(args) -> int:
     """Inspect the append-only run ledger."""
     book = _open_ledger(args)
     if args.ledger_command == "list":
         records = book.records()
+        _warn_corrupt_lines(book)
         if args.name is not None:
             records = [r for r in records if r.get("name") == args.name]
         if not records:
@@ -537,6 +645,7 @@ def _ledger(args) -> int:
         return 0
     if args.ledger_command == "show":
         record = book.find(args.ref)
+        _warn_corrupt_lines(book)
         if record is None:
             print(f"error: no ledger record matching {args.ref!r} in {book.path}",
                   file=sys.stderr)
@@ -546,6 +655,7 @@ def _ledger(args) -> int:
     if args.ledger_command == "diff":
         rec_a = book.find(args.ref_a)
         rec_b = book.find(args.ref_b)
+        _warn_corrupt_lines(book)
         for ref, rec in ((args.ref_a, rec_a), (args.ref_b, rec_b)):
             if rec is None:
                 print(f"error: no ledger record matching {ref!r} in {book.path}",
@@ -599,7 +709,8 @@ def _bench(args) -> int:
             return 2
     else:
         try:
-            report = bench_mod.run_suite(args.names or None, quick=args.quick)
+            report = bench_mod.run_suite(args.names or None, quick=args.quick,
+                                         timeout_s=args.timeout)
         except ValueError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
@@ -627,6 +738,10 @@ def _bench(args) -> int:
     else:
         print(f"{'bench':<22}  {'wall':>10}  {'throughput':>16}")
         for bench in report["benches"]:
+            if bench.get("error"):
+                print(f"{bench['name']:<22}  {bench['wall_s']:>9.3f}s  "
+                      f"{'TIMED OUT':>16}")
+                continue
             tput = (f"{bench['throughput']:,.0f} {bench['unit']}/s"
                     if bench.get("throughput") else "-")
             print(f"{bench['name']:<22}  {bench['wall_s']:>9.3f}s  {tput:>16}")
@@ -640,10 +755,59 @@ def _bench(args) -> int:
                 print(f"  {row['name']:<22}  {row['base_wall_s']:.3f}s -> "
                       f"{row['wall_s']:.3f}s  ({row['delta_pct']:+.1f}%){flag}")
 
+    timed_out = [b["name"] for b in report["benches"] if b.get("error")]
+    if timed_out:
+        print(f"timed out: {', '.join(timed_out)}", file=sys.stderr)
+        return 0 if args.warn_only else 1
     if comparison is not None and not comparison["ok"]:
         names = ", ".join(comparison["regressions"])
         print(f"regression: {names}", file=sys.stderr)
         return 0 if args.warn_only else 1
+    return 0
+
+
+def _chaos(args) -> int:
+    """Run the fault-injection scenario suite; exit 1 on any failed check."""
+    from pathlib import Path
+
+    from repro.chaos import harness
+
+    if args.list:
+        for name, (fn, default_jobs) in harness.SCENARIOS.items():
+            doc = (fn.__doc__ or "").strip().split("\n")[0]
+            print(f"{name:<10} ({default_jobs} jobs)  {doc}")
+        return 0
+    try:
+        outcomes = harness.run_suite(
+            args.scenarios or None,
+            workdir=Path(args.workdir) if args.workdir else None,
+            jobs=args.jobs,
+            workers=max(2, args.workers),
+            keep=args.keep,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps([
+            {"name": o.name, "passed": o.passed,
+             "checks": [{"label": c.label, "ok": c.ok, "observed": c.observed}
+                        for c in o.checks]}
+            for o in outcomes
+        ], indent=2))
+    else:
+        for outcome in outcomes:
+            status = "PASS" if outcome.passed else "FAIL"
+            print(f"{status}  {outcome.name} "
+                  f"({sum(c.ok for c in outcome.checks)}/{len(outcome.checks)} checks)")
+            for check in outcome.checks:
+                if not check.ok:
+                    print(f"      FAIL {check.label}: {check.observed}")
+    failed = [o.name for o in outcomes if not o.passed]
+    if failed:
+        print(f"chaos: recovery FAILED in {', '.join(failed)}", file=sys.stderr)
+        return 1
+    print(f"chaos: {len(outcomes)} scenario(s) recovered clean", file=sys.stderr)
     return 0
 
 

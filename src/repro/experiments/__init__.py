@@ -66,13 +66,21 @@ from repro.experiments.retention import raidr_rowhammer_interaction, retention_s
 
 # Runner imports come last: repro.experiments.runner imports the
 # registry from this package.
+from repro.experiments.checkpoint import CHECKPOINT_SCHEMA, SweepCheckpoint, job_key
 from repro.experiments.runner import (
     ExperimentRunner,
     Job,
+    JobTimeout,
+    NONRETRYABLE_ERRORS,
+    RETRYABLE_ERRORS,
     ResultCache,
+    call_with_deadline,
     derive_seed,
+    error_class,
     execute_job,
     execute_job_safe,
+    is_retryable,
+    retry_backoff_s,
 )
 
 #: The single run-one-experiment entry point (CLI ``run``/``report``/
@@ -100,6 +108,16 @@ __all__ = [
     "execute_job",
     "execute_job_safe",
     "run_experiment",
+    "JobTimeout",
+    "RETRYABLE_ERRORS",
+    "NONRETRYABLE_ERRORS",
+    "call_with_deadline",
+    "error_class",
+    "is_retryable",
+    "retry_backoff_s",
+    "SweepCheckpoint",
+    "CHECKPOINT_SCHEMA",
+    "job_key",
     "to_jsonable",
     "canonical_json",
     "get",

@@ -1,0 +1,142 @@
+"""Crash-safe sweep/batch checkpointing.
+
+A long characterization sweep must survive what the paper's Section II
+field study survived: partial failure.  The checkpoint is an
+append-only JSONL file with one record per *completed* job — keyed by
+the same ``(name, params, seed)`` identity the result cache uses — so
+an interrupted run resumes by skipping exactly the jobs that already
+finished, **independently of the result cache** (which may be disabled,
+cold, or on another machine).
+
+Records carry the full :class:`~repro.experiments.result.ExperimentResult`
+JSON, so a resume restores payloads too, not just "done" flags.
+Appends are single ``O_APPEND`` writes followed by ``fsync``: a crash
+can truncate at most the final line, and readers skip (and count)
+corrupt lines instead of raising.  Only successful results are ever
+recorded — errored and timed-out jobs re-run on resume.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any, Dict, Optional, Set, Union
+
+from repro.experiments import registry
+from repro.experiments.result import ExperimentResult, canonical_json, to_jsonable
+
+__all__ = ["CHECKPOINT_SCHEMA", "SweepCheckpoint", "job_key"]
+
+CHECKPOINT_SCHEMA = 1
+
+
+def job_key(name: str, params: Any, seed: Optional[int]) -> str:
+    """The canonical ``(name, params, seed)`` job identity digest.
+
+    Shared with :class:`~repro.experiments.runner.ResultCache`:
+    aliases resolve to the canonical experiment name and params are
+    key-sorted, so the same job always produces the same key.
+    """
+    canonical = registry.resolve(name)
+    ordered = {k: params[k] for k in sorted(params)}
+    blob = canonical_json({"name": canonical, "params": ordered, "seed": seed})
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:24]
+
+
+class SweepCheckpoint:
+    """Append-only JSONL manifest of completed jobs at one path.
+
+    ``corrupt_lines`` holds the number of unparseable/foreign lines the
+    most recent :meth:`load` skipped (a torn final line after a crash
+    is expected, not an error).
+    """
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path).expanduser()
+        self.corrupt_lines = 0
+        self._seen: Optional[Set[str]] = None
+
+    def load(self) -> Dict[str, Dict[str, Any]]:
+        """All parseable records keyed by job identity (last one wins)."""
+        self.corrupt_lines = 0
+        records: Dict[str, Dict[str, Any]] = {}
+        if self.path.is_file():
+            with open(self.path) as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        record = json.loads(line)
+                    except ValueError:
+                        self.corrupt_lines += 1
+                        continue
+                    if (not isinstance(record, dict)
+                            or record.get("schema") != CHECKPOINT_SCHEMA
+                            or "key" not in record or "result" not in record):
+                        self.corrupt_lines += 1
+                        continue
+                    records[record["key"]] = record
+        self._seen = set(records)
+        return records
+
+    def results(self) -> Dict[str, ExperimentResult]:
+        """Completed results by job key, restored for direct reuse.
+
+        Restored results are flagged ``cache_hit=True``: they were not
+        re-executed, and job-count telemetry must say so.
+        """
+        out: Dict[str, ExperimentResult] = {}
+        for key, record in self.load().items():
+            try:
+                out[key] = ExperimentResult.from_json_dict(
+                    record["result"], cache_hit=True)
+            except (KeyError, TypeError, ValueError):
+                self.corrupt_lines += 1
+        return out
+
+    def record(self, result: ExperimentResult) -> bool:
+        """Append one completed result; idempotent per job identity.
+
+        Failed results are refused (they must re-run on resume), and
+        I/O failures are reported as ``False`` rather than raised — a
+        full disk must not take down the sweep that is trying to
+        preserve its work.
+        """
+        if result.error is not None:
+            return False
+        key = job_key(result.name, result.params, result.seed)
+        if self._seen is None:
+            self.load()
+        assert self._seen is not None
+        if key in self._seen:
+            return True
+        record = {
+            "schema": CHECKPOINT_SCHEMA,
+            "key": key,
+            "ts": time.time(),
+            "name": result.name,
+            "seed": result.seed,
+            "params": to_jsonable(result.params),
+            "result": result.to_json_dict(),
+        }
+        line = (json.dumps(record, sort_keys=True, default=repr) + "\n").encode("utf-8")
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            fd = os.open(str(self.path),
+                         os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+            try:
+                os.write(fd, line)
+                os.fsync(fd)
+            finally:
+                os.close(fd)
+        except OSError:
+            return False
+        self._seen.add(key)
+        return True
+
+    def __len__(self) -> int:
+        return len(self.load())

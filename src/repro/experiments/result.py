@@ -86,6 +86,21 @@ class ExperimentResult:
     def ok(self) -> bool:
         return self.error is None
 
+    @property
+    def outcome(self) -> str:
+        """Structured outcome class: ``"ok"``, ``"timeout"``, or ``"error"``.
+
+        A timeout is an error whose class (the leading ``ClassName`` of
+        the error string) is ``JobTimeout`` — the runner's deadline
+        enforcement produces exactly that shape on both the serial and
+        pool paths.
+        """
+        if self.error is None:
+            return "ok"
+        if self.error.split(":", 1)[0].strip() == "JobTimeout":
+            return "timeout"
+        return "error"
+
     def payload_json(self) -> str:
         """Canonical JSON of the payload (byte-identical for equal seeds)."""
         return canonical_json(self.payload)

@@ -1,4 +1,4 @@
-"""Execute experiments: one-shot, fan-out, and seed sweeps.
+"""Execute experiments: one-shot, fan-out, seed sweeps — and survive.
 
 The :class:`ExperimentRunner` turns ``(experiment, params, seed)`` jobs
 into :class:`~repro.experiments.result.ExperimentResult` records:
@@ -11,7 +11,26 @@ into :class:`~repro.experiments.result.ExperimentResult` records:
 * **measured** — every job records wall-clock duration and the worker's
   peak RSS;
 * **cached** — results persist to an on-disk JSON cache keyed by
-  ``(name, params, seed)``; a re-run becomes a near-instant cache hit.
+  ``(name, params, seed)``; a re-run becomes a near-instant cache hit;
+* **hardened** — the batch path applies the same fault discipline the
+  paper applies to memory:
+
+  - per-job wall-clock **timeouts** (runner default, per-:class:`Job`
+    override) produce a structured ``timeout`` outcome instead of a
+    hang; the worker stuck on the job is reclaimed by rebuilding the
+    pool;
+  - transient failures **retry** with deterministic exponential
+    backoff + jitter (``retries=0`` by default — determinism first);
+  - a dying pool (worker SIGKILL/OOM/segfault → ``BrokenProcessPool``)
+    is **rebuilt** and its in-flight jobs requeued, up to
+    ``max_pool_rebuilds`` times, after which execution degrades to
+    serial in-process;
+  - ``KeyboardInterrupt`` **drains** already-completed futures into the
+    cache/checkpoint/ledger before re-raising, so Ctrl-C never loses
+    finished work;
+  - an optional :class:`~repro.experiments.checkpoint.SweepCheckpoint`
+    records every completed job, so an interrupted sweep **resumes**
+    without re-running finished jobs even with the cache disabled.
 
 Seed handling is introspected from each experiment's registered
 signature (:mod:`repro.experiments.registry`), so a ``TypeError``
@@ -24,15 +43,35 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import signal
 import sys
+import threading
 import time
-from concurrent.futures import ProcessPoolExecutor
+from collections import deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    CancelledError,
+    ProcessPoolExecutor,
+    wait as futures_wait,
+)
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import (
+    Any,
+    Deque,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.experiments import registry
-from repro.experiments.result import ExperimentResult, canonical_json, to_jsonable
+from repro.experiments.checkpoint import SweepCheckpoint, job_key
+from repro.experiments.result import ExperimentResult, to_jsonable
 from repro.telemetry import MetricsRegistry, RunLedger, SpanProfile, SpanProfiler
 from repro.telemetry import default_ledger
 from repro.telemetry import runtime as telem
@@ -43,13 +82,63 @@ except ImportError:  # pragma: no cover - non-POSIX
     resource = None  # type: ignore[assignment]
 
 
+class JobTimeout(Exception):
+    """A job exceeded its wall-clock deadline.
+
+    Stringifies into the ``"JobTimeout: ..."`` error the ``timeout``
+    outcome classification keys on.
+    """
+
+
+#: Error classes (the leading ``ClassName`` of ``result.error``) that
+#: indicate a *transient* failure worth retrying.
+RETRYABLE_ERRORS = frozenset({
+    "ChaosTransientError",
+    "TransientError",
+    "ConnectionError",
+    "ConnectionResetError",
+    "ConnectionAbortedError",
+    "BrokenPipeError",
+    "EOFError",
+    "OSError",
+    "IOError",
+    "TimeoutError",
+})
+
+#: Error classes that must never be retried, whatever the retry budget:
+#: resource exhaustion and interpreter-exit conditions re-fail
+#: identically (or worse), and a timed-out job would burn its full
+#: deadline again.
+NONRETRYABLE_ERRORS = frozenset({
+    "MemoryError",
+    "SystemExit",
+    "KeyboardInterrupt",
+    "JobTimeout",
+})
+
+
+def error_class(error: Optional[str]) -> str:
+    """The exception class name encoded in a result's error string."""
+    return error.split(":", 1)[0].strip() if error else ""
+
+
+def is_retryable(error: Optional[str]) -> bool:
+    cls = error_class(error)
+    return cls in RETRYABLE_ERRORS and cls not in NONRETRYABLE_ERRORS
+
+
 @dataclass(frozen=True)
 class Job:
-    """One unit of work: an experiment name, bound params, and a seed."""
+    """One unit of work: an experiment name, bound params, and a seed.
+
+    ``timeout_s`` overrides the runner's default per-job deadline
+    (``None`` inherits it).
+    """
 
     name: str
     params: Mapping[str, Any] = field(default_factory=dict)
     seed: Optional[int] = 0
+    timeout_s: Optional[float] = None
 
 
 def derive_seed(base_seed: int, index: int) -> int:
@@ -60,6 +149,45 @@ def derive_seed(base_seed: int, index: int) -> int:
     """
     digest = hashlib.sha256(f"{base_seed}:{index}".encode("ascii")).digest()
     return int.from_bytes(digest[:4], "big") & 0x7FFFFFFF
+
+
+def retry_backoff_s(base_s: float, job: Job, attempt: int,
+                    cap_s: float = 5.0) -> float:
+    """Exponential backoff with *deterministic* jitter.
+
+    The jitter derives from SHA-256 of ``(name, seed, attempt)`` — the
+    same retry schedule replays bit-for-bit, keeping hardened runs as
+    reproducible as clean ones.
+    """
+    digest = hashlib.sha256(
+        f"{job.name}:{job.seed}:{attempt}".encode("utf-8")).digest()
+    jitter = int.from_bytes(digest[:4], "big") / 2**32  # [0, 1)
+    return min(cap_s, base_s * (2 ** max(0, attempt - 1)) * (0.5 + jitter))
+
+
+def call_with_deadline(fn, timeout_s: Optional[float]):
+    """Run ``fn()`` under a wall-clock deadline; raise :class:`JobTimeout`.
+
+    Enforcement uses ``SIGALRM`` and therefore only engages on the main
+    thread of a POSIX process; elsewhere the call runs unguarded (the
+    pool path enforces deadlines parent-side instead).
+    """
+    if not timeout_s or timeout_s <= 0:
+        return fn()
+    if (threading.current_thread() is not threading.main_thread()
+            or not hasattr(signal, "setitimer")):  # pragma: no cover - non-POSIX
+        return fn()
+
+    def _alarm(signum, frame):
+        raise JobTimeout(f"exceeded {timeout_s:g}s wall-clock")
+
+    previous = signal.signal(signal.SIGALRM, _alarm)
+    signal.setitimer(signal.ITIMER_REAL, timeout_s)
+    try:
+        return fn()
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 def _peak_rss_kb() -> int:
@@ -92,7 +220,8 @@ def execute_job(name: str, params: Optional[Mapping[str, Any]] = None,
     Exceptions raised inside the experiment propagate (the batch-level
     fault tolerance lives in :meth:`ExperimentRunner.run`); the
     ``job_end`` trace event still fires, with ``ok``/``error`` fields
-    distinguishing the failure.
+    distinguishing the failure — including the exception's class name
+    for ``MemoryError``/``SystemExit``-grade failures.
     """
     import repro
 
@@ -159,8 +288,15 @@ def execute_job_safe(name: str, params: Optional[Mapping[str, Any]] = None,
     :class:`ExperimentResult` (``payload=None``, ``error`` set) instead
     of propagating — the unit of the batch runner's fault tolerance.
 
+    ``MemoryError`` and ``SystemExit`` are captured too (a worker
+    calling ``sys.exit`` must not kill its pool), carrying their class
+    name in ``result.error`` so the retry policy can classify them as
+    non-retryable; ``KeyboardInterrupt`` always propagates.
+
     Framework-level errors (unknown experiment name, bad params) still
-    raise: they are caller bugs, not job failures.
+    raise: they are caller bugs, not job failures.  This is also the
+    chaos injection point: an armed ``REPRO_CHAOS`` schedule may kill,
+    hang, or fail the job right here (see :mod:`repro.chaos`).
     """
     import repro
 
@@ -168,10 +304,17 @@ def execute_job_safe(name: str, params: Optional[Mapping[str, Any]] = None,
     spec.bind(params=params, seed=seed)  # param errors are caller bugs: raise now
     start = time.perf_counter()
     try:
+        from repro import chaos
+
+        if chaos.enabled():
+            chaos.on_job_start(spec.name, seed)
         return execute_job(name, params=params, seed=seed,
                            collect_metrics=collect_metrics,
                            collect_profile=collect_profile)
-    except Exception as exc:
+    except (Exception, SystemExit) as exc:
+        detail = str(exc)
+        if isinstance(exc, SystemExit) and not detail:
+            detail = repr(exc.code)
         return ExperimentResult(
             name=spec.name,
             payload=None,
@@ -180,7 +323,7 @@ def execute_job_safe(name: str, params: Optional[Mapping[str, Any]] = None,
             duration_s=time.perf_counter() - start,
             peak_rss_kb=_peak_rss_kb(),
             version=repro.__version__,
-            error=f"{type(exc).__name__}: {exc}",
+            error=f"{type(exc).__name__}: {detail}",
         )
 
 
@@ -190,29 +333,65 @@ def _pool_worker(job: Tuple[str, Dict[str, Any], Optional[int], bool, bool]) -> 
     import repro.experiments  # noqa: F401
 
     name, params, seed, collect_metrics, collect_profile = job
-    # The safe variant keeps one raising job from poisoning pool.map
+    # The safe variant keeps one raising job from poisoning the pool
     # and aborting its completed siblings.
     return execute_job_safe(name, params=params, seed=seed,
                             collect_metrics=collect_metrics,
                             collect_profile=collect_profile)
 
 
+#: Temp files this much older than "now" are crash leftovers, not
+#: concurrent writers, and are swept on cache init.
+_TMP_MAX_AGE_S = 3600.0
+
+
 class ResultCache:
-    """On-disk JSON result cache keyed by ``(name, params, seed)``."""
+    """On-disk JSON result cache keyed by ``(name, params, seed)``.
+
+    Writes are crash- and contention-safe: each writer stages through a
+    unique ``.tmp.<pid>.<nonce>`` file (two sweeps sharing one cache
+    directory can never clobber each other's staging file), fsyncs, and
+    atomically renames into place.  Reads quarantine corrupt entries —
+    truncated JSON, an empty file, a wrong-schema record — by renaming
+    them to ``*.corrupt`` and reporting a miss, so one torn write can
+    never crash (or permanently wedge) a run.
+    """
 
     def __init__(self, root: Union[str, Path]):
         self.root = Path(root)
+        self._sweep_stale_tmps()
+
+    def _sweep_stale_tmps(self) -> None:
+        """Remove staging files abandoned by crashed writers.
+
+        Age-gated so a concurrent writer's live staging file survives.
+        """
+        if not self.root.is_dir():
+            return
+        cutoff = time.time() - _TMP_MAX_AGE_S
+        for tmp in self.root.glob("*/*.tmp*"):
+            try:
+                if tmp.stat().st_mtime < cutoff:
+                    tmp.unlink()
+            except OSError:  # raced with another sweeper: fine
+                pass
 
     def key(self, name: str, params: Mapping[str, Any], seed: Optional[int]) -> str:
-        canonical = registry.resolve(name)
-        # Insertion order must not leak into the key: two params dicts
-        # holding the same bindings always hash identically.
-        ordered = {k: params[k] for k in sorted(params)}
-        blob = canonical_json({"name": canonical, "params": ordered, "seed": seed})
-        return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:24]
+        # Shared with the sweep checkpoint: aliases resolve, params are
+        # key-sorted, so insertion order never leaks into the key.
+        return job_key(name, params, seed)
 
     def path(self, name: str, params: Mapping[str, Any], seed: Optional[int]) -> Path:
         return self.root / registry.resolve(name) / f"{self.key(name, params, seed)}.json"
+
+    def _quarantine(self, path: Path) -> None:
+        try:
+            os.replace(path, path.with_name(path.name + ".corrupt"))
+        except OSError:
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - raced removal
+                pass
 
     def get(self, name: str, params: Mapping[str, Any],
             seed: Optional[int]) -> Optional[ExperimentResult]:
@@ -220,20 +399,63 @@ class ResultCache:
         if not path.is_file():
             return None
         try:
-            record = json.loads(path.read_text())
-        except (OSError, ValueError):  # torn write → treat as miss
+            text = path.read_text()
+        except OSError:
             return None
-        return ExperimentResult.from_json_dict(record, cache_hit=True)
+        try:
+            record = json.loads(text)
+            if not isinstance(record, dict):
+                raise ValueError("cache record is not a JSON object")
+            return ExperimentResult.from_json_dict(record, cache_hit=True)
+        except (ValueError, KeyError, TypeError):
+            # Torn write or foreign schema: quarantine and miss.
+            self._quarantine(path)
+            return None
 
     def put(self, result: ExperimentResult) -> Path:
         path = self.path(result.name, result.params, result.seed)
         path.parent.mkdir(parents=True, exist_ok=True)
         record = result.to_json_dict()
         record["cache_hit"] = False
-        tmp = path.with_suffix(".tmp")
-        tmp.write_text(json.dumps(record, indent=1, sort_keys=True))
-        os.replace(tmp, path)
+        text = json.dumps(record, indent=1, sort_keys=True)
+
+        from repro import chaos
+
+        if chaos.enabled() and chaos.tear_cache_write(result.name, result.seed):
+            # Injected torn write: the final file holds truncated JSON,
+            # as if this process died mid-write without the tmp dance.
+            path.write_text(text[: max(1, len(text) // 2)])
+            return path
+
+        tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}.{os.urandom(4).hex()}")
+        try:
+            with open(tmp, "w") as handle:
+                handle.write(text)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, path)
+        finally:
+            if tmp.exists():  # write or rename failed: don't litter
+                try:
+                    tmp.unlink()
+                except OSError:  # pragma: no cover - raced removal
+                    pass
         return path
+
+
+class _Pending:
+    """One not-yet-finalized job in a batch."""
+
+    __slots__ = ("index", "job", "retries_used", "ready_at", "started_at",
+                 "deadline")
+
+    def __init__(self, index: int, job: Job):
+        self.index = index
+        self.job = job
+        self.retries_used = 0
+        self.ready_at = 0.0  # monotonic time before which not to start (backoff)
+        self.started_at: Optional[float] = None
+        self.deadline: Optional[float] = None
 
 
 class ExperimentRunner:
@@ -257,6 +479,31 @@ class ExperimentRunner:
     aborting its completed siblings; errored results are never cached
     and are tallied in ``runner_jobs_total{outcome="error"}``.
 
+    Hardening knobs:
+
+    ``timeout_s``
+        Default per-job wall-clock deadline (``Job.timeout_s``
+        overrides per job).  A job past its deadline becomes a
+        ``timeout``-outcome result; on the pool path the worker stuck
+        on it is reclaimed by rebuilding the pool.
+    ``retries`` / ``backoff_s``
+        Retry budget for *transient* failures (see
+        :data:`RETRYABLE_ERRORS`), with deterministic exponential
+        backoff + jitter.  ``retries=0`` (the default) keeps runs
+        strictly deterministic.  Retries tally in
+        ``runner_retries_total`` and :attr:`retries_total`.
+    ``max_pool_rebuilds``
+        How many times a broken/hung pool is rebuilt (requeueing its
+        in-flight jobs) before the runner degrades to serial in-process
+        execution.  Rebuilds tally in ``runner_pool_rebuilds_total``
+        and :attr:`pool_rebuilds`.
+    ``checkpoint`` / ``resume``
+        A :class:`~repro.experiments.checkpoint.SweepCheckpoint` (or a
+        path to one).  Completed jobs are recorded as they finish; with
+        ``resume=True`` (the default) previously checkpointed jobs are
+        restored instead of re-executed — even when the cache is
+        disabled or cold.
+
     Every finished job is also appended to the **run ledger** (see
     :mod:`repro.telemetry.ledger`) unless ``ledger=False`` or the
     ``REPRO_LEDGER=off`` environment switch disables it.
@@ -266,11 +513,28 @@ class ExperimentRunner:
                  max_workers: Optional[int] = None,
                  collect_metrics: bool = False,
                  collect_profile: bool = False,
-                 ledger: Union[None, bool, RunLedger] = None):
+                 ledger: Union[None, bool, RunLedger] = None,
+                 timeout_s: Optional[float] = None,
+                 retries: int = 0,
+                 backoff_s: float = 0.1,
+                 max_pool_rebuilds: int = 3,
+                 checkpoint: Union[None, str, Path, SweepCheckpoint] = None,
+                 resume: bool = True):
         self.cache = ResultCache(cache_dir) if cache_dir is not None else None
         self.max_workers = max_workers
         self.collect_metrics = collect_metrics
         self.collect_profile = collect_profile
+        self.timeout_s = timeout_s
+        self.retries = max(0, int(retries))
+        self.backoff_s = backoff_s
+        self.max_pool_rebuilds = max(0, int(max_pool_rebuilds))
+        if checkpoint is None or isinstance(checkpoint, SweepCheckpoint):
+            self.checkpoint = checkpoint
+        else:
+            self.checkpoint = SweepCheckpoint(checkpoint)
+        self.resume = resume
+        self.pool_rebuilds = 0
+        self.retries_total = 0
         self.metrics: Optional[MetricsRegistry] = (
             MetricsRegistry() if collect_metrics else None
         )
@@ -293,7 +557,7 @@ class ExperimentRunner:
             self.metrics.counter(
                 "runner_jobs_total",
                 cache_hit=str(result.cache_hit).lower(),
-                outcome="error" if result.error else "ok",
+                outcome=result.outcome,
             ).inc()
         if self.profile is not None and result.profile:
             self.profile.merge(result.profile)
@@ -309,8 +573,11 @@ class ExperimentRunner:
             "jobs": len(results),
             "ok": len(results) - len(errored),
             "errors": len(errored),
+            "timeouts": sum(r.outcome == "timeout" for r in errored),
             "cache_hits": sum(r.cache_hit for r in results),
             "duration_s": sum(r.duration_s for r in results),
+            "retries": self.retries_total,
+            "pool_rebuilds": self.pool_rebuilds,
             "errored": [
                 {"name": r.name, "seed": r.seed, "params": dict(r.params),
                  "error": r.error}
@@ -339,45 +606,278 @@ class ExperimentRunner:
         self._absorb(result)
         return result
 
+    # -- batch execution ------------------------------------------------
     def run(self, jobs: Sequence[Job]) -> List[ExperimentResult]:
         """Run a batch of jobs, preserving input order in the output.
 
-        Cache hits resolve up front; only misses hit the process pool.
-        A raising job yields an errored result in its slot; completed
-        siblings are kept, and nothing errored reaches the cache.
+        Checkpointed completions and cache hits resolve up front; only
+        true misses execute.  A raising job yields an errored result in
+        its slot, a job past its deadline a ``timeout`` one; completed
+        siblings are kept, and nothing failed reaches the cache or the
+        checkpoint.  Results are flushed (cache + checkpoint + ledger)
+        as they finish, so an interrupt loses nothing already done.
         """
         results: List[Optional[ExperimentResult]] = [None] * len(jobs)
-        misses: List[Tuple[int, Job]] = []
+        restored: Dict[str, ExperimentResult] = {}
+        if self.checkpoint is not None and self.resume:
+            restored = self.checkpoint.results()
+        pending: Deque[_Pending] = deque()
         for i, job in enumerate(jobs):
             registry.get(job.name)  # fail fast on unknown names
+            if restored:
+                hit = restored.get(job_key(job.name, job.params, job.seed))
+                if hit is not None:
+                    results[i] = hit
+                    self._absorb(hit)
+                    continue
             if self.cache is not None:
                 hit = self.cache.get(job.name, job.params, job.seed)
                 if hit is not None:
                     results[i] = hit
+                    if self.checkpoint is not None:
+                        self.checkpoint.record(hit)
+                    self._absorb(hit)
                     continue
-            misses.append((i, job))
+            pending.append(_Pending(i, job))
 
-        if misses:
+        if pending:
             workers = self.max_workers or 1
-            if workers > 1 and len(misses) > 1:
-                payloads = [(j.name, dict(j.params), j.seed,
-                             self.collect_metrics, self.collect_profile)
-                            for _, j in misses]
-                with ProcessPoolExecutor(max_workers=min(workers, len(misses))) as pool:
-                    fresh = list(pool.map(_pool_worker, payloads))
+            if workers > 1 and len(pending) > 1:
+                self._drain_pool(pending, results, min(workers, len(pending)))
             else:
-                fresh = [execute_job_safe(j.name, params=j.params, seed=j.seed,
-                                          collect_metrics=self.collect_metrics,
-                                          collect_profile=self.collect_profile)
-                         for _, j in misses]
-            for (i, _job), result in zip(misses, fresh):
-                results[i] = result
-                if self.cache is not None and result.error is None:
-                    self.cache.put(result)
-        ordered = [r for r in results if r is not None]
-        for result in ordered:
-            self._absorb(result)
-        return ordered
+                self._drain_serial(pending, results)
+        return [r for r in results if r is not None]
+
+    def _job_timeout(self, job: Job) -> Optional[float]:
+        return job.timeout_s if job.timeout_s is not None else self.timeout_s
+
+    def _timeout_result(self, job: Job, timeout_s: Optional[float],
+                        elapsed: float) -> ExperimentResult:
+        import repro
+
+        spec = registry.get(job.name)
+        limit = timeout_s if timeout_s is not None else 0.0
+        return ExperimentResult(
+            name=spec.name,
+            payload=None,
+            seed=job.seed if spec.accepts_seed else None,
+            params=dict(job.params),
+            duration_s=elapsed,
+            peak_rss_kb=0,
+            version=repro.__version__,
+            error=f"JobTimeout: exceeded {limit:g}s wall-clock",
+        )
+
+    def _finalize(self, p: _Pending, result: ExperimentResult,
+                  results: List[Optional[ExperimentResult]]) -> None:
+        """Commit one finished job: slot, cache, checkpoint, absorb."""
+        results[p.index] = result
+        if self.cache is not None and result.error is None:
+            self.cache.put(result)
+        if self.checkpoint is not None:
+            self.checkpoint.record(result)
+        self._absorb(result)
+
+    def _handle_result(self, p: _Pending, result: ExperimentResult,
+                       pending: Deque[_Pending],
+                       results: List[Optional[ExperimentResult]]) -> None:
+        """Finalize a result, or requeue it with backoff when a retry
+        budget remains and the failure is classified transient."""
+        if (result.error is not None
+                and p.retries_used < self.retries
+                and is_retryable(result.error)):
+            p.retries_used += 1
+            p.ready_at = time.monotonic() + retry_backoff_s(
+                self.backoff_s, p.job, p.retries_used)
+            self.retries_total += 1
+            if self.metrics is not None:
+                self.metrics.counter(
+                    "runner_retries_total",
+                    error=error_class(result.error)).inc()
+            pending.append(p)
+            return
+        self._finalize(p, result, results)
+
+    def _drain_serial(self, pending: Deque[_Pending],
+                      results: List[Optional[ExperimentResult]]) -> None:
+        """In-process execution: the single-worker and degraded paths.
+
+        Timeouts are enforced with ``SIGALRM`` when possible (main
+        thread, POSIX); results are finalized as they complete, so an
+        interrupt at any point keeps everything already finished.
+        """
+        while pending:
+            p = pending.popleft()
+            delay = p.ready_at - time.monotonic()
+            if delay > 0:
+                time.sleep(delay)
+            timeout_s = self._job_timeout(p.job)
+            start = time.monotonic()
+            try:
+                result = call_with_deadline(
+                    lambda: execute_job_safe(
+                        p.job.name, params=p.job.params, seed=p.job.seed,
+                        collect_metrics=self.collect_metrics,
+                        collect_profile=self.collect_profile),
+                    timeout_s)
+            except JobTimeout:
+                # The alarm fired outside the guarded job body.
+                result = self._timeout_result(
+                    p.job, timeout_s, time.monotonic() - start)
+            self._handle_result(p, result, pending, results)
+
+    def _submit(self, pool: ProcessPoolExecutor, p: _Pending):
+        fut = pool.submit(_pool_worker, (p.job.name, dict(p.job.params),
+                                         p.job.seed, self.collect_metrics,
+                                         self.collect_profile))
+        timeout_s = self._job_timeout(p.job)
+        p.started_at = time.monotonic()
+        p.deadline = (p.started_at + timeout_s) if timeout_s else None
+        return fut
+
+    def _kill_pool(self, pool: ProcessPoolExecutor) -> None:
+        """Tear a pool down *now*, hung or broken workers included."""
+        processes = list(getattr(pool, "_processes", {}).values())
+        pool.shutdown(wait=False, cancel_futures=True)
+        for proc in processes:
+            try:
+                proc.kill()
+            except Exception:  # pragma: no cover - already-reaped worker
+                pass
+
+    def _rebuild_pool(self, pool: ProcessPoolExecutor,
+                      inflight: Dict[Any, _Pending],
+                      pending: Deque[_Pending],
+                      workers: int) -> Optional[ProcessPoolExecutor]:
+        """Requeue in-flight jobs and stand up a fresh executor.
+
+        Returns ``None`` once the rebuild budget is spent — the caller
+        degrades to serial execution.
+        """
+        for fut, p in list(inflight.items()):
+            fut.cancel()
+            p.started_at = None
+            p.deadline = None
+            pending.appendleft(p)
+        inflight.clear()
+        self._kill_pool(pool)
+        if self.pool_rebuilds >= self.max_pool_rebuilds:
+            return None
+        self.pool_rebuilds += 1
+        if self.metrics is not None:
+            self.metrics.counter("runner_pool_rebuilds_total").inc()
+        return ProcessPoolExecutor(max_workers=workers)
+
+    def _drain_completed(self, inflight: Dict[Any, _Pending],
+                         results: List[Optional[ExperimentResult]]) -> None:
+        """Interrupt path: flush every future that already completed."""
+        for fut, p in list(inflight.items()):
+            if not fut.done() or fut.cancelled():
+                continue
+            try:
+                result = fut.result(timeout=0)
+            except BaseException:  # broken pool / cancelled: nothing to keep
+                continue
+            self._finalize(p, result, results)
+        inflight.clear()
+
+    def _drain_pool(self, pending: Deque[_Pending],
+                    results: List[Optional[ExperimentResult]],
+                    workers: int) -> None:
+        """Process-pool execution with deadlines and crash recovery.
+
+        At most ``workers`` jobs are in flight, so a submitted job
+        starts (nearly) immediately and its submit-time deadline is a
+        faithful run-time deadline.
+        """
+        pool: Optional[ProcessPoolExecutor] = ProcessPoolExecutor(max_workers=workers)
+        inflight: Dict[Any, _Pending] = {}
+        try:
+            while pending or inflight:
+                # Fill the submission window with ready jobs.
+                need_rebuild = False
+                now = time.monotonic()
+                for _ in range(len(pending)):
+                    if len(inflight) >= workers:
+                        break
+                    p = pending.popleft()
+                    if p.ready_at > now:
+                        pending.append(p)  # still backing off
+                        continue
+                    try:
+                        inflight[self._submit(pool, p)] = p
+                    except BrokenProcessPool:
+                        pending.appendleft(p)
+                        need_rebuild = True
+                        break
+
+                if not need_rebuild:
+                    if not inflight:
+                        # Everything left is backing off: sleep to the
+                        # soonest ready time and try again.
+                        wake = min(p.ready_at for p in pending)
+                        time.sleep(max(0.0, wake - time.monotonic()))
+                        continue
+
+                    wake_points = [p.deadline for p in inflight.values()
+                                   if p.deadline is not None]
+                    wake_points += [p.ready_at for p in pending if p.ready_at > 0]
+                    timeout = (max(0.0, min(wake_points) - time.monotonic())
+                               if wake_points else None)
+                    done, _ = futures_wait(list(inflight), timeout=timeout,
+                                           return_when=FIRST_COMPLETED)
+                    for fut in done:
+                        p = inflight.pop(fut)
+                        try:
+                            result = fut.result()
+                        except BrokenProcessPool:
+                            pending.appendleft(p)
+                            need_rebuild = True
+                        except CancelledError:  # pragma: no cover - defensive
+                            pending.appendleft(p)
+                        else:
+                            self._handle_result(p, result, pending, results)
+
+                if not need_rebuild:
+                    # Enforce deadlines on whatever is still in flight.
+                    now = time.monotonic()
+                    for fut, p in list(inflight.items()):
+                        if p.deadline is None or now < p.deadline:
+                            continue
+                        del inflight[fut]
+                        if fut.cancel():
+                            # Never started (backlogged): the deadline
+                            # was premature, not exceeded.
+                            p.started_at = None
+                            p.deadline = None
+                            pending.appendleft(p)
+                            continue
+                        elapsed = now - (p.started_at or now)
+                        self._finalize(
+                            p, self._timeout_result(
+                                p.job, self._job_timeout(p.job), elapsed),
+                            results)
+                        # The worker is still grinding on the expired
+                        # job; reclaim it by rebuilding the pool.
+                        need_rebuild = True
+
+                if need_rebuild:
+                    pool = self._rebuild_pool(pool, inflight, pending, workers)
+                    if pool is None:
+                        # Budget spent: the pool keeps dying.  Finish
+                        # the batch serially in-process.
+                        self._drain_serial(pending, results)
+                        return
+        except KeyboardInterrupt:
+            # Ctrl-C: keep every job that already finished, then stop.
+            self._drain_completed(inflight, results)
+            if pool is not None:
+                self._kill_pool(pool)
+                pool = None
+            raise
+        finally:
+            if pool is not None:
+                pool.shutdown(wait=True, cancel_futures=True)
 
     def sweep(self, name: str, seeds: int, base_seed: int = 0,
               params: Optional[Mapping[str, Any]] = None) -> List[ExperimentResult]:

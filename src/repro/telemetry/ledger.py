@@ -142,17 +142,36 @@ def build_record(result: Any, command: str = "runner") -> Dict[str, Any]:
 
 
 class RunLedger:
-    """Append-only JSONL manifest of runs at one path."""
+    """Append-only JSONL manifest of runs at one path.
+
+    Appends are race-safe: the whole line goes down in a single
+    ``write`` on an ``O_APPEND`` descriptor, so concurrent runners
+    sharing one ledger interleave whole records, never fragments of
+    them.  Reads skip unparseable lines and count them in
+    :attr:`corrupt_lines` so ``repro ledger show``/``diff`` can report
+    (rather than crash on) a torn or foreign line.
+    """
 
     def __init__(self, path: Union[str, Path]):
         self.path = Path(path).expanduser()
+        self.corrupt_lines = 0
 
     def append(self, record: Dict[str, Any]) -> bool:
         """Append one record; best-effort (returns False on IO failure)."""
+        from repro import chaos
+
+        if chaos.enabled() and chaos.fail_ledger_append(
+                record.get("name"), record.get("seed")):
+            return False  # injected I/O failure: the best-effort contract
+        line = (json.dumps(record, sort_keys=True, default=repr) + "\n").encode("utf-8")
         try:
             self.path.parent.mkdir(parents=True, exist_ok=True)
-            with open(self.path, "a") as handle:
-                handle.write(json.dumps(record, sort_keys=True, default=repr) + "\n")
+            fd = os.open(str(self.path),
+                         os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+            try:
+                os.write(fd, line)
+            finally:
+                os.close(fd)
             return True
         except OSError:
             return False
@@ -163,8 +182,10 @@ class RunLedger:
         self.append(rec)
         return rec
 
-    def records(self) -> List[Dict[str, Any]]:
-        """All parseable records, oldest first (torn lines are skipped)."""
+    def scan(self) -> List[Dict[str, Any]]:
+        """All parseable records, oldest first; refreshes
+        :attr:`corrupt_lines` with the number of skipped lines."""
+        self.corrupt_lines = 0
         if not self.path.is_file():
             return []
         out: List[Dict[str, Any]] = []
@@ -176,10 +197,17 @@ class RunLedger:
                 try:
                     record = json.loads(line)
                 except ValueError:
+                    self.corrupt_lines += 1
                     continue
                 if isinstance(record, dict):
                     out.append(record)
+                else:
+                    self.corrupt_lines += 1
         return out
+
+    def records(self) -> List[Dict[str, Any]]:
+        """All parseable records, oldest first (torn lines are skipped)."""
+        return self.scan()
 
     def find(self, ref: str) -> Optional[Dict[str, Any]]:
         """Look a record up by 1-based index, negative index, or id prefix."""

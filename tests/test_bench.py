@@ -60,6 +60,47 @@ class TestRunBench:
         assert report["schema"] == B.BENCH_SCHEMA
         assert report["quick"] is True
 
+    def test_bench_timeout_yields_error_entry_not_a_hang(self):
+        from repro.experiments.registry import experiment, unregister
+
+        @experiment("_bench_hang", "sleeps forever", section="II", tags=("test",))
+        def _bench_hang(seed: int = 0):
+            import time
+
+            time.sleep(30)
+
+        spec = B.BenchSpec(name="hang_probe", experiment="_bench_hang")
+        try:
+            entry = B.run_bench(spec, timeout_s=0.2)
+        finally:
+            unregister("_bench_hang")
+        assert entry["error"].startswith("JobTimeout:")
+        assert entry["wall_s"] < 5
+        assert entry["throughput"] is None
+        json.dumps(entry)
+
+    def test_bench_cli_timeout_exits_nonzero(self, tmp_path, capsys, monkeypatch):
+        from repro.experiments.registry import experiment, unregister
+
+        monkeypatch.chdir(tmp_path)
+
+        @experiment("_bench_hang2", "sleeps forever", section="II", tags=("test",))
+        def _bench_hang2(seed: int = 0):
+            import time
+
+            time.sleep(30)
+
+        B.SUITE.append(B.BenchSpec(name="hang_probe", experiment="_bench_hang2"))
+        try:
+            assert main(["bench", "hang_probe", "--timeout", "0.2",
+                         "--out", str(tmp_path / "r.json")]) == 1
+        finally:
+            B.SUITE.pop()
+            unregister("_bench_hang2")
+        captured = capsys.readouterr()
+        assert "TIMED OUT" in captured.out
+        assert "timed out: hang_probe" in captured.err
+
 
 class TestReportIo:
     def test_write_load_round_trip(self, tmp_path):

@@ -176,6 +176,67 @@ class TestSweepCommand:
         assert main(["sweep", "c5", "--seeds", "2", "--no-cache"]) == 2
         assert "takes no seed" in capsys.readouterr().err
 
+    def test_sweep_timeout_flags_failed_jobs(self, tmp_path, capsys):
+        from repro.experiments.registry import experiment, unregister
+
+        @experiment("_cli_hang", "sleeps forever", section="II", tags=("test",))
+        def _cli_hang(seed: int = 0):
+            import time
+
+            time.sleep(30)
+
+        try:
+            assert main(["sweep", "_cli_hang", "--seeds", "1", "--no-cache",
+                         "--timeout", "0.2"]) == 1
+        finally:
+            unregister("_cli_hang")
+        captured = capsys.readouterr()
+        assert "1 timeouts" in captured.out
+        assert "JobTimeout" in captured.err
+
+    def test_sweep_resume_needs_a_checkpoint(self, capsys):
+        assert main(["sweep", "c12", "--seeds", "2", "--no-cache",
+                     "--resume"]) == 2
+        assert "--resume needs a checkpoint" in capsys.readouterr().err
+
+    def test_sweep_resume_restores_from_checkpoint_without_cache(
+            self, tmp_path, capsys):
+        ckpt = tmp_path / "ckpt.jsonl"
+        argv = ["sweep", "c12", "--seeds", "2", "--no-cache",
+                "--checkpoint", str(ckpt)]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert ckpt.is_file()
+        assert main(argv + ["--resume"]) == 0
+        # Restored jobs report as hits even though the cache is off.
+        assert "(2 cache hits, 0 errors)" in capsys.readouterr().out
+
+
+class TestChaosCommand:
+    def test_list_scenarios(self, capsys):
+        assert main(["chaos", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("kill", "hang", "exc", "torn", "ledger", "combined"):
+            assert name in out
+
+    def test_unknown_scenario_is_usage_error(self, capsys):
+        assert main(["chaos", "nope"]) == 2
+        assert "unknown chaos scenario" in capsys.readouterr().err
+
+    def test_exc_scenario_via_cli(self, tmp_path, capsys):
+        assert main(["chaos", "exc", "--workdir", str(tmp_path)]) == 0
+        captured = capsys.readouterr()
+        assert "PASS  exc" in captured.out
+        assert "recovered clean" in captured.err
+
+    def test_json_output(self, tmp_path, capsys):
+        assert main(["chaos", "ledger", "--json",
+                     "--workdir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        body = json.loads(out)
+        assert body[0]["name"] == "ledger"
+        assert body[0]["passed"] is True
+
 
 class TestNewSubcommands:
     def test_test_module_vulnerable_exit_code(self, capsys):

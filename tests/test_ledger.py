@@ -93,6 +93,41 @@ class TestRunLedger:
             handle.write('{"torn": ')
         assert len(book.records()) == 2
 
+    def test_corrupt_lines_are_counted(self, tmp_path):
+        book = RunLedger(tmp_path / "book.jsonl")
+        self._append_n(book, 2)
+        with open(book.path, "a") as handle:
+            handle.write('{"torn": \n')
+            handle.write('"a bare string, not a record"\n')
+        assert len(book.scan()) == 2
+        assert book.corrupt_lines == 2
+        # A clean re-scan resets the tally.
+        clean = RunLedger(tmp_path / "book.jsonl")
+        clean.path.write_text("")
+        assert clean.scan() == [] and clean.corrupt_lines == 0
+
+    def test_append_is_a_single_whole_line(self, tmp_path):
+        # Race safety: one append is one O_APPEND write ending in \n, so
+        # concurrent writers interleave whole records, never fragments.
+        book = RunLedger(tmp_path / "book.jsonl")
+        self._append_n(book, 3)
+        raw = book.path.read_bytes()
+        assert raw.endswith(b"\n")
+        assert len(raw.splitlines()) == 3
+        assert all(json.loads(line) for line in raw.splitlines())
+
+    def test_injected_ledger_fault_drops_one_append(self, tmp_path, monkeypatch):
+        from repro import chaos
+
+        book = RunLedger(tmp_path / "book.jsonl")
+        monkeypatch.setenv(chaos.ENV_CHAOS, "ledger")
+        chaos.reset()
+        try:
+            self._append_n(book, 3)
+        finally:
+            chaos.reset()
+        assert len(book.records()) == 2  # exactly one append dropped
+
     def test_find_by_index_and_id_prefix(self, tmp_path):
         book = RunLedger(tmp_path / "book.jsonl")
         self._append_n(book, 3)
@@ -197,3 +232,15 @@ class TestLedgerCli:
 
     def test_diff_missing_ref_errors(self, book, capsys):
         assert main(["ledger", "--path", str(book.path), "diff", "1", "99"]) == 2
+
+    def test_show_and_diff_warn_on_corrupt_lines(self, book, capsys):
+        with open(book.path, "a") as handle:
+            handle.write('{"torn": \n')
+        assert main(["ledger", "--path", str(book.path), "show", "1"]) == 0
+        assert "skipped 1 corrupt" in capsys.readouterr().err
+        assert main(["ledger", "--path", str(book.path), "diff", "1", "2"]) == 0
+        assert "skipped 1 corrupt" in capsys.readouterr().err
+        assert main(["ledger", "--path", str(book.path), "list"]) == 0
+        captured = capsys.readouterr()
+        assert "2 records" in captured.out
+        assert "skipped 1 corrupt" in captured.err
