@@ -23,20 +23,24 @@ from repro.chaos.plan import (
     reset,
     tear_cache_write,
 )
+from repro.chaos.state import INJECTORS, StateInjector, maybe_corrupt_state
 
 __all__ = [
     "DEFAULT_HANG_SECS",
     "ENV_CHAOS",
     "ENV_CHAOS_STATE",
     "FAULT_KINDS",
+    "INJECTORS",
     "ChaosPlan",
     "ChaosTransientError",
     "FaultSpec",
+    "StateInjector",
     "current_plan",
     "enabled",
     "fail_ledger_append",
     "in_worker",
     "injected_counts",
+    "maybe_corrupt_state",
     "on_job_start",
     "reset",
     "tear_cache_write",

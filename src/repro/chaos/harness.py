@@ -27,6 +27,8 @@ from repro import chaos
 from repro.experiments import registry
 from repro.experiments.checkpoint import SweepCheckpoint
 from repro.experiments.runner import ExperimentRunner, Job, derive_seed
+from repro.sanitizer import runtime as sanit
+from repro.sanitizer.bundle import ENV_CAPTURE, load_bundle, replay_bundle
 from repro.telemetry import RunLedger
 
 __all__ = [
@@ -96,6 +98,11 @@ class _Arena:
             os.environ[key] = value
         chaos.reset()
 
+    def set_env(self, key: str, value: str) -> None:
+        """Set an extra env knob for this scenario; restored afterwards."""
+        self._saved.setdefault(key, os.environ.get(key))
+        os.environ[key] = value
+
     def disarm(self) -> None:
         """Remove the chaos schedule (state dir markers are kept)."""
         for key in (chaos.ENV_CHAOS, chaos.ENV_CHAOS_STATE):
@@ -111,6 +118,9 @@ class _Arena:
                 os.environ[key] = value
         self._saved.clear()
         chaos.reset()
+        # A scenario may have run jobs in-process with REPRO_SANITIZE
+        # armed; resync so the level matches the restored environment.
+        sanit.sync_from_env(default="off")
 
     def injected(self) -> Dict[str, int]:
         return chaos.injected_counts(self.state_dir)
@@ -127,9 +137,18 @@ def _runner(arena: _Arena, workers: int, **kwargs) -> ExperimentRunner:
     return ExperimentRunner(max_workers=workers, collect_metrics=True, **kwargs)
 
 
+def _metrics(runner: ExperimentRunner):
+    """The runner's metrics registry; harness runners always collect.
+
+    An explicit raise (not ``assert``) so the guard survives ``python -O``.
+    """
+    if runner.metrics is None:
+        raise RuntimeError("harness runner was built without collect_metrics")
+    return runner.metrics
+
+
 def _jobs_metric(runner: ExperimentRunner, **labels) -> float:
-    assert runner.metrics is not None
-    return runner.metrics.value("runner_jobs_total", **labels)
+    return _metrics(runner).value("runner_jobs_total", **labels)
 
 
 # ----------------------------------------------------------------------
@@ -188,10 +207,9 @@ def scenario_exc(arena: _Arena, jobs: int, workers: int) -> ScenarioOutcome:
     out.expect_eq("transient failure retried to success",
                   sum(r.ok for r in results), jobs)
     out.expect_eq("exactly one retry", runner.retries_total, 1)
-    assert runner.metrics is not None
     out.expect_eq("runner_retries_total{error=ChaosTransientError}",
-                  runner.metrics.value("runner_retries_total",
-                                       error="ChaosTransientError"), 1)
+                  _metrics(runner).value("runner_retries_total",
+                                         error="ChaosTransientError"), 1)
     out.expect_eq("one exc injected", arena.injected().get("exc", 0), 1)
     return out
 
@@ -287,9 +305,58 @@ def scenario_combined(arena: _Arena, jobs: int, workers: int) -> ScenarioOutcome
     return out
 
 
+def scenario_sanitizer(arena: _Arena, jobs: int, workers: int) -> ScenarioOutcome:
+    """One injected stored-bit corruption → the sanitizer trips, the job
+    becomes a non-retried ``invariant`` outcome attributed to the right
+    subsystem, a failure bundle lands on disk, and replaying that bundle
+    reproduces the identical failure digest."""
+    out = ScenarioOutcome("sanitizer")
+    victim = derive_seed(0, 1)
+    bundles = arena.root / "bundles"
+    arena.set_env(sanit.ENV_SANITIZE, "full")
+    arena.set_env(ENV_CAPTURE, str(bundles))
+    arena.arm(f"corrupt:sub=dram.bank:seed={victim}")
+    runner = _runner(arena, workers, retries=2, backoff_s=0.01)
+    results = runner.run(_jobs(jobs))
+    invariants = [r for r in results if r.outcome == "invariant"]
+    out.expect_eq("all jobs return results", len(results), jobs)
+    out.expect_eq("exactly one invariant outcome", len(invariants), 1)
+    out.expect("violation hit the corrupted job",
+               bool(invariants) and invariants[0].seed == victim,
+               f"invariant seed {invariants[0].seed if invariants else None}")
+    out.expect("violation attributed to dram.bank",
+               bool(invariants) and str(invariants[0].error).startswith(
+                   "InvariantViolation: [dram.bank]"),
+               str(invariants[0].error) if invariants else "")
+    out.expect_eq("violation never retried", runner.retries_total, 0)
+    out.expect_eq("sanitizer_violations_total{subsystem=dram.bank}",
+                  _metrics(runner).value("sanitizer_violations_total",
+                                         subsystem="dram.bank"), 1)
+    out.expect_eq("everything else ok", sum(r.ok for r in results), jobs - 1)
+    out.expect_eq("one corruption injected",
+                  arena.injected().get("corrupt", 0), 1)
+
+    paths = sorted(bundles.glob("*.json")) if bundles.is_dir() else []
+    out.expect_eq("one failure bundle written", len(paths), 1)
+    if paths:
+        record = load_bundle(paths[0])
+        out.expect_eq("bundle outcome is invariant",
+                      record.get("outcome"), "invariant")
+        out.expect("bundle carries the sanitizer verdict",
+                   isinstance(record.get("violation"), dict)
+                   and record["violation"].get("subsystem") == "dram.bank",
+                   repr(record.get("violation")))
+        # Replay arms its own chaos/sanitizer state from the bundle.
+        arena.disarm()
+        report = replay_bundle(record)
+        out.expect("replay reproduces the failure digest",
+                   report.reproduced,
+                   f"expected {report.expected_digest}, got {report.digest}")
+    return out
+
+
 def _jobs_metric_total(runner: ExperimentRunner, name: str) -> float:
-    assert runner.metrics is not None
-    return runner.metrics.value(name)
+    return _metrics(runner).value(name)
 
 
 #: name → (scenario fn, default job count)
@@ -299,6 +366,7 @@ SCENARIOS: Dict[str, Tuple[Callable[[_Arena, int, int], ScenarioOutcome], int]] 
     "exc": (scenario_exc, 6),
     "torn": (scenario_torn, 6),
     "ledger": (scenario_ledger, 4),
+    "sanitizer": (scenario_sanitizer, 6),
     "combined": (scenario_combined, 16),
 }
 

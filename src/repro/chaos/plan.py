@@ -25,6 +25,14 @@ survive:
 ``ledger``
     Fail one run-ledger append with an injected ``OSError``.
     Exercises the ledger's best-effort contract.
+``corrupt``
+    Mutate live *simulator state* — flip a stored DRAM cell bit,
+    alias two FTL mapping entries, skew a refresh cursor — at a
+    sanitizer check site for the subsystem named by ``sub=``.
+    Exercises the sanitizer: each registered invariant class has a
+    paired injector in :mod:`repro.chaos.state`, and the negative-test
+    suite proves every injected corruption is detected at
+    ``REPRO_SANITIZE=full`` and attributed to the right subsystem.
 
 Faults are **declared, not random** (unless you ask): the schedule
 lives in the ``REPRO_CHAOS`` environment variable so it reaches pool
@@ -35,7 +43,8 @@ workers for free, and every entry can pin the exact job it hits::
 Grammar: entries separated by ``,``; fields within an entry separated
 by ``:``.  The first field is the fault kind; the rest are ``key=value``
 filters/knobs — ``name=`` (experiment), ``seed=`` (job seed),
-``secs=`` (hang duration), ``rate=`` (seeded-random firing probability)
+``secs=`` (hang duration), ``rate=`` (seeded-random firing probability),
+``sub=`` (target subsystem for ``corrupt``)
 and ``once=0`` (allow repeat firing).  A bare ``seed=N`` entry sets the
 plan-level chaos seed that drives ``rate=`` draws, which are computed
 as a SHA-256 hash of ``(chaos seed, entry, job)`` — the same schedule
@@ -82,7 +91,7 @@ __all__ = [
 ENV_CHAOS = "REPRO_CHAOS"
 ENV_CHAOS_STATE = "REPRO_CHAOS_STATE"
 
-FAULT_KINDS = ("kill", "hang", "exc", "torn", "ledger")
+FAULT_KINDS = ("kill", "hang", "exc", "torn", "ledger", "corrupt")
 
 #: Default sleep for ``hang`` faults — long enough to trip any
 #: reasonable per-job timeout, short enough that a runaway test dies
@@ -105,6 +114,7 @@ class FaultSpec:
     secs: float = DEFAULT_HANG_SECS
     rate: float = 1.0
     once: bool = True
+    sub: Optional[str] = None  # target subsystem for ``corrupt``
 
     def matches(self, name: Optional[str], seed: Optional[int]) -> bool:
         if self.name is not None and self.name != name:
@@ -139,8 +149,15 @@ def _parse_entry(entry: str, index: int) -> FaultSpec:
                 raise ValueError(f"chaos rate must be in [0, 1], got {spec.rate}")
         elif key == "once":
             spec.once = value not in ("0", "false", "no")
+        elif key == "sub":
+            spec.sub = value
         else:
             raise ValueError(f"unknown chaos field {key!r} in entry {entry!r}")
+    if kind == "corrupt" and spec.sub is None:
+        raise ValueError(
+            f"corrupt entry {entry!r} needs a sub=<subsystem> target "
+            f"(e.g. corrupt:sub=flash.ftl)"
+        )
     return spec
 
 
@@ -155,6 +172,10 @@ class ChaosPlan:
         self._local_claims: set = set()
         self._local_counts: Dict[str, int] = {}
         self._fire_serial = 0
+        # (name, seed) of the job currently executing in this process,
+        # recorded by on_job_start so mid-job injection sites (cache
+        # writes, sanitizer checks) can honor name=/seed= filters.
+        self.job_context: Tuple[Optional[str], Optional[int]] = (None, None)
 
     @classmethod
     def parse(cls, spec: str, state_dir: Optional[str] = None) -> "ChaosPlan":
@@ -178,6 +199,27 @@ class ChaosPlan:
         """
         for spec in self.specs:
             if spec.kind != kind or not spec.matches(name, seed):
+                continue
+            if spec.rate < 1.0 and not self._draw(spec, name, seed):
+                continue
+            if not self._claim(spec):
+                continue
+            return spec
+        return None
+
+    def pick_corrupt(self, subsystem: str) -> Optional[FaultSpec]:
+        """The first armed ``corrupt`` fault targeting ``subsystem``
+        that also matches the in-flight job, claimed.
+
+        Unlike :meth:`pick`, the job identity comes from
+        :attr:`job_context` (sanitizer check sites are deep inside
+        model code and don't know which job is running).
+        """
+        name, seed = self.job_context
+        for spec in self.specs:
+            if spec.kind != "corrupt" or spec.sub != subsystem:
+                continue
+            if not spec.matches(name, seed):
                 continue
             if spec.rate < 1.0 and not self._draw(spec, name, seed):
                 continue
@@ -284,6 +326,7 @@ def on_job_start(name: str, seed: Optional[int]) -> None:
     plan = current_plan()
     if plan is None:
         return
+    plan.job_context = (name, seed)
     if in_worker():
         spec = plan.pick("kill", name, seed)
         if spec is not None:

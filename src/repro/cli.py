@@ -12,6 +12,8 @@ Usage::
     python -m repro report f1 c3 --output report.md
     python -m repro sweep fig1_error_rates --seeds 8 --parallel 4
     python -m repro sweep fig1_error_rates --seeds 64 --timeout 30 --resume
+    python -m repro sweep rowhammer_basic --seeds 16 --sanitize full
+    python -m repro replay .repro-failures/rowhammer_basic-7-ab12cd34ef567890.json
     python -m repro chaos
 
 Experiments resolve by registry name *or* legacy alias (``f1``,
@@ -40,6 +42,15 @@ Exit codes: 0 all jobs ok, 1 one or more jobs failed/timed out, 2 usage
 error, 130 interrupted (completed results flushed to cache/checkpoint).
 ``chaos`` runs the fault-injection scenario suite
 (:mod:`repro.chaos.harness`) proving those recovery paths.
+
+Sanitizer: ``run``/``sweep`` take ``--sanitize {off,cheap,full}``
+(runtime invariant checks, see :mod:`repro.sanitizer`) and
+``--capture-dir`` (where failed jobs leave replayable failure bundles);
+``repro replay BUNDLE`` re-executes a captured failure under the
+bundle's recorded knobs and compares failure digests.  ``replay`` exit
+codes: 0 the failure reproduced with the identical digest, 3 it did
+not reproduce (clean run or a different failure), 2 the file is not a
+readable bundle.
 
 Seed handling is introspected from each experiment's registered
 signature — an exception raised *inside* an experiment always
@@ -140,6 +151,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--retries", type=int, default=0, metavar="N",
                      help="retry budget for transient job failures "
                           "(default 0: strict determinism)")
+    _add_sanitize_args(run)
 
     report = sub.add_parser("report", help="run several experiments, write a markdown report")
     report.add_argument("names", nargs="+", choices=invocable, metavar="name")
@@ -181,6 +193,20 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--resume", action="store_true",
                        help="restore completed jobs from the checkpoint "
                             "instead of re-running them")
+    _add_sanitize_args(sweep)
+
+    replay = sub.add_parser(
+        "replay",
+        help="re-execute a captured failure bundle and check it reproduces",
+    )
+    replay.add_argument("bundle",
+                        help="failure bundle JSON written by a sanitizer/"
+                             "capture-armed run (see --capture-dir)")
+    replay.add_argument("--json", action="store_true",
+                        help="emit the replay report as JSON")
+    replay.add_argument("--timeout", type=float, default=None, metavar="SECS",
+                        help="per-job deadline for the replay (required to "
+                             "reproduce JobTimeout bundles)")
 
     stats = sub.add_parser(
         "stats", help="render a metrics snapshot saved by run/sweep --metrics"
@@ -309,6 +335,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                              parallel=args.parallel, cache_dir=args.cache_dir)
     if args.command == "sweep":
         return _sweep(args)
+    if args.command == "replay":
+        return _replay(args)
     if args.command == "stats":
         return _stats(args)
     if args.command == "trace":
@@ -347,6 +375,33 @@ def _describe(name: str) -> int:
     return 0
 
 
+def _add_sanitize_args(cmd: argparse.ArgumentParser) -> None:
+    cmd.add_argument("--sanitize", choices=("off", "cheap", "full"),
+                     default=None,
+                     help="runtime invariant checks: cheap = O(1) "
+                          "structural, full = +shadow-state scans "
+                          "(default: $REPRO_SANITIZE or off)")
+    cmd.add_argument("--capture-dir", default=None, metavar="DIR",
+                     help="write replayable failure bundles here when a "
+                          "job fails ('off' disables; default: "
+                          ".repro-failures when the sanitizer is on)")
+
+
+def _apply_sanitize(args) -> None:
+    """Install ``--sanitize``/``--capture-dir`` through the environment,
+    so forked pool workers inherit them alongside this process."""
+    import os
+
+    from repro.sanitizer import bundle as sanbundle
+    from repro.sanitizer import runtime as sanit
+
+    if getattr(args, "sanitize", None):
+        os.environ[sanit.ENV_SANITIZE] = args.sanitize
+        sanit.sync_from_env()
+    if getattr(args, "capture_dir", None):
+        os.environ[sanbundle.ENV_CAPTURE] = args.capture_dir
+
+
 def _make_runner(parallel: int, cache_dir: Optional[str],
                  collect_metrics: bool = False,
                  **hardening) -> ExperimentRunner:
@@ -381,6 +436,7 @@ def _print_batch_errors(summary: dict) -> None:
 
 
 def _run(args) -> int:
+    _apply_sanitize(args)
     runner = _make_runner(args.parallel, args.cache_dir, collect_metrics=args.metrics,
                           timeout_s=args.timeout, retries=args.retries)
     jobs = [Job(name, {}, args.seed) for name in args.names]
@@ -464,6 +520,7 @@ def _sweep_checkpoint_path(args, cache_dir: Optional[str]) -> Optional[str]:
 
 
 def _sweep(args) -> int:
+    _apply_sanitize(args)
     cache_dir = None if args.no_cache else args.cache_dir
     checkpoint = _sweep_checkpoint_path(args, cache_dir)
     if args.resume and checkpoint is None:
@@ -511,6 +568,38 @@ def _sweep(args) -> int:
         _print_batch_errors(summary)
         return 1
     return 0
+
+
+def _replay(args) -> int:
+    """Re-execute a captured failure bundle; exit 0 iff it reproduces.
+
+    Exit codes: 0 = reproduced (identical failure digest), 3 = did not
+    reproduce (clean rerun or a different failure), 2 = the file is not
+    a readable bundle.
+    """
+    from repro.sanitizer.bundle import BundleError, load_bundle, replay_bundle
+
+    try:
+        bundle = load_bundle(args.bundle)
+    except BundleError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    report = replay_bundle(bundle, timeout_s=args.timeout)
+    if args.json:
+        body = report.to_json_dict()
+        body["bundle"] = args.bundle
+        body["name"] = bundle["name"]
+        body["seed"] = bundle.get("seed")
+        print(json.dumps(body, indent=2, sort_keys=True))
+    else:
+        seed = "-" if bundle.get("seed") is None else bundle["seed"]
+        print(f"replay {bundle['name']} (seed {seed}) from {args.bundle}")
+        print(f"  captured: {bundle.get('error')}")
+        print(f"  replayed: {report.result.error or 'ok (no failure)'}")
+        verdict = "reproduced" if report.reproduced else "did NOT reproduce"
+        print(f"  digest: expected {report.expected_digest}, "
+              f"got {report.digest} -> {verdict}")
+    return 0 if report.reproduced else 3
 
 
 def _stats(args) -> int:

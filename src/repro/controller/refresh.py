@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.dram.module import DramModule
 from repro.dram.timing import TimingParams
+from repro.sanitizer import runtime as sanit
 from repro.telemetry import runtime as telem
 from repro.utils.validation import check_positive
 
@@ -84,6 +85,8 @@ class RefreshEngine:
 
     def tick(self, time_ns: float) -> int:
         """Issue all REF commands due by ``time_ns``; return rows refreshed."""
+        if sanit.sanitize_on:
+            sanit.check("dram.refresh", self)
         refreshed = 0
         with telem.span("ctrl.refresh_tick"):
             while self.due(time_ns):

@@ -25,6 +25,7 @@ import numpy as np
 from repro.dram.datapatterns import PatternFn, get_pattern
 from repro.dram.disturbance import DisturbanceModel
 from repro.dram.geometry import DramGeometry
+from repro.sanitizer import runtime as sanit
 from repro.telemetry import runtime as telem
 
 #: Bucket edges for the flips-per-materialization histogram.
@@ -90,6 +91,8 @@ class DramBank:
             fill = self._default_pattern(row, self.geometry.row_bytes)
             bits = np.unpackbits(fill, bitorder="little")
             self._data[row] = bits
+            if sanit.sanitize_on:
+                sanit.note("dram.bank", self, row=row)
         return bits
 
     def set_default_pattern(self, name: str) -> None:
@@ -127,6 +130,8 @@ class DramBank:
         flipped = self.model.apply_flips(self.index, row, peak, bits, agg_bits)
         self._peak[row] = 0.0
         if len(flipped):
+            if sanit.sanitize_on:
+                sanit.note("dram.bank", self, row=row)
             self.stats.record_flips(row, flipped, time)
             if telem.metrics_on:
                 telem.counter("dram_bit_flips_total",
@@ -145,6 +150,8 @@ class DramBank:
         """Open ``row``: sense its cells (materializing flips, resetting its
         disturbance state) and disturb its neighbors."""
         self.geometry.check_row(row)
+        if sanit.sanitize_on:
+            sanit.check("dram.bank", self, row=row)
         self.stats.activations += 1
         if telem.metrics_on:
             telem.counter("dram_activations_total", bank=self.index).inc()
@@ -172,6 +179,8 @@ class DramBank:
         self.geometry.check_row(row)
         if count <= 0:
             return
+        if sanit.sanitize_on:
+            sanit.check("dram.bank", self, row=row)
         self.stats.activations += count
         if telem.metrics_on:
             telem.counter("dram_activations_total", bank=self.index).inc(count)
@@ -202,6 +211,8 @@ class DramBank:
         """Activate-and-read: return a copy of the row's bits."""
         if self.open_row != row:
             self.activate(row, time)
+        elif sanit.sanitize_on:
+            sanit.check("dram.bank", self, row=row)
         self.stats.reads += 1
         if telem.metrics_on:
             telem.counter("dram_reads_total", bank=self.index).inc()
@@ -211,6 +222,8 @@ class DramBank:
         """Activate-and-write: replace the row's contents."""
         if self.open_row != row:
             self.activate(row, time)
+        elif sanit.sanitize_on:
+            sanit.check("dram.bank", self, row=row)
         expected = self.geometry.row_bits
         if bits.shape != (expected,):
             raise ValueError(f"row data must have shape ({expected},), got {bits.shape}")
@@ -220,6 +233,8 @@ class DramBank:
         self._data[row] = bits.astype(np.uint8, copy=True)
         self._pressure[row] = 0.0
         self._peak[row] = 0.0
+        if sanit.sanitize_on:
+            sanit.note("dram.bank", self, row=row)
 
     def write_bytes(self, row: int, data: bytes, time: float = 0.0) -> None:
         """Write raw bytes (must be exactly one row)."""
@@ -239,6 +254,8 @@ class DramBank:
         the row (useful for mitigation-effectiveness accounting).
         """
         self.geometry.check_row(row)
+        if sanit.sanitize_on:
+            sanit.check("dram.bank", self, row=row)
         self.stats.refreshes += 1
         if telem.metrics_on:
             telem.counter("dram_refreshes_total", bank=self.index).inc()

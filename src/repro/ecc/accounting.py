@@ -17,6 +17,7 @@ from typing import Dict, Iterable
 import numpy as np
 
 from repro.ecc.base import DecodeStatus, EccCode, classify_against_truth
+from repro.sanitizer import runtime as sanit
 from repro.telemetry import runtime as telem
 
 
@@ -87,6 +88,8 @@ def evaluate_code_against_histogram(
         rng: randomness source.
         trials_per_class: sampling cap per flip-count class.
     """
+    if sanit.sanitize_on:
+        sanit.check("ecc.codec", code)
     evaluation = EccEvaluation()
     with telem.span("ecc.evaluate", code=type(code).__name__):
         for flips, word_count in sorted(flip_histogram.items()):

@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.ecc.base import DecodeResult, DecodeStatus, EccCode
 from repro.ecc.bitops import parity
+from repro.utils.validation import check_int
 
 
 class HammingSecded(EccCode):
@@ -31,6 +32,7 @@ class HammingSecded(EccCode):
     """
 
     def __init__(self, data_bits: int = 64) -> None:
+        check_int("data_bits", data_bits)
         if data_bits < 1:
             raise ValueError("data_bits must be >= 1")
         self.data_bits = data_bits
@@ -43,7 +45,14 @@ class HammingSecded(EccCode):
             for pos in range(1, self.code_bits)
             if pos not in set(self._parity_positions)
         ]
-        assert len(self._data_positions) == data_bits
+        # Survives ``python -O``, unlike a bare assert: a miscounted
+        # layout would silently scramble every encode after it.
+        if len(self._data_positions) != data_bits:
+            raise RuntimeError(
+                f"SECDED layout error: {len(self._data_positions)} data "
+                f"positions for {data_bits} data bits "
+                f"(code_bits={self.code_bits}, n_parity={self.n_parity})"
+            )
 
     @staticmethod
     def _parity_bits_needed(data_bits: int) -> int:

@@ -6,6 +6,7 @@ import numpy as np
 
 from repro.ecc.base import DecodeResult, DecodeStatus, EccCode
 from repro.ecc.bitops import parity
+from repro.utils.validation import check_int
 
 
 class ParityCode(EccCode):
@@ -16,6 +17,7 @@ class ParityCode(EccCode):
     """
 
     def __init__(self, data_bits: int = 64) -> None:
+        check_int("data_bits", data_bits)
         if data_bits < 1:
             raise ValueError("data_bits must be >= 1")
         self.data_bits = data_bits

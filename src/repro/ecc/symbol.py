@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.ecc.base import DecodeResult, DecodeStatus, EccCode
 from repro.ecc.gf256 import LOG, gf_div, gf_mul, gf_pow
+from repro.utils.validation import check_int
 
 
 class SingleSymbolCorrectingCode(EccCode):
@@ -30,6 +31,7 @@ class SingleSymbolCorrectingCode(EccCode):
     """
 
     def __init__(self, data_symbols: int = 8) -> None:
+        check_int("data_symbols", data_symbols)
         if not 1 <= data_symbols <= 253:
             raise ValueError("data_symbols must be in [1, 253]")
         self.data_symbols = data_symbols

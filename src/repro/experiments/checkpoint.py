@@ -109,10 +109,13 @@ class SweepCheckpoint:
         if result.error is not None:
             return False
         key = job_key(result.name, result.params, result.seed)
-        if self._seen is None:
+        seen = self._seen
+        if seen is None:
             self.load()
-        assert self._seen is not None
-        if key in self._seen:
+            seen = self._seen
+            if seen is None:  # survives python -O, unlike assert
+                raise RuntimeError("checkpoint load left no seen-set")
+        if key in seen:
             return True
         record = {
             "schema": CHECKPOINT_SCHEMA,

@@ -88,17 +88,22 @@ class ExperimentResult:
 
     @property
     def outcome(self) -> str:
-        """Structured outcome class: ``"ok"``, ``"timeout"``, or ``"error"``.
+        """Structured outcome class: ``"ok"``, ``"timeout"``,
+        ``"invariant"``, or ``"error"``.
 
-        A timeout is an error whose class (the leading ``ClassName`` of
-        the error string) is ``JobTimeout`` — the runner's deadline
-        enforcement produces exactly that shape on both the serial and
-        pool paths.
+        Classification keys on the error class (the leading
+        ``ClassName`` of the error string): ``JobTimeout`` is the
+        runner's deadline enforcement, ``InvariantViolation`` is the
+        sanitizer catching corrupted simulator state (see
+        :mod:`repro.sanitizer`); everything else is a plain error.
         """
         if self.error is None:
             return "ok"
-        if self.error.split(":", 1)[0].strip() == "JobTimeout":
+        cls = self.error.split(":", 1)[0].strip()
+        if cls == "JobTimeout":
             return "timeout"
+        if cls == "InvariantViolation":
+            return "invariant"
         return "error"
 
     def payload_json(self) -> str:

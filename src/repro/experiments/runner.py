@@ -114,12 +114,25 @@ NONRETRYABLE_ERRORS = frozenset({
     "SystemExit",
     "KeyboardInterrupt",
     "JobTimeout",
+    # A tripped invariant means corrupted simulator state: re-running
+    # the same deterministic job re-corrupts it identically.
+    "InvariantViolation",
 })
 
 
 def error_class(error: Optional[str]) -> str:
     """The exception class name encoded in a result's error string."""
     return error.split(":", 1)[0].strip() if error else ""
+
+
+def violation_subsystem(error: Optional[str]) -> str:
+    """The ``[subsystem]`` tag of an ``InvariantViolation: ...`` error."""
+    if error:
+        start = error.find("[")
+        end = error.find("]", start + 1)
+        if start != -1 and end > start:
+            return error[start + 1:end]
+    return "unknown"
 
 
 def is_retryable(error: Optional[str]) -> bool:
@@ -296,12 +309,21 @@ def execute_job_safe(name: str, params: Optional[Mapping[str, Any]] = None,
     Framework-level errors (unknown experiment name, bad params) still
     raise: they are caller bugs, not job failures.  This is also the
     chaos injection point: an armed ``REPRO_CHAOS`` schedule may kill,
-    hang, or fail the job right here (see :mod:`repro.chaos`).
+    hang, or fail the job right here (see :mod:`repro.chaos`), and the
+    failure-capture point: when capture is armed (sanitizer on, or
+    ``REPRO_CAPTURE`` set — see :mod:`repro.sanitizer.bundle`), any
+    failed job writes a replayable bundle before returning.
     """
     import repro
+    from repro.sanitizer import runtime as sanit
+    from repro.sanitizer.bundle import CaptureContext
 
     spec = registry.get(name)
     spec.bind(params=params, seed=seed)  # param errors are caller bugs: raise now
+    # Pool workers inherit REPRO_SANITIZE through the environment; the
+    # sync here makes the level effective whatever process we run in.
+    sanit.sync_from_env()
+    capture = CaptureContext.arm_if_enabled()
     start = time.perf_counter()
     try:
         from repro import chaos
@@ -315,7 +337,7 @@ def execute_job_safe(name: str, params: Optional[Mapping[str, Any]] = None,
         detail = str(exc)
         if isinstance(exc, SystemExit) and not detail:
             detail = repr(exc.code)
-        return ExperimentResult(
+        result = ExperimentResult(
             name=spec.name,
             payload=None,
             seed=seed if spec.accepts_seed else None,
@@ -325,6 +347,15 @@ def execute_job_safe(name: str, params: Optional[Mapping[str, Any]] = None,
             version=repro.__version__,
             error=f"{type(exc).__name__}: {detail}",
         )
+        if capture is not None:
+            try:
+                capture.write_bundle(result, exc)
+            except Exception:  # capture must never mask the job failure
+                pass
+        return result
+    finally:
+        if capture is not None:
+            capture.restore()
 
 
 def _pool_worker(job: Tuple[str, Dict[str, Any], Optional[int], bool, bool]) -> ExperimentResult:
@@ -559,6 +590,14 @@ class ExperimentRunner:
                 cache_hit=str(result.cache_hit).lower(),
                 outcome=result.outcome,
             ).inc()
+            if result.outcome == "invariant":
+                # Errored jobs carry no metrics snapshot (execute_job
+                # raises before its snapshot can be returned), so the
+                # violation is tallied here, parent-side.
+                self.metrics.counter(
+                    "sanitizer_violations_total",
+                    subsystem=violation_subsystem(result.error),
+                ).inc()
         if self.profile is not None and result.profile:
             self.profile.merge(result.profile)
         if self.ledger is not None:
@@ -574,6 +613,7 @@ class ExperimentRunner:
             "ok": len(results) - len(errored),
             "errors": len(errored),
             "timeouts": sum(r.outcome == "timeout" for r in errored),
+            "invariants": sum(r.outcome == "invariant" for r in errored),
             "cache_hits": sum(r.cache_hit for r in results),
             "duration_s": sum(r.duration_s for r in results),
             "retries": self.retries_total,

@@ -21,8 +21,9 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.sanitizer import runtime as sanit
 from repro.utils.rng import derive_rng
-from repro.utils.validation import check_in_range, check_positive
+from repro.utils.validation import check_in_range, check_int, check_positive
 
 
 @dataclass
@@ -61,6 +62,8 @@ class PageMappedFtl:
         gc_policy: str = "greedy",
         seed: int = 0,
     ) -> None:
+        check_int("n_blocks", n_blocks)
+        check_int("pages_per_block", pages_per_block)
         check_positive("n_blocks", n_blocks)
         check_positive("pages_per_block", pages_per_block)
         check_in_range("op_fraction", op_fraction, 0.02, 0.5)
@@ -94,6 +97,8 @@ class PageMappedFtl:
         """Host write of one logical page (out of place)."""
         if not 0 <= lpn < self.logical_pages:
             raise IndexError(f"lpn {lpn} out of range [0, {self.logical_pages})")
+        if sanit.sanitize_on:
+            sanit.check("flash.ftl", self)
         self.stats.host_writes += 1
         self._invalidate(lpn)
         self._append(lpn)
@@ -179,6 +184,10 @@ class PageMappedFtl:
             self._map[lpn] = (victim, page)
             self.stats.flash_writes += 1
             self.stats.gc_relocations += 1
+        if sanit.sanitize_on:
+            # GC rewrites the whole victim block: a structural boundary
+            # worth a full (non-amortized) bijectivity scan.
+            sanit.check("flash.ftl", self, boundary=True)
 
     # ------------------------------------------------------------------
     # FCR support
@@ -192,6 +201,8 @@ class PageMappedFtl:
                 self._invalidate(lpn)
                 self._append(lpn)
                 relocated += 1
+        if sanit.sanitize_on:
+            sanit.check("flash.ftl", self, boundary=True)
         return relocated
 
     def wear_evenness(self) -> float:

@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.telemetry import runtime as telem
 from repro.utils.rng import derive_rng
-from repro.utils.validation import check_positive
+from repro.utils.validation import check_int, check_nonnegative, check_positive
 
 #: Per-line wear histogram edges (writes), log-spaced to endurance scale.
 _PCM_WEAR_BUCKETS = (1e3, 1e4, 1e5, 1e6, 3e6, 1e7, 3e7, 1e8)
@@ -39,8 +39,10 @@ class PcmArray:
         endurance_sigma: float = 0.15,
         seed: int = 0,
     ) -> None:
+        check_int("lines", lines)
         check_positive("lines", lines)
         check_positive("endurance_mean", endurance_mean)
+        check_nonnegative("endurance_sigma", endurance_sigma)
         rng = derive_rng(seed, "pcm-endurance")
         self.lines = lines
         self.endurance = np.exp(

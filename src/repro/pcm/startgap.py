@@ -20,8 +20,9 @@ from typing import Optional
 import numpy as np
 
 from repro.pcm.array import PcmArray
+from repro.sanitizer import runtime as sanit
 from repro.utils.rng import derive_rng
-from repro.utils.validation import check_positive
+from repro.utils.validation import check_int, check_positive
 
 
 class StartGap:
@@ -41,6 +42,7 @@ class StartGap:
         randomize: bool = False,
         seed: int = 0,
     ) -> None:
+        check_int("gap_period", gap_period)
         check_positive("gap_period", gap_period)
         if array.lines < 2:
             raise ValueError("array needs at least 2 lines (1 logical + gap)")
@@ -79,6 +81,10 @@ class StartGap:
         self.array.write(self._gap, 1)  # the relocation copy wears the gap slot
         self._gap = victim_physical
         self.gap_moves += 1
+        if sanit.sanitize_on:
+            # Each gap move permutes the mapping: verify it stayed a
+            # bijection at this structural boundary.
+            sanit.check("pcm.startgap", self, boundary=True)
 
     # ------------------------------------------------------------------
     # Writes
@@ -87,6 +93,8 @@ class StartGap:
         """Apply ``count`` logical writes, moving the gap as scheduled."""
         if count < 0:
             raise ValueError("count must be >= 0")
+        if sanit.sanitize_on:
+            sanit.check("pcm.startgap", self)
         remaining = count
         while remaining > 0:
             until_move = self.gap_period - self._writes_since_move

@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.dram.datapatterns import pattern_bits
 from repro.dram.module import DramModule
+from repro.sanitizer import runtime as sanit
 from repro.softmc.program import Instruction, Opcode, DramProgram
 
 
@@ -169,9 +170,14 @@ class SoftMcInterpreter:
             # polarity with a deterministic per-row draw.
             anti = rng.random(row_bits) < 0.5
             physical = self.module.remapper.to_physical(row)
-            bits = self.module.bank(bank).row_bits(physical)
+            dev_bank = self.module.bank(bank)
+            bits = dev_bank.row_bits(physical)
             bits[failing & ~anti] = 0
             bits[failing & anti] = 1
+            if sanit.sanitize_on:
+                # Retention decay is a legitimate in-place mutation:
+                # refresh the row's stored-data shadow digest.
+                sanit.note("dram.bank", dev_bank, row=physical)
 
     @staticmethod
     def _matching_end(instructions, loop_pc, stop) -> int:

@@ -210,18 +210,31 @@ class RunLedger:
         return self.scan()
 
     def find(self, ref: str) -> Optional[Dict[str, Any]]:
-        """Look a record up by 1-based index, negative index, or id prefix."""
+        """Look a record up by 1-based index, negative index, or id prefix.
+
+        A numeric ref is tried as an index first; when that misses and
+        the ref is id-prefix-sized (>= 4 chars), it falls back to a
+        prefix match — hex ids are sometimes all digits, and those must
+        stay findable.
+        """
         records = self.records()
         if not records:
             return None
         try:
             index = int(ref)
         except ValueError:
-            matches = [r for r in records if str(r.get("id", "")).startswith(ref)]
-            return matches[-1] if matches else None
-        if index == 0:
-            return None
-        try:
-            return records[index - 1] if index > 0 else records[index]
-        except IndexError:
-            return None
+            return self._find_by_prefix(records, ref)
+        if index != 0:
+            try:
+                return records[index - 1] if index > 0 else records[index]
+            except IndexError:
+                pass
+        if len(ref.lstrip("-")) >= 4:
+            return self._find_by_prefix(records, ref)
+        return None
+
+    @staticmethod
+    def _find_by_prefix(records: List[Dict[str, Any]],
+                        ref: str) -> Optional[Dict[str, Any]]:
+        matches = [r for r in records if str(r.get("id", "")).startswith(ref)]
+        return matches[-1] if matches else None

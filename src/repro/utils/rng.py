@@ -10,11 +10,31 @@ component consumes random numbers.
 from __future__ import annotations
 
 import hashlib
-from typing import Iterable, List
+from typing import Iterable, List, Optional
 
 import numpy as np
 
 _SEED_BYTES = 8
+
+#: When not None, every derive_seed call appends its derivation label
+#: here (capped) — the failure-capture bundle records these so a replay
+#: can assert the same components drew the same randomness.
+_capture_labels: Optional[List[str]] = None
+_CAPTURE_CAP = 256
+
+
+def start_label_capture() -> None:
+    """Begin recording seed-derivation labels (for failure capture)."""
+    global _capture_labels
+    _capture_labels = []
+
+
+def stop_label_capture() -> List[str]:
+    """Stop recording and return the captured derivation labels."""
+    global _capture_labels
+    labels = _capture_labels or []
+    _capture_labels = None
+    return labels
 
 
 def derive_seed(root_seed: int, *labels: object) -> int:
@@ -29,6 +49,10 @@ def derive_seed(root_seed: int, *labels: object) -> int:
     for label in labels:
         hasher.update(b"/")
         hasher.update(str(label).encode())
+    if _capture_labels is not None and len(_capture_labels) < _CAPTURE_CAP:
+        _capture_labels.append(
+            "/".join([str(int(root_seed))] + [str(label) for label in labels])
+        )
     return int.from_bytes(hasher.digest()[:_SEED_BYTES], "little")
 
 

@@ -2,11 +2,31 @@
 
 from __future__ import annotations
 
+import numbers
+
 
 def check_positive(name: str, value: float) -> None:
     """Raise :class:`ValueError` unless ``value`` is strictly positive."""
     if not value > 0:
         raise ValueError(f"{name} must be > 0, got {value!r}")
+
+
+def check_nonnegative(name: str, value: float) -> None:
+    """Raise :class:`ValueError` unless ``value >= 0`` (NaN rejected too)."""
+    if not value >= 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+
+
+def check_int(name: str, value: object) -> None:
+    """Raise :class:`TypeError` unless ``value`` is a true integer.
+
+    Rejects bools (a ``True`` block count is a bug, not a 1) and
+    integral-valued floats (silent truncation downstream).
+    """
+    if isinstance(value, bool) or not isinstance(value, numbers.Integral):
+        raise TypeError(
+            f"{name} must be an integer, got {type(value).__name__} {value!r}"
+        )
 
 
 def check_probability(name: str, value: float) -> None:

@@ -1,0 +1,193 @@
+"""Randomized round-trip properties of the ECC codecs.
+
+Each codec makes a guarantee stated in terms of injected error count
+(§II-C outcome classes): parity detects odd flip counts and is blind to
+even ones, SECDED corrects one flip and detects two, the GF(256) symbol
+code corrects any damage confined to one symbol.  These tests exercise
+encode → inject k errors → decode across a seeded sweep, checking the
+guarantee class-by-class, and pin the Monte-Carlo accounting in
+:mod:`repro.ecc.accounting` to exact per-word decodes when sampling
+covers every word.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ecc import (
+    SECDED_72_64,
+    SYMBOL_72_64,
+    DecodeStatus,
+    EccEvaluation,
+    HammingSecded,
+    ParityCode,
+    SingleSymbolCorrectingCode,
+    classify_against_truth,
+    evaluate_code_against_histogram,
+    flips_per_word,
+    interleave_position,
+    interleaved_flips_per_word,
+)
+
+SEEDS = range(12)
+
+
+def roundtrip(code, seed, k):
+    """Encode a random word, flip k distinct codeword bits, decode.
+
+    Returns (true data, decode result, ground-truth status).
+    """
+    rng = np.random.default_rng(seed)
+    data = rng.integers(0, 2, size=code.data_bits).astype(np.uint8)
+    codeword = code.encode(data)
+    if k:
+        positions = rng.choice(code.code_bits, size=k, replace=False)
+        codeword[positions] ^= 1
+    result = code.decode(codeword)
+    return data, result, classify_against_truth(result, data)
+
+
+# ----------------------------------------------------------------------
+# Parity
+# ----------------------------------------------------------------------
+class TestParityProperties:
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("k", [1, 3, 5])
+    def test_odd_flip_counts_detected(self, seed, k):
+        _data, result, _truth = roundtrip(ParityCode(64), seed, k)
+        assert result.status == DecodeStatus.DETECTED_UNCORRECTABLE
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("k", [2, 4])
+    def test_even_flip_counts_pass_silently(self, seed, k):
+        """The defining weakness: an even number of flips rebalances the
+        parity bit, so the decoder reports CLEAN over damaged data."""
+        data, result, truth = roundtrip(ParityCode(64), seed, k)
+        assert result.status == DecodeStatus.CLEAN
+        # Ground truth exposes the lie whenever a data bit was hit.
+        if not np.array_equal(result.data, data):
+            assert truth == DecodeStatus.MISCORRECTED
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_clean_roundtrip(self, seed):
+        data, result, _truth = roundtrip(ParityCode(64), seed, 0)
+        assert result.status == DecodeStatus.CLEAN
+        assert np.array_equal(result.data, data)
+
+
+# ----------------------------------------------------------------------
+# SECDED Hamming
+# ----------------------------------------------------------------------
+class TestSecdedProperties:
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("width", [16, 64])
+    def test_single_error_corrected_to_original(self, seed, width):
+        code = HammingSecded(width)
+        data, result, truth = roundtrip(code, seed, 1)
+        assert result.status == DecodeStatus.CORRECTED
+        assert truth == DecodeStatus.CORRECTED
+        assert np.array_equal(result.data, data)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_double_error_detected_not_miscorrected(self, seed):
+        _data, result, truth = roundtrip(SECDED_72_64, seed, 2)
+        assert result.status == DecodeStatus.DETECTED_UNCORRECTABLE
+        assert truth == DecodeStatus.DETECTED_UNCORRECTABLE
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_triple_error_never_silently_clean(self, seed):
+        """3 flips may be miscorrected (the §II-C hazard) or detected —
+        but SECDED must never report them CLEAN."""
+        _data, result, _truth = roundtrip(SECDED_72_64, seed, 3)
+        assert result.status != DecodeStatus.CLEAN
+
+
+# ----------------------------------------------------------------------
+# Single-symbol-correcting GF(256) code
+# ----------------------------------------------------------------------
+class TestSymbolProperties:
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("burst", [1, 3, 8])
+    def test_any_burst_within_one_symbol_corrected(self, seed, burst):
+        rng = np.random.default_rng(seed)
+        data = rng.integers(0, 2, size=SYMBOL_72_64.data_bits).astype(np.uint8)
+        codeword = SYMBOL_72_64.encode(data)
+        symbol = int(rng.integers(0, SYMBOL_72_64.code_bits // 8))
+        offsets = rng.choice(8, size=burst, replace=False)
+        codeword[symbol * 8 + offsets] ^= 1
+        result = SYMBOL_72_64.decode(codeword)
+        assert result.status == DecodeStatus.CORRECTED
+        assert np.array_equal(result.data, data)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_clean_roundtrip(self, seed):
+        data, result, _truth = roundtrip(SYMBOL_72_64, seed, 0)
+        assert result.status == DecodeStatus.CLEAN
+        assert np.array_equal(result.data, data)
+
+    def test_small_instance_roundtrip(self):
+        code = SingleSymbolCorrectingCode(data_symbols=4)
+        data, result, _truth = roundtrip(code, 7, 0)
+        assert np.array_equal(result.data, data)
+
+
+# ----------------------------------------------------------------------
+# Interleaving layout
+# ----------------------------------------------------------------------
+class TestInterleaveProperties:
+    @pytest.mark.parametrize("degree", [2, 4, 8])
+    def test_position_map_is_bijective(self, degree):
+        word_bits = 16
+        span = 3 * degree * word_bits  # three full interleave groups
+        seen = set()
+        for bit in range(span):
+            word, offset = interleave_position(bit, degree, word_bits)
+            assert 0 <= offset < word_bits
+            seen.add((word, offset))
+        assert len(seen) == span
+
+    @pytest.mark.parametrize("degree", [2, 4])
+    def test_adjacent_cluster_spreads_across_words(self, degree):
+        cluster = list(range(degree))  # physically adjacent bits
+        histogram = interleaved_flips_per_word(cluster, degree, word_bits=16)
+        assert histogram == {1: degree}
+
+    def test_degree_one_matches_plain_layout(self):
+        flips = [0, 1, 17, 40, 41, 42]
+        assert interleaved_flips_per_word(flips, 1, word_bits=16) == \
+            flips_per_word(flips, word_bits=16)
+
+
+# ----------------------------------------------------------------------
+# Accounting consistency
+# ----------------------------------------------------------------------
+class TestAccountingConsistency:
+    def test_exact_when_sampling_covers_every_word(self):
+        """With word counts <= trials_per_class the Monte-Carlo scaling
+        is the identity, so outcome totals follow the codec guarantees
+        exactly: 1-flip words corrected, 2-flip words detected."""
+        histogram = {1: 5, 2: 3}
+        evaluation = evaluate_code_against_histogram(
+            SECDED_72_64, histogram, np.random.default_rng(11),
+            trials_per_class=16,
+        )
+        assert evaluation.words_total == 8
+        assert evaluation.outcomes[DecodeStatus.CORRECTED] == 5
+        assert evaluation.outcomes[DecodeStatus.DETECTED_UNCORRECTABLE] == 3
+        assert evaluation.uncorrected_words == 3
+        assert evaluation.silent_corruptions == 0
+
+    def test_scaled_totals_preserve_word_count(self):
+        histogram = {1: 1000}
+        evaluation = evaluate_code_against_histogram(
+            SECDED_72_64, histogram, np.random.default_rng(3),
+            trials_per_class=10,
+        )
+        assert evaluation.words_total == 1000
+        assert evaluation.outcomes[DecodeStatus.CORRECTED] == 1000
+
+    def test_rates_sum_to_one(self):
+        evaluation = EccEvaluation()
+        evaluation.add(DecodeStatus.CORRECTED, 3)
+        evaluation.add(DecodeStatus.MISCORRECTED, 1)
+        total = sum(evaluation.rate(status) for status in DecodeStatus)
+        assert total == pytest.approx(1.0)
