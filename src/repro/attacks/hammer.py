@@ -18,6 +18,7 @@ from typing import List, Sequence, Tuple
 
 from repro.controller.controller import MemoryController
 from repro.dram.module import DramModule
+from repro.dram.stream import CommandStream
 from repro.utils.validation import check_positive
 
 
@@ -48,13 +49,20 @@ def _collect_new_flips(bank, before: int) -> List[Tuple[int, int]]:
     return [(row, bit) for row, bit, _t in bank.stats.flip_log[before:]]
 
 
+def _hammer_stream(aggressors: Sequence[int], count: int) -> CommandStream:
+    """The canonical hammer unit: bulk-activate each aggressor, settle."""
+    stream = CommandStream()
+    for aggressor in aggressors:
+        stream.act(aggressor, count)
+    return stream.settle()
+
+
 def single_sided_device(module: DramModule, bank: int, aggressor: int, count: int) -> HammerResult:
     """Hammer one aggressor row ``count`` times (device fast path)."""
     check_positive("count", count)
     dev = module.bank(bank)
     before = len(dev.stats.flip_log)
-    dev.bulk_activate(aggressor, count)
-    dev.settle()
+    dev.execute(_hammer_stream((aggressor,), count))
     return HammerResult(
         aggressors=(aggressor,),
         activations_per_aggressor=count,
@@ -69,9 +77,7 @@ def double_sided_device(module: DramModule, bank: int, victim: int, count: int) 
     aggressors = tuple(r for r in (victim - 1, victim + 1) if 0 <= r < module.geometry.rows)
     dev = module.bank(bank)
     before = len(dev.stats.flip_log)
-    for aggressor in aggressors:
-        dev.bulk_activate(aggressor, count)
-    dev.settle()
+    dev.execute(_hammer_stream(aggressors, count))
     return HammerResult(
         aggressors=aggressors,
         activations_per_aggressor=count,
@@ -86,9 +92,7 @@ def many_sided_device(
     check_positive("count", count)
     dev = module.bank(bank)
     before = len(dev.stats.flip_log)
-    for aggressor in aggressors:
-        dev.bulk_activate(aggressor, count)
-    dev.settle()
+    dev.execute(_hammer_stream(tuple(aggressors), count))
     return HammerResult(
         aggressors=tuple(aggressors),
         activations_per_aggressor=count,

@@ -99,7 +99,7 @@ class RefreshEngine:
         self.stats.ref_commands += 1
         if telem.metrics_on:
             telem.counter("dram_ref_commands_total").inc()
-        count = 0
+        rows_due = []
         for offset in range(self.rows_per_ref):
             row = (self._cursor + offset) % rows
             if self.row_bins is not None:
@@ -107,10 +107,16 @@ class RefreshEngine:
                 period = 1 << int(self.row_bins[row])
                 if self._pass_index % period:
                     continue
+            rows_due.append(row)
+        count = 0
+        if rows_due:
+            # Banks are independent, so each bank takes its whole chunk
+            # in one batched call (the columnar engine materializes the
+            # chunk as one pass; the reference engine loops per row).
             for bank in range(self.module.geometry.banks):
-                flips = self.module.refresh_physical_row(bank, row, time_ns)
-                self.stats.flips_caught_late += len(flips)
-                count += 1
+                flips = self.module.refresh_physical_rows(bank, rows_due, time_ns)
+                self.stats.flips_caught_late += flips
+                count += len(rows_due)
         self._cursor = (self._cursor + self.rows_per_ref) % rows
         if self._cursor < self.rows_per_ref:
             self._pass_index += 1

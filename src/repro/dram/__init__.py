@@ -1,13 +1,17 @@
-"""DRAM substrate: geometry, timing, address mapping, disturbance model."""
+"""DRAM substrate: geometry, timing, address mapping, disturbance model,
+and the two simulation engines (per-command reference and columnar)."""
 
-from repro.dram.bank import BankStats, DramBank
+from repro.dram.bank import ENGINES, BankStats, DramBank, default_engine
+from repro.dram.columnar import ColumnarDramBank
 from repro.dram.datapatterns import PATTERN_NAMES, PATTERNS, get_pattern, make_random_pattern, pattern_bits
 from repro.dram.disturbance import (
     INVULNERABLE,
     DisturbanceModel,
     VulnerabilityProfile,
+    WeakCellBlock,
     WeakCellSet,
 )
+from repro.dram.stream import Command, CommandStream
 from repro.dram.geometry import DDR3_2GB, DDR3_4GB, TINY_GEOMETRY, DramGeometry
 from repro.dram.latency import SPEC_TRCD_NS, LatencyMarginModel, LatencyMarginParams, aldram_study
 from repro.dram.mapping import AddressMapping, DramCoordinate
@@ -18,7 +22,13 @@ from repro.dram.vintage import MANUFACTURERS, VINTAGE_CURVES, VintageCurve, hc_f
 
 __all__ = [
     "BankStats",
+    "Command",
+    "CommandStream",
+    "ColumnarDramBank",
     "DramBank",
+    "ENGINES",
+    "default_engine",
+    "WeakCellBlock",
     "PATTERN_NAMES",
     "PATTERNS",
     "get_pattern",

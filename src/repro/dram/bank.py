@@ -13,28 +13,96 @@ Disturbance bookkeeping per row:
 Flips are materialized lazily whenever the row's cells are next sensed
 (own activation or refresh), which is exact: a weak cell flips iff the
 pressure crossed its threshold at any point while the data was resident.
+
+Two interchangeable engines implement these semantics:
+
+``reference``
+    This class: per-row dicts mutated one command at a time.  Simple,
+    obviously faithful to the prose above — the **oracle** the
+    differential harness (:mod:`repro.dram.differential`) holds the
+    fast engine to.
+``columnar``
+    :class:`repro.dram.columnar.ColumnarDramBank`: dense per-bank numpy
+    state and a batched :class:`~repro.dram.stream.CommandStream`
+    executor.  The default.
+
+``DramBank(...)`` dispatches on the ``REPRO_DRAM_ENGINE`` environment
+variable (or an explicit ``engine=`` argument), so every consumer —
+attacks, campaigns, experiments, tests — transparently constructs
+whichever engine is selected while keeping this exact public API.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from itertools import repeat
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.dram.datapatterns import PatternFn, get_pattern
 from repro.dram.disturbance import DisturbanceModel
 from repro.dram.geometry import DramGeometry
+from repro.dram.stream import (
+    OP_ACT,
+    OP_PRE,
+    OP_READ,
+    OP_REF_ALL,
+    OP_REF_ROW,
+    OP_SETTLE,
+    OP_WRITE,
+    CommandStream,
+)
 from repro.sanitizer import runtime as sanit
 from repro.telemetry import runtime as telem
 
 #: Bucket edges for the flips-per-materialization histogram.
 _FLIP_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512)
 
+#: Engine selector environment variable.
+ENV_ENGINE = "REPRO_DRAM_ENGINE"
+
+#: Recognized engine names.
+ENGINES = ("columnar", "reference")
+
+#: Flip-log bound override (integer; ``off`` disables the cap).
+ENV_FLIP_LOG_CAP = "REPRO_FLIP_LOG_CAP"
+
+#: Default per-bank flip-log bound — large enough for every experiment
+#: in the repo, small enough that a fleet sweep cannot eat the heap.
+DEFAULT_FLIP_LOG_CAP = 1_000_000
+
+
+def default_engine() -> str:
+    """The engine ``DramBank(...)`` constructs, from ``REPRO_DRAM_ENGINE``."""
+    raw = os.environ.get(ENV_ENGINE, "").strip().lower()
+    if not raw:
+        return "columnar"
+    if raw not in ENGINES:
+        raise ValueError(
+            f"unknown {ENV_ENGINE} value {raw!r}; expected one of {', '.join(ENGINES)}"
+        )
+    return raw
+
+
+def _flip_log_cap_from_env() -> Optional[int]:
+    raw = os.environ.get(ENV_FLIP_LOG_CAP, "").strip().lower()
+    if not raw:
+        return DEFAULT_FLIP_LOG_CAP
+    if raw in ("off", "none", "unbounded"):
+        return None
+    return max(0, int(raw))
+
 
 @dataclass
 class BankStats:
-    """Activity counters for one bank."""
+    """Activity counters for one bank.
+
+    ``flip_log`` holds at most ``flip_log_cap`` ``(row, bit, time)``
+    entries; overflow is counted in ``flips_dropped`` instead of grown
+    without bound (``flips_materialized`` always counts every flip).
+    """
 
     activations: int = 0
     refreshes: int = 0
@@ -42,23 +110,86 @@ class BankStats:
     writes: int = 0
     flips_materialized: int = 0
     flip_log: List[tuple] = field(default_factory=list)
+    flip_log_cap: Optional[int] = field(default_factory=_flip_log_cap_from_env)
+    flips_dropped: int = 0
 
     def record_flips(self, row: int, bits: np.ndarray, time: float) -> None:
-        """Log materialized flips (row, bit, time)."""
-        self.flips_materialized += len(bits)
-        for bit in bits:
-            self.flip_log.append((row, int(bit), time))
+        """Log materialized flips (row, bit, time) — vectorized, capped."""
+        n = len(bits)
+        if n == 0:
+            return
+        self.flips_materialized += n
+        cap = self.flip_log_cap
+        if cap is not None:
+            room = cap - len(self.flip_log)
+            if room < n:
+                room = max(room, 0)
+                self.flips_dropped += n - room
+                bits = bits[:room]
+                n = room
+                if n == 0:
+                    return
+        bit_list = bits.tolist() if isinstance(bits, np.ndarray) else [int(b) for b in bits]
+        self.flip_log.extend(zip(repeat(int(row), n), bit_list, repeat(float(time), n)))
+
+    def record_flips_batch(self, rows: np.ndarray, bits: np.ndarray,
+                           times: np.ndarray) -> None:
+        """Log many events' flips at once — parallel per-flip arrays in
+        log order.  Equivalent to per-event :meth:`record_flips` calls:
+        the cap truncates the same prefix and drops the same count."""
+        n = len(bits)
+        if n == 0:
+            return
+        self.flips_materialized += n
+        cap = self.flip_log_cap
+        if cap is not None:
+            room = cap - len(self.flip_log)
+            if room < n:
+                room = max(room, 0)
+                self.flips_dropped += n - room
+                if room == 0:
+                    return
+                rows, bits, times = rows[:room], bits[:room], times[:room]
+        self.flip_log.extend(zip(rows.tolist(), bits.tolist(), times.tolist()))
 
 
 class DramBank:
     """A single DRAM bank with disturbance-aware storage.
+
+    Constructing ``DramBank(...)`` directly returns the engine selected
+    by ``REPRO_DRAM_ENGINE`` (columnar by default); this class's own
+    method bodies are the per-command **reference** implementation.
 
     Args:
         geometry: module organization (rows/row size are read from it).
         model: the module's disturbance model.
         index: bank index within the module.
         default_pattern: fill applied to rows never explicitly written.
+        engine: explicit engine override (``"columnar"``/``"reference"``).
     """
+
+    #: Engine name this class implements (overridden by subclasses).
+    engine = "reference"
+
+    def __new__(
+        cls,
+        geometry: DramGeometry = None,
+        model: DisturbanceModel = None,
+        index: int = 0,
+        default_pattern: str = "solid1",
+        engine: Optional[str] = None,
+    ) -> "DramBank":
+        if cls is DramBank:
+            name = engine or default_engine()
+            if name == "columnar":
+                from repro.dram.columnar import ColumnarDramBank
+
+                return super().__new__(ColumnarDramBank)
+            if name != "reference":
+                raise ValueError(
+                    f"unknown DRAM engine {name!r}; expected one of {', '.join(ENGINES)}"
+                )
+        return super().__new__(cls)
 
     def __init__(
         self,
@@ -66,6 +197,7 @@ class DramBank:
         model: DisturbanceModel,
         index: int,
         default_pattern: str = "solid1",
+        engine: Optional[str] = None,
     ) -> None:
         geometry.check_bank(index)
         self.geometry = geometry
@@ -75,6 +207,10 @@ class DramBank:
         self._default_pattern: PatternFn = get_pattern(default_pattern)
         self.open_row: Optional[int] = None
         self.stats = BankStats()
+        self._init_storage()
+
+    def _init_storage(self) -> None:
+        """Install the per-row state containers (engine-specific)."""
         self._data: Dict[int, np.ndarray] = {}
         self._pressure: Dict[int, float] = {}
         self._peak: Dict[int, float] = {}
@@ -189,7 +325,7 @@ class DramBank:
         if telem.spans_on:
             with telem.span("dram.bulk_activate"):
                 return self._bulk_activate_body(row, count, time)
-        self._bulk_activate_body(row, count, time)
+        return self._bulk_activate_body(row, count, time)
 
     def _bulk_activate_body(self, row: int, count: int, time: float) -> None:
         self._materialize(row, time)
@@ -269,6 +405,17 @@ class DramBank:
         self._peak[row] = 0.0
         return flipped
 
+    def refresh_rows(self, rows: Sequence[int], time: float = 0.0) -> int:
+        """Refresh a batch of physical rows; return the flip count.
+
+        Equivalent to calling :meth:`refresh_row` per row in order (the
+        columnar engine overrides this with one batched pass).
+        """
+        flips = 0
+        for row in rows:
+            flips += len(self.refresh_row(row, time))
+        return flips
+
     def refresh_all(self, time: float = 0.0) -> int:
         """Refresh every row that has any accumulated state; return flip count."""
         with telem.span("dram.refresh_all"):
@@ -287,6 +434,40 @@ class DramBank:
             if telem.metrics_on:
                 telem.histogram("dram_rows_touched").observe(len(self._data))
             return flips
+
+    # ------------------------------------------------------------------
+    # Command streams
+    # ------------------------------------------------------------------
+    def execute(self, stream: CommandStream) -> int:
+        """Run a :class:`~repro.dram.stream.CommandStream`; return the
+        number of flips materialized while it ran.
+
+        This body is the per-command **reference replay** (each entry
+        dispatches to the matching scalar command); the columnar engine
+        overrides it with the batched executor.  Both must produce
+        identical bank state — the differential oracle's contract.
+        """
+        with telem.span("dram.execute"):
+            before = self.stats.flips_materialized
+            for cmd in stream:
+                op = cmd.op
+                if op == OP_ACT:
+                    self.bulk_activate(cmd.row, cmd.count, cmd.time)
+                elif op == OP_PRE:
+                    self.precharge()
+                elif op == OP_REF_ROW:
+                    self.refresh_row(cmd.row, cmd.time)
+                elif op == OP_REF_ALL:
+                    self.refresh_all(cmd.time)
+                elif op == OP_SETTLE:
+                    self.settle(cmd.time)
+                elif op == OP_WRITE:
+                    self.write(cmd.row, stream.payload(cmd.index), cmd.time)
+                elif op == OP_READ:
+                    self.read(cmd.row, cmd.time)
+                else:  # pragma: no cover - builder can't produce this
+                    raise ValueError(f"unknown stream opcode {op}")
+            return self.stats.flips_materialized - before
 
     def touched_rows(self) -> List[int]:
         """Rows whose data has been instantiated."""

@@ -1,0 +1,964 @@
+"""The columnar batched DRAM engine.
+
+:class:`ColumnarDramBank` keeps the exact :class:`~repro.dram.bank.DramBank`
+public API and semantics, but stores per-bank state **densely**:
+
+* ``pressure`` / ``peak`` — float64 arrays indexed by physical row;
+* ``last_agg`` — int64 array of dominant-aggressor rows (-1 = none);
+* ``touched`` + ``touch_order`` — the reference engine's dict-key
+  insertion order (which fixes ``refresh_all``/``settle`` iteration and
+  therefore flip-log order), as a bool array plus an ordered list;
+* stored data **sparsely**: an ``instantiated`` row mask, a ``store``
+  dict of rows whose full bit array has been materialized, and a
+  ``flips`` dict of flipped-bit indices for rows still representable as
+  "background pattern XOR flips".  A 2 GiB-geometry hammering run never
+  allocates its 64 K-bit row arrays unless someone actually reads them.
+
+Whole :class:`~repro.dram.stream.CommandStream` ACT/PRE runs execute as
+array programs: neighbor and distance-2 bumps become one event table
+(scattered via ``lexsort`` + prefix sums), per-reset window pressures
+and dominant aggressors come from segmented scans, and materialization
+evaluates :meth:`DisturbanceModel.flip_mask_batch` over pre-filtered
+candidate cells.  Scalar commands (``activate``, ``write``, ...) are
+inherited from the reference implementation unchanged — they operate on
+dict-like *views* of the columnar state, so sanitizer checkers, chaos
+injectors, and tests poke the same attributes on both engines.
+
+Equivalence contract: for any command sequence, this engine and the
+reference engine produce identical flip logs, ``BankStats``, sanitizer
+shadow digests, stored data, and touch order; pressure/peak values may
+differ by float-summation reassociation at the ulp level (the batched
+path adds each window once via prefix sums, the reference accumulates
+per command).  :mod:`repro.dram.differential` enforces the contract on
+randomized streams.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.dram.bank import _FLIP_BUCKETS, DramBank
+from repro.dram.disturbance import BLOCK_ROWS, WeakCellSet, _sorted_unique
+from repro.dram.stream import (
+    OP_ACT,
+    OP_PRE,
+    OP_READ,
+    OP_REF_ALL,
+    OP_REF_ROW,
+    OP_SETTLE,
+    OP_WRITE,
+    CommandStream,
+)
+from repro.sanitizer import runtime as sanit
+from repro.telemetry import runtime as telem
+
+__all__ = ["ColumnarDramBank"]
+
+#: Cached background-pattern byte rows (sparse value gathers read the
+#: fill without unpacking whole rows); oldest-inserted evicted first.
+_FILL_CACHE_LIMIT = 4096
+
+_EMPTY_BITS = np.empty(0, dtype=np.int64)
+
+
+class _ColumnarState:
+    """Dense per-bank state backing the columnar engine.
+
+    Columns allocate lazily on first access: a module constructs one
+    state per bank, but untouched banks never pay for their arrays
+    (the reference engine's empty dicts are equally free).
+    """
+
+    __slots__ = (
+        "rows",
+        "_pressure",
+        "_peak",
+        "_last_agg",
+        "_touched",
+        "touch_order",
+        "_instantiated",
+        "store",
+        "flips",
+        "fill_cache",
+    )
+
+    def __init__(self, rows: int) -> None:
+        self.rows = rows
+        self._pressure: Optional[np.ndarray] = None
+        self._peak: Optional[np.ndarray] = None
+        self._last_agg: Optional[np.ndarray] = None
+        self._touched: Optional[np.ndarray] = None
+        self.touch_order: List[int] = []
+        self._instantiated: Optional[np.ndarray] = None
+        self.store: Dict[int, np.ndarray] = {}
+        self.flips: Dict[int, np.ndarray] = {}
+        self.fill_cache: Dict[int, np.ndarray] = {}
+
+    @property
+    def pressure(self) -> np.ndarray:
+        if self._pressure is None:
+            self._pressure = np.zeros(self.rows, dtype=np.float64)
+        return self._pressure
+
+    @property
+    def peak(self) -> np.ndarray:
+        if self._peak is None:
+            self._peak = np.zeros(self.rows, dtype=np.float64)
+        return self._peak
+
+    @property
+    def last_agg(self) -> np.ndarray:
+        if self._last_agg is None:
+            self._last_agg = np.full(self.rows, -1, dtype=np.int64)
+        return self._last_agg
+
+    @property
+    def touched(self) -> np.ndarray:
+        if self._touched is None:
+            self._touched = np.zeros(self.rows, dtype=bool)
+        return self._touched
+
+    @property
+    def instantiated(self) -> np.ndarray:
+        if self._instantiated is None:
+            self._instantiated = np.zeros(self.rows, dtype=bool)
+        return self._instantiated
+
+    def touch(self, row: int) -> None:
+        touched = self.touched
+        if not touched[row]:
+            touched[row] = True
+            self.touch_order.append(int(row))
+
+
+class _ChargeView:
+    """Dict-like view of one float column keyed by touched rows.
+
+    Mirrors the reference engine's ``_pressure``/``_peak`` dicts: keys
+    are the touched rows in insertion order; reads of untouched rows
+    fall back to the default (the backing array holds 0.0 there).
+    """
+
+    __slots__ = ("_state", "_column")
+
+    def __init__(self, state: _ColumnarState, column: str) -> None:
+        self._state = state
+        self._column = column  # state attribute name: "pressure" | "peak"
+
+    def _hit(self, row: int) -> bool:
+        state = self._state
+        return (state._touched is not None and 0 <= row < state.rows
+                and bool(state._touched[row]))
+
+    def get(self, row: int, default=0.0):
+        if self._hit(row):
+            return float(getattr(self._state, self._column)[row])
+        return default
+
+    def __getitem__(self, row: int) -> float:
+        if self._hit(row):
+            return float(getattr(self._state, self._column)[row])
+        raise KeyError(row)
+
+    def __setitem__(self, row: int, value: float) -> None:
+        getattr(self._state, self._column)[row] = value
+        self._state.touch(row)
+
+    def __contains__(self, row: int) -> bool:
+        return self._hit(row)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._state.touch_order)
+
+    def __len__(self) -> int:
+        return len(self._state.touch_order)
+
+    def __bool__(self) -> bool:
+        return bool(self._state.touch_order)
+
+
+class _LastAggressorView:
+    """Dict-like view of the last-aggressor column (-1 encodes absent)."""
+
+    __slots__ = ("_state",)
+
+    def __init__(self, state: _ColumnarState) -> None:
+        self._state = state
+
+    def get(self, row: int, default=None):
+        state = self._state
+        if state._last_agg is not None and 0 <= row < state.rows:
+            value = state._last_agg[row]
+            if value >= 0:
+                return int(value)
+        return default
+
+    def __getitem__(self, row: int) -> int:
+        value = self.get(row)
+        if value is None:
+            raise KeyError(row)
+        return value
+
+    def __setitem__(self, row: int, value: int) -> None:
+        self._state.last_agg[row] = value
+
+    def __contains__(self, row: int) -> bool:
+        return self.get(row) is not None
+
+
+class _DataView:
+    """Dict-like view of stored row data over the sparse representation.
+
+    Reading a row through the view materializes its full bit array
+    (content is unchanged — pattern XOR recorded flips), so callers
+    that mutate rows in place (``apply_flips``, the chaos injector's
+    raw array poke) always hold the authoritative storage.
+    """
+
+    __slots__ = ("_bank",)
+
+    def __init__(self, bank: "ColumnarDramBank") -> None:
+        self._bank = bank
+
+    def get(self, row: int, default=None):
+        state = self._bank._cs
+        if (state._instantiated is not None and 0 <= row < state.rows
+                and state._instantiated[row]):
+            return self._bank._row_array(row)
+        return default
+
+    def __getitem__(self, row: int) -> np.ndarray:
+        bits = self.get(row)
+        if bits is None:
+            raise KeyError(row)
+        return bits
+
+    def __setitem__(self, row: int, bits: np.ndarray) -> None:
+        state = self._bank._cs
+        state.store[row] = bits
+        state.flips.pop(row, None)
+        state.instantiated[row] = True
+
+    def __contains__(self, row: int) -> bool:
+        state = self._bank._cs
+        return (state._instantiated is not None and 0 <= row < state.rows
+                and bool(state._instantiated[row]))
+
+    def __iter__(self) -> Iterator[int]:
+        mask = self._bank._cs._instantiated
+        if mask is None:
+            return iter(())
+        return iter(np.nonzero(mask)[0].tolist())
+
+    def __len__(self) -> int:
+        mask = self._bank._cs._instantiated
+        return 0 if mask is None else int(mask.sum())
+
+    def __bool__(self) -> bool:
+        mask = self._bank._cs._instantiated
+        return mask is not None and bool(mask.any())
+
+
+def _first_occurrence(values: np.ndarray) -> np.ndarray:
+    """Indices of the first occurrence of each distinct value, ascending
+    by position (order-preserving dedup without hash-based np.unique)."""
+    order = np.argsort(values, kind="stable")
+    ranked = values[order]
+    first = np.concatenate(([True], ranked[1:] != ranked[:-1]))
+    return np.sort(order[first])
+
+
+class ColumnarDramBank(DramBank):
+    """Columnar batched engine behind the :class:`DramBank` API."""
+
+    engine = "columnar"
+
+    def _init_storage(self) -> None:
+        self._cs = _ColumnarState(self.geometry.rows)
+        self._data = _DataView(self)
+        self._pressure = _ChargeView(self._cs, "pressure")
+        self._peak = _ChargeView(self._cs, "peak")
+        self._last_aggressor = _LastAggressorView(self._cs)
+
+    # ------------------------------------------------------------------
+    # Sparse storage
+    # ------------------------------------------------------------------
+    def _fill_bytes(self, row: int) -> np.ndarray:
+        """The row's background-fill bytes (shared, treat as read-only).
+
+        Patterns that declare a ``row_period`` repeat every few rows, so
+        the cache keys on ``row % period`` and one buffer serves every
+        row of the class; aperiodic patterns cache per row.
+        """
+        state = self._cs
+        period = getattr(self._default_pattern, "row_period", 0)
+        key = row % period if period else row
+        fill = state.fill_cache.get(key)
+        if fill is None:
+            fill = self._default_pattern(row, self.geometry.row_bytes)
+            while state.fill_cache and len(state.fill_cache) >= _FILL_CACHE_LIMIT:
+                state.fill_cache.pop(next(iter(state.fill_cache)))
+            state.fill_cache[key] = fill
+        return fill
+
+    def _row_array(self, row: int) -> np.ndarray:
+        """The row's full bit array, materialized into ``store``."""
+        state = self._cs
+        bits = state.store.get(row)
+        if bits is None:
+            bits = np.unpackbits(self._fill_bytes(row), bitorder="little")
+            flips = state.flips.pop(row, None)
+            if flips is not None:
+                bits[flips] ^= 1
+            state.store[row] = bits
+            state.instantiated[row] = True
+        return bits
+
+    def _row_values(self, row: int, bits: np.ndarray) -> np.ndarray:
+        """Stored 0/1 values of ``row`` at bit positions ``bits`` without
+        materializing the row."""
+        state = self._cs
+        arr = state.store.get(row)
+        if arr is not None:
+            return arr[bits]
+        fill = self._fill_bytes(row)
+        values = (fill[bits >> 3] >> (bits & 7).astype(np.uint8)) & 1
+        flips = state.flips.get(row)
+        if flips is not None and len(flips):
+            # flips is kept sorted, so membership is a searchsorted probe
+            # (np.isin pays a large dispatch overhead per call).
+            slot = np.minimum(np.searchsorted(flips, bits), len(flips) - 1)
+            values = values ^ (flips[slot] == bits)
+        return values.astype(np.uint8, copy=False)
+
+    def _apply_row_flips(self, row: int, flipped: np.ndarray) -> None:
+        """Record flipped bits for ``row``.  ``flipped`` must be sorted
+        ascending (CSR cell slices already are) so first-time rows store
+        it directly; merges re-sort."""
+        state = self._cs
+        arr = state.store.get(row)
+        if arr is not None:
+            arr[flipped] ^= 1
+            return
+        previous = state.flips.get(row)
+        state.flips[row] = (
+            flipped if previous is None
+            else np.sort(np.concatenate([previous, flipped]))
+        )
+        state.instantiated[row] = True
+
+    def row_bits(self, row: int) -> np.ndarray:
+        self.geometry.check_row(row)
+        state = self._cs
+        fresh = not state.instantiated[row]
+        bits = self._row_array(row)
+        if fresh and sanit.sanitize_on:
+            sanit.note("dram.bank", self, row=row)
+        return bits
+
+    def set_default_pattern(self, name: str) -> None:
+        super().set_default_pattern(name)
+        # Cached fill rows came from the previous pattern.
+        self._cs.fill_cache.clear()
+
+    # ------------------------------------------------------------------
+    # Batched materialization
+    # ------------------------------------------------------------------
+    def _materialize_batch(
+        self,
+        vrows: np.ndarray,
+        peaks: np.ndarray,
+        aggs: np.ndarray,
+        times: np.ndarray,
+        cause: str,
+    ) -> int:
+        """Materialize a sequence of pending-flip windows in order.
+
+        ``vrows``/``peaks``/``aggs``/``times`` are parallel arrays in
+        reference materialization order; every ``peaks`` entry is > 0
+        and ``aggs`` uses -1 for "no recorded aggressor".  Flips apply
+        in window order, so later windows read data already disturbed
+        by earlier ones — exactly the reference's sequential behavior.
+
+        The common case (distinct victim rows, sanitizer off) runs as
+        one array program over every window's candidate cells; repeated
+        victims or sanitize mode fall back to the per-window loop.
+        """
+        if not sanit.sanitize_on and len(vrows) > 1:
+            srt = np.sort(vrows)
+            if not (srt[1:] == srt[:-1]).any():
+                return self._materialize_vectorized(vrows, peaks, aggs,
+                                                    times, cause)
+        return self._materialize_sequential(vrows, peaks, aggs, times, cause)
+
+    def _flip_metrics(self, cause: str):
+        """Resolved ``(counter, histogram)`` for flip telemetry, or
+        ``None`` when metrics are off.  Registry lookups hash a sorted
+        label key, so the per-window loops resolve the series once per
+        batch instead of once per flipping window."""
+        if not telem.metrics_on:
+            return None
+        return (telem.counter("dram_bit_flips_total",
+                              bank=self.index, cause=cause),
+                telem.histogram("dram_flips_per_event", edges=_FLIP_BUCKETS))
+
+    def _flip_row_now(self, row: int, peak: float, agg: int,
+                      relief_floor: float) -> np.ndarray:
+        """Bit indices of ``row`` that flip at ``peak`` against the
+        *current* stored content (not yet applied)."""
+        model = self.model
+        # Content-independent prechecks: no threshold sits below the
+        # profile floor, and no cell in the row sits below its min_hc —
+        # either one above the peak means nothing can flip (and the
+        # first avoids fetching the weak-cell block at all).
+        if model.profile.hc_first_min * relief_floor > peak:
+            return _EMPTY_BITS
+        block = model.weak_cells_block(self.index, row)
+        rel = row - block.start
+        if block.min_hc[rel] * relief_floor > peak:
+            return _EMPTY_BITS
+        lo, hi = int(block.offsets[rel]), int(block.offsets[rel + 1])
+        hc = block.hc_first[lo:hi]
+        candidate = hc * relief_floor <= peak
+        cbits = block.bits[lo:hi][candidate]
+        victim_vals = self._row_values(row, cbits)
+        agg_vals = self._row_values(agg, cbits) if agg >= 0 else None
+        subset = WeakCellSet(
+            bits=cbits,
+            hc_first=hc[candidate],
+            anti=block.anti[lo:hi][candidate],
+            aggressor_sensitive=block.aggressor_sensitive[lo:hi][candidate],
+        )
+        mask = model.flip_mask_batch(subset, peak, victim_vals, agg_vals)
+        return cbits[mask]
+
+    def _materialize_sequential(
+        self,
+        vrows: np.ndarray,
+        peaks: np.ndarray,
+        aggs: np.ndarray,
+        times: np.ndarray,
+        cause: str,
+    ) -> int:
+        model = self.model
+        state = self._cs
+        sanitize = sanit.sanitize_on
+        # Aggressor-sensitive relief normally *raises* thresholds; only
+        # a relief factor below 1 could let hc_first > peak cells flip.
+        relief_floor = min(1.0, model.profile.dpd_relief)
+        metrics = self._flip_metrics(cause)
+        tracing = telem.trace_on
+        total = 0
+        for i in range(len(vrows)):
+            row = int(vrows[i])
+            peak = float(peaks[i])
+            agg = int(aggs[i])
+            if sanitize:
+                # Take the reference's exact path so instantiation and
+                # shadow-digest notes happen at identical points.
+                bits = self.row_bits(row)
+                agg_bits = self.row_bits(agg) if agg >= 0 else None
+                flipped = model.apply_flips(self.index, row, peak, bits, agg_bits)
+            else:
+                instantiated = state.instantiated
+                instantiated[row] = True
+                if agg >= 0:
+                    instantiated[agg] = True
+                flipped = self._flip_row_now(row, peak, agg, relief_floor)
+                if len(flipped):
+                    self._apply_row_flips(row, flipped)
+            n_flips = len(flipped)
+            if n_flips:
+                if sanitize:
+                    sanit.note("dram.bank", self, row=row)
+                t = float(times[i])
+                self.stats.record_flips(row, flipped, t)
+                if metrics:
+                    metrics[0].inc(n_flips)
+                    metrics[1].observe(n_flips)
+                if tracing:
+                    telem.trace("bit_flip", t=t, bank=self.index,
+                                row=row, bits=n_flips, cause=cause)
+                total += n_flips
+        return total
+
+    def _materialize_vectorized(
+        self,
+        vrows: np.ndarray,
+        peaks: np.ndarray,
+        aggs: np.ndarray,
+        times: np.ndarray,
+        cause: str,
+    ) -> int:
+        """One array program per weak-cell block over every window's
+        candidate cells.
+
+        Victim rows are distinct here, so windows can only interact
+        through a *dominant aggressor* whose own row flipped earlier in
+        the batch; gathers run optimistically against batch-start
+        content and any window whose aggressor row got dirtied earlier
+        re-evaluates sequentially (rare: aggressors are usually the
+        hammered rows, which accumulate little pressure themselves).
+        """
+        model = self.model
+        bank_index = self.index
+        state = self._cs
+        relief_floor = min(1.0, model.profile.dpd_relief)
+        instantiated = state.instantiated
+        instantiated[vrows] = True
+        valid_agg = aggs >= 0
+        if valid_agg.any():
+            instantiated[aggs[valid_agg]] = True
+
+        # Profile-floor precheck: a window whose peak sits below the
+        # lowest threshold any cell can have flips nothing, reads
+        # nothing, and invalidates nothing — drop it before touching
+        # (or generating) weak-cell blocks.  Reference equivalence only
+        # needs the instantiation marking above.
+        floor = model.profile.hc_first_min * relief_floor
+        if floor > 0:
+            live = floor <= peaks
+            if not live.all():
+                if not live.any():
+                    return 0
+                vrows = vrows[live]
+                peaks = peaks[live]
+                aggs = aggs[live]
+                times = times[live]
+
+        starts = vrows - vrows % BLOCK_ROWS
+        store, sflips = state.store, state.flips
+        #: window index -> (bits, mask, chunk start, chunk end, flip count)
+        chunks: Dict[int, tuple] = {}
+        for start in sorted(set(starts.tolist())):
+            block = model.weak_cells_block(bank_index, int(start))
+            sel = np.nonzero(starts == start)[0]
+            rel = vrows[sel] - start
+            # The row's lowest threshold decides whether any candidate
+            # cell exists at its peak; windows that can't flip need no
+            # gather (and can't be invalidated either — the precheck is
+            # content-independent).
+            live = block.min_hc[rel] * relief_floor <= peaks[sel]
+            sel = sel[live]
+            if not len(sel):
+                continue
+            rel = rel[live]
+            lo = block.offsets[rel]
+            hi = block.offsets[rel + 1]
+            lens = hi - lo
+            total_cells = int(lens.sum())
+            if total_cells == 0:
+                continue
+            cum = np.cumsum(lens)
+            # Ragged gather: window j's cells occupy block CSR indices
+            # [lo[j], hi[j]) — one shifted arange covers all windows.
+            idx = np.arange(total_cells, dtype=np.int64) + np.repeat(
+                lo - np.concatenate(([0], cum[:-1])), lens)
+            hc = block.hc_first[idx]
+            cell_peak = np.repeat(peaks[sel], lens)
+            candidate = hc * relief_floor <= cell_peak
+            cidx = idx[candidate]
+            bits = block.bits[cidx]
+            hc = hc[candidate]
+            cell_peak = cell_peak[candidate]
+            anti = block.anti[cidx]
+            sens = block.aggressor_sensitive[cidx]
+            win_id = np.repeat(np.arange(len(sel)), lens)[candidate]
+            bounds = np.searchsorted(win_id, np.arange(len(sel) + 1))
+
+            # Gather victim/aggressor values through one fill-byte
+            # matrix; rows holding explicit storage get patched below.
+            # Periodic patterns need one matrix row per fill class, not
+            # per distinct row.
+            wrows = vrows[sel]
+            waggs = aggs[sel]
+            wvalid = waggs >= 0
+            period = getattr(self._default_pattern, "row_period", 0)
+            if period:
+                fill_mat = np.stack(
+                    [self._fill_bytes(c) for c in range(period)])
+                vcls = wrows % period
+                acls = np.where(wvalid, waggs % period, 0)
+            else:
+                distinct = _sorted_unique(
+                    np.concatenate([wrows, waggs[wvalid]]))
+                fill_mat = np.empty(
+                    (len(distinct), self.geometry.row_bytes), dtype=np.uint8)
+                for k, row in enumerate(distinct.tolist()):
+                    fill_mat[k] = self._fill_bytes(row)
+                vcls = np.searchsorted(distinct, wrows)
+                acls = np.searchsorted(
+                    distinct, np.where(wvalid, waggs, distinct[0]))
+            chunk_lens = np.diff(bounds)
+            byte_idx = bits >> 3
+            shift = (bits & 7).astype(np.uint8)
+            victim_vals = (fill_mat[np.repeat(vcls, chunk_lens), byte_idx]
+                           >> shift) & 1
+            agg_vals = (fill_mat[np.repeat(acls, chunk_lens), byte_idx]
+                        >> shift) & 1
+            agg_valid = np.repeat(wvalid, chunk_lens)
+            if store or sflips:
+                for j in range(len(sel)):
+                    s, e = int(bounds[j]), int(bounds[j + 1])
+                    if s == e:
+                        continue
+                    row = int(wrows[j])
+                    if row in store or row in sflips:
+                        victim_vals[s:e] = self._row_values(row, bits[s:e])
+                    agg = int(waggs[j])
+                    if agg >= 0 and (agg in store or agg in sflips):
+                        agg_vals[s:e] = self._row_values(agg, bits[s:e])
+
+            mask = model.flip_mask_batch(
+                WeakCellSet(bits=bits, hc_first=hc, anti=anti,
+                            aggressor_sensitive=sens),
+                cell_peak, victim_vals, agg_vals, agg_valid)
+            flip_cum = np.concatenate(([0], np.cumsum(mask)))
+            counts = flip_cum[bounds[1:]] - flip_cum[bounds[:-1]]
+            for j in range(len(sel)):
+                chunks[int(sel[j])] = (bits, mask, int(bounds[j]),
+                                       int(bounds[j + 1]), int(counts[j]))
+
+        if not chunks:
+            return 0
+        metrics = self._flip_metrics(cause)
+        tracing = telem.trace_on
+
+        # Windows only interact when some window's aggressor is another
+        # window's victim (victims are distinct here); without that, no
+        # flip can invalidate a later gather, so application skips the
+        # dirty tracking and assembles the flip log in one batch.
+        svr = np.sort(vrows)
+        loc = np.minimum(np.searchsorted(svr, aggs), len(svr) - 1)
+        if not (svr[loc] == aggs).any():
+            rows_l: List[int] = []
+            times_l: List[float] = []
+            counts_l: List[int] = []
+            flips_l: List[np.ndarray] = []
+            total = 0
+            for i in sorted(chunks):
+                bits, mask, s, e, count = chunks[i]
+                if not count:
+                    continue
+                flipped = bits[s:e][mask[s:e]]
+                row = int(vrows[i])
+                self._apply_row_flips(row, flipped)
+                t = float(times[i])
+                rows_l.append(row)
+                times_l.append(t)
+                counts_l.append(count)
+                flips_l.append(flipped)
+                if metrics:
+                    metrics[1].observe(count)
+                if tracing:
+                    telem.trace("bit_flip", t=t, bank=self.index,
+                                row=row, bits=count, cause=cause)
+                total += count
+            if total:
+                if metrics:
+                    metrics[0].inc(total)
+                self.stats.record_flips_batch(
+                    np.repeat(np.asarray(rows_l, dtype=np.int64), counts_l),
+                    np.concatenate(flips_l),
+                    np.repeat(np.asarray(times_l), counts_l))
+            return total
+
+        # Apply in window order; re-evaluate any window whose inputs an
+        # earlier window's flips invalidated.
+        record = self.stats.record_flips
+        dirty: set = set()
+        total = 0
+        for i in sorted(chunks):
+            bits, mask, s, e, count = chunks[i]
+            row = int(vrows[i])
+            agg = int(aggs[i])
+            if row in dirty or (agg >= 0 and agg in dirty):
+                flipped = self._flip_row_now(row, float(peaks[i]), agg,
+                                             relief_floor)
+            elif count:
+                flipped = bits[s:e][mask[s:e]]
+            else:
+                continue
+            n_flips = len(flipped)
+            if not n_flips:
+                continue
+            self._apply_row_flips(row, flipped)
+            dirty.add(row)
+            t = float(times[i])
+            record(row, flipped, t)
+            if metrics:
+                metrics[0].inc(n_flips)
+                metrics[1].observe(n_flips)
+            if tracing:
+                telem.trace("bit_flip", t=t, bank=self.index,
+                            row=row, bits=n_flips, cause=cause)
+            total += n_flips
+        return total
+
+    # ------------------------------------------------------------------
+    # Batched refresh/settle
+    # ------------------------------------------------------------------
+    def refresh_all(self, time: float = 0.0) -> int:
+        with telem.span("dram.refresh_all"):
+            state = self._cs
+            rows = list(state.touch_order)
+            self.stats.refreshes += len(rows)
+            if rows and telem.metrics_on:
+                telem.counter("dram_refreshes_total", bank=self.index).inc(len(rows))
+            if telem.trace_on:
+                for row in rows:
+                    telem.trace("refresh", t=time, bank=self.index, row=row)
+            if sanit.sanitize_on:
+                for row in rows:
+                    sanit.check("dram.bank", self, row=row)
+            if not rows:
+                return 0
+            row_arr = np.asarray(rows, dtype=np.int64)
+            peaks = state.peak[row_arr]
+            live = peaks > 0
+            flips = 0
+            if live.any():
+                victims = row_arr[live]
+                flips = self._materialize_batch(
+                    victims, peaks[live], state.last_agg[victims],
+                    np.full(len(victims), float(time)), "refresh")
+            state.pressure[row_arr] = 0.0
+            state.peak[row_arr] = 0.0
+            return flips
+
+    def refresh_rows(self, rows: Sequence[int], time: float = 0.0) -> int:
+        state = self._cs
+        row_arr = np.asarray(list(rows), dtype=np.int64)
+        if len(row_arr) == 0:
+            return 0
+        if len(row_arr) and (row_arr.min() < 0 or row_arr.max() >= state.rows):
+            bad = row_arr[(row_arr < 0) | (row_arr >= state.rows)][0]
+            self.geometry.check_row(int(bad))
+        self.stats.refreshes += len(row_arr)
+        if telem.metrics_on:
+            telem.counter("dram_refreshes_total", bank=self.index).inc(len(row_arr))
+        if telem.trace_on:
+            for row in row_arr:
+                telem.trace("refresh", t=time, bank=self.index, row=int(row))
+        if sanit.sanitize_on:
+            for row in row_arr:
+                sanit.check("dram.bank", self, row=int(row))
+        # A row repeated in one batch sees zeroed state on its second
+        # refresh in the reference — only the first occurrence acts.
+        unique = row_arr[_first_occurrence(row_arr)]
+        peaks = state.peak[unique]
+        live = peaks > 0
+        flips = 0
+        if live.any():
+            victims = unique[live]
+            flips = self._materialize_batch(
+                victims, peaks[live], state.last_agg[victims],
+                np.full(len(victims), float(time)), "refresh")
+        # Undisturbed rows are a no-op in the reference (no key
+        # insertion); their array slots already hold zero.
+        state.pressure[unique] = 0.0
+        state.peak[unique] = 0.0
+        return flips
+
+    def settle(self, time: float = 0.0) -> int:
+        with telem.span("dram.settle"):
+            state = self._cs
+            flips = 0
+            if state.touch_order:
+                row_arr = np.asarray(state.touch_order, dtype=np.int64)
+                peaks = state.peak[row_arr]
+                live = peaks > 0
+                if live.any():
+                    victims = row_arr[live]
+                    flips = self._materialize_batch(
+                        victims, peaks[live], state.last_agg[victims],
+                        np.full(len(victims), float(time)), "settle")
+                    state.peak[victims] = 0.0
+            if telem.metrics_on:
+                mask = state._instantiated
+                telem.histogram("dram_rows_touched").observe(
+                    0 if mask is None else int(mask.sum()))
+            return flips
+
+    # ------------------------------------------------------------------
+    # Batched command-stream execution
+    # ------------------------------------------------------------------
+    def execute(self, stream: CommandStream) -> int:
+        with telem.span("dram.execute"):
+            before = self.stats.flips_materialized
+            act_counter = (telem.counter("dram_activations_total",
+                                         bank=self.index)
+                           if telem.metrics_on else None)
+            act_rows: List[int] = []
+            act_counts: List[int] = []
+            act_times: List[float] = []
+            for cmd in stream:
+                op = cmd.op
+                if op == OP_ACT:
+                    self.geometry.check_row(cmd.row)
+                    if cmd.count <= 0:
+                        continue
+                    if sanit.sanitize_on:
+                        sanit.check("dram.bank", self, row=cmd.row)
+                    self.stats.activations += cmd.count
+                    if act_counter is not None:
+                        act_counter.inc(cmd.count)
+                    if telem.trace_on:
+                        telem.trace("activate", t=cmd.time, bank=self.index,
+                                    row=cmd.row, count=cmd.count)
+                    act_rows.append(cmd.row)
+                    act_counts.append(cmd.count)
+                    act_times.append(cmd.time)
+                    self.open_row = cmd.row
+                elif op == OP_PRE:
+                    self.open_row = None
+                else:
+                    if act_rows:
+                        self._flush_acts(act_rows, act_counts, act_times)
+                        act_rows, act_counts, act_times = [], [], []
+                    if op == OP_REF_ROW:
+                        self.refresh_row(cmd.row, cmd.time)
+                    elif op == OP_REF_ALL:
+                        self.refresh_all(cmd.time)
+                    elif op == OP_SETTLE:
+                        self.settle(cmd.time)
+                    elif op == OP_WRITE:
+                        self.write(cmd.row, stream.payload(cmd.index), cmd.time)
+                    elif op == OP_READ:
+                        self.read(cmd.row, cmd.time)
+                    else:  # pragma: no cover - builder can't produce this
+                        raise ValueError(f"unknown stream opcode {op}")
+            if act_rows:
+                self._flush_acts(act_rows, act_counts, act_times)
+            return self.stats.flips_materialized - before
+
+    def _flush_acts(self, rows: List[int], counts: List[int],
+                    times: List[float]) -> None:
+        """Apply one uninterrupted ACT run as an array program."""
+        state = self._cs
+        n_rows_total = self.geometry.rows
+        n = len(rows)
+        act_row = np.asarray(rows, dtype=np.int64)
+        act_cnt = np.asarray(counts, dtype=np.float64)
+        act_time = np.asarray(times, dtype=np.float64)
+        d2 = self.model.profile.distance2_weight
+
+        # --- touch bookkeeping: reference key-insertion order is
+        # (row, row-1, row+1[, row-2, row+2]) per ACT, new keys only ---
+        if d2 > 0:
+            interleaved = np.stack(
+                [act_row, act_row - 1, act_row + 1, act_row - 2, act_row + 2],
+                axis=1).reshape(-1)
+        else:
+            interleaved = np.stack(
+                [act_row, act_row - 1, act_row + 1], axis=1).reshape(-1)
+        interleaved = interleaved[(interleaved >= 0) & (interleaved < n_rows_total)]
+        fresh = interleaved[~state.touched[interleaved]]
+        if len(fresh):
+            new_rows = fresh[_first_occurrence(fresh)]
+            state.touched[new_rows] = True
+            state.touch_order.extend(new_rows.tolist())
+
+        # --- event table: one reset per ACT plus its neighbor bumps ---
+        pos = np.arange(n, dtype=np.int64)
+        zero = np.zeros(n)
+        none_agg = np.full(n, -1, dtype=np.int64)
+        if d2 > 0:
+            ev_row = np.concatenate(
+                [act_row, act_row - 1, act_row + 1, act_row - 2, act_row + 2])
+            ev_w = np.concatenate([zero, act_cnt, act_cnt, d2 * act_cnt, d2 * act_cnt])
+            ev_agg = np.concatenate([none_agg, act_row, act_row, none_agg, none_agg])
+            ev_pos = np.concatenate([pos] * 5)
+            groups = 5
+        else:
+            ev_row = np.concatenate([act_row, act_row - 1, act_row + 1])
+            ev_w = np.concatenate([zero, act_cnt, act_cnt])
+            ev_agg = np.concatenate([none_agg, act_row, act_row])
+            ev_pos = np.concatenate([pos] * 3)
+            groups = 3
+        ev_reset = np.zeros(groups * n, dtype=bool)
+        ev_reset[:n] = True
+        ev_d1 = np.zeros(groups * n, dtype=bool)
+        ev_d1[n:3 * n] = True
+        in_bounds = (ev_row >= 0) & (ev_row < n_rows_total)
+        ev_row = ev_row[in_bounds]
+        ev_w = ev_w[in_bounds]
+        ev_agg = ev_agg[in_bounds]
+        ev_pos = ev_pos[in_bounds]
+        ev_reset = ev_reset[in_bounds]
+        ev_d1 = ev_d1[in_bounds]
+
+        # --- sort by (row, position); (row, pos) pairs are unique ---
+        order = np.lexsort((ev_pos, ev_row))
+        r_s = ev_row[order]
+        w_s = ev_w[order]
+        agg_s = ev_agg[order]
+        pos_s = ev_pos[order]
+        reset_s = ev_reset[order]
+        d1_s = ev_d1[order]
+        m = len(r_s)
+        idx = np.arange(m, dtype=np.int64)
+        newrow = np.concatenate(([True], r_s[1:] != r_s[:-1]))
+        seg_start = np.maximum.accumulate(np.where(newrow, idx, 0))
+        cum = np.cumsum(w_s)
+        base = cum[seg_start] - w_s[seg_start]  # cumsum before each segment
+
+        # Segmented forward fills.  ``shift`` strictly dominates across
+        # segments, so one maximum.accumulate carries "index of the last
+        # reset / d1 bump so far" without leaking between rows.
+        seg_id = np.cumsum(newrow) - 1
+        shift = seg_id * (m + 1)
+        filled_reset = np.maximum.accumulate(
+            np.where(reset_s, shift + idx + 1, shift))
+        filled_d1 = np.maximum.accumulate(
+            np.where(d1_s, shift + idx + 1, shift))
+        before_reset = np.concatenate(([0], filled_reset[:-1])) - shift - 1
+        before_d1 = np.concatenate(([0], filled_d1[:-1])) - shift - 1
+        before_reset[newrow] = -1  # fills from other segments are invalid
+        before_d1[newrow] = -1
+
+        # --- materialize at each reset, in command order ---
+        reset_idx = np.nonzero(reset_s)[0]
+        if len(reset_idx):
+            reset_idx = reset_idx[np.argsort(pos_s[reset_idx], kind="stable")]
+            reset_rows = r_s[reset_idx]
+            prev_reset = before_reset[reset_idx]
+            window = cum[reset_idx] - np.where(
+                prev_reset >= 0, cum[np.maximum(prev_reset, 0)], base[reset_idx])
+            first_window = prev_reset < 0
+            p0 = state.pressure[reset_rows]
+            k0 = state.peak[reset_rows]
+            # Bumps are non-negative, so the in-window running peak is the
+            # window total; an empty first window keeps the prior peak.
+            peak_at = np.where(
+                first_window,
+                np.where(window > 0, np.maximum(k0, p0 + window), k0),
+                window)
+            prev_d1 = before_d1[reset_idx]
+            agg_at = np.where(prev_d1 >= 0,
+                              agg_s[np.maximum(prev_d1, 0)],
+                              state.last_agg[reset_rows])
+            live = peak_at > 0
+            if live.any():
+                self._materialize_batch(
+                    reset_rows[live], peak_at[live], agg_at[live],
+                    act_time[pos_s[reset_idx]][live], "activate")
+
+        # --- final per-row state at end of run ---
+        seg_end = np.nonzero(np.concatenate((newrow[1:], [True])))[0]
+        end_rows = r_s[seg_end]
+        has_reset = filled_reset[seg_end] > shift[seg_end]
+        last_reset = filled_reset[seg_end] - shift[seg_end] - 1
+        tail = cum[seg_end] - np.where(
+            has_reset, cum[np.maximum(last_reset, 0)], base[seg_end])
+        p0_end = state.pressure[end_rows]
+        k0_end = state.peak[end_rows]
+        state.pressure[end_rows] = np.where(has_reset, tail, p0_end + tail)
+        state.peak[end_rows] = np.where(
+            has_reset, tail, np.maximum(k0_end, p0_end + tail))
+        has_d1 = filled_d1[seg_end] > shift[seg_end]
+        last_d1 = filled_d1[seg_end] - shift[seg_end] - 1
+        state.last_agg[end_rows] = np.where(
+            has_d1, agg_s[np.maximum(last_d1, 0)], state.last_agg[end_rows])

@@ -25,6 +25,7 @@ def _solid(value: int) -> PatternFn:
     def fill(row: int, row_bytes: int) -> np.ndarray:
         return np.full(row_bytes, value, dtype=np.uint8)
 
+    fill.row_period = 1
     return fill
 
 
@@ -33,6 +34,7 @@ def _rowstripe(even_value: int, odd_value: int) -> PatternFn:
         value = even_value if row % 2 == 0 else odd_value
         return np.full(row_bytes, value, dtype=np.uint8)
 
+    fill.row_period = 2
     return fill
 
 
@@ -44,6 +46,13 @@ def _colstripe(row: int, row_bytes: int) -> np.ndarray:
 def _checkered(row: int, row_bytes: int) -> np.ndarray:
     value = 0x55 if row % 2 == 0 else 0xAA
     return np.full(row_bytes, value, dtype=np.uint8)
+
+
+#: Named patterns repeat with a short row period (``fill(row) ==
+#: fill(row % row_period)``); engines use this to share fill buffers
+#: across rows.  Aperiodic patterns (``random``) carry no attribute.
+_colstripe.row_period = 1
+_checkered.row_period = 2
 
 
 def make_random_pattern(seed: int) -> PatternFn:

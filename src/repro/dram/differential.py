@@ -1,0 +1,255 @@
+"""Differential oracle: columnar engine vs per-command reference.
+
+The columnar engine re-derives the bank semantics as array programs;
+this harness is the proof obligation that came with it.  A seeded
+random :class:`~repro.dram.stream.CommandStream` (weighted toward the
+shapes that stress the batched math: double-sided bursts, repeated
+aggressors, distance-2-heavy profiles, interleaved refreshes and
+writes) replays through both engines, and the resulting observations
+must agree:
+
+* **exactly** — flip logs, ``BankStats`` counters, sanitizer shadow
+  digests, stored row data, instantiated-row set, touch order, open
+  row, and the ``execute`` return value;
+* **to float tolerance** — per-row pressure/peak, where the batched
+  prefix-sum windows legitimately reassociate the reference's
+  per-command additions (ulp-level differences that cannot move a
+  threshold crossing except on a measure-zero set).
+
+``repro.dram.differential`` is also importable from tests and CI: the
+property suite in ``tests/test_differential.py`` runs 100+ seeds, and
+the ``differential`` CI job runs it under ``REPRO_SANITIZE=full`` so
+the shadow-digest machinery is part of the comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.dram.bank import DramBank
+from repro.dram.disturbance import DisturbanceModel, VulnerabilityProfile
+from repro.dram.geometry import DramGeometry
+from repro.dram.stream import CommandStream
+from repro.utils.rng import derive_rng
+
+__all__ = [
+    "DEFAULT_PROFILES",
+    "EngineObservation",
+    "diff_observations",
+    "observe",
+    "random_stream",
+    "replay_stream",
+    "run_differential",
+]
+
+#: Geometry small enough for hundreds of replays, large enough for
+#: multi-block weak-cell maps and off-edge hammering.
+DEFAULT_GEOMETRY = DramGeometry(banks=1, rows=256, row_bytes=128)
+
+#: Vulnerability profiles the suite cycles through: a mid-density
+#: distance-2-free module, a distance-2-heavy one, an aggressor-
+#: sensitive-saturated one, and an invulnerable control.
+DEFAULT_PROFILES: Tuple[VulnerabilityProfile, ...] = (
+    VulnerabilityProfile(
+        weak_cell_density=0.05, hc_first_median=4_000.0,
+        hc_first_min=800.0, hc_first_sigma=0.5, distance2_weight=0.0),
+    VulnerabilityProfile(
+        weak_cell_density=0.08, hc_first_median=3_000.0,
+        hc_first_min=500.0, hc_first_sigma=0.6, distance2_weight=0.25),
+    VulnerabilityProfile(
+        weak_cell_density=0.05, hc_first_median=5_000.0,
+        hc_first_min=1_000.0, aggressor_sensitive_fraction=0.9,
+        dpd_relief=2.0, distance2_weight=0.02),
+    VulnerabilityProfile(weak_cell_density=0.0),
+)
+
+_PATTERNS = ("solid1", "rowstripe", "checkered", "random")
+
+
+@dataclass
+class EngineObservation:
+    """Everything the equivalence contract compares, from one engine."""
+
+    engine: str
+    returned: int
+    flip_log: List[tuple]
+    stats: Dict[str, int]
+    touch_order: List[int]
+    pressure: Dict[int, float]
+    peak: Dict[int, float]
+    last_aggressor: Dict[int, Optional[int]]
+    open_row: Optional[int]
+    touched_rows: List[int]
+    row_data: Dict[int, np.ndarray]
+    digests: Dict[int, int] = field(default_factory=dict)
+
+
+def random_stream(
+    seed: int,
+    geometry: DramGeometry = DEFAULT_GEOMETRY,
+    n_commands: int = 60,
+    max_count: int = 6_000,
+) -> CommandStream:
+    """A seeded random command stream biased toward hammering shapes."""
+    rng = derive_rng(seed, "diffstream")
+    rows = geometry.rows
+    stream = CommandStream()
+    time = 0.0
+    # A few anchor victims so double-sided pressure actually accumulates
+    # on the same rows across the stream.
+    victims = rng.integers(2, rows - 2, size=4)
+    for _ in range(n_commands):
+        time += float(rng.integers(1, 50))
+        kind = rng.random()
+        if kind < 0.45:
+            # Double-sided burst on an anchor victim.
+            victim = int(victims[rng.integers(len(victims))])
+            count = int(rng.integers(1, max_count))
+            stream.act(victim - 1, count, time)
+            stream.act(victim + 1, count, time)
+        elif kind < 0.62:
+            # Single aggressor, possibly at the device edge.
+            row = int(rng.integers(0, rows))
+            stream.act(row, int(rng.integers(1, max_count)), time)
+        elif kind < 0.70:
+            stream.pre(time)
+        elif kind < 0.78:
+            stream.ref_row(int(rng.integers(0, rows)), time)
+        elif kind < 0.84:
+            stream.ref_all(time)
+        elif kind < 0.90:
+            stream.settle(time)
+        elif kind < 0.96:
+            bits = rng.integers(0, 2, size=geometry.row_bits).astype(np.uint8)
+            stream.write(int(rng.integers(0, rows)), bits, time)
+        else:
+            stream.read(int(rng.integers(0, rows)), time)
+    stream.settle(time + 1.0)
+    return stream
+
+
+def observe(bank: DramBank, returned: int) -> EngineObservation:
+    """Snapshot one bank into the comparable observation form."""
+    touch_order = list(bank._peak)
+    stats = bank.stats
+    return EngineObservation(
+        engine=bank.engine,
+        returned=returned,
+        flip_log=list(stats.flip_log),
+        stats={
+            "activations": stats.activations,
+            "refreshes": stats.refreshes,
+            "reads": stats.reads,
+            "writes": stats.writes,
+            "flips_materialized": stats.flips_materialized,
+            "flips_dropped": stats.flips_dropped,
+        },
+        touch_order=touch_order,
+        pressure={row: bank._pressure.get(row, 0.0) for row in touch_order},
+        peak={row: bank._peak.get(row, 0.0) for row in touch_order},
+        last_aggressor={row: bank._last_aggressor.get(row)
+                        for row in touch_order},
+        open_row=bank.open_row,
+        touched_rows=bank.touched_rows(),
+        row_data={row: bank.row_bits(row).copy() for row in bank.touched_rows()},
+        digests=dict(bank.__dict__.get("_sanit_digest") or {}),
+    )
+
+
+def replay_stream(
+    stream: CommandStream,
+    engine: str,
+    geometry: DramGeometry = DEFAULT_GEOMETRY,
+    profile: VulnerabilityProfile = DEFAULT_PROFILES[0],
+    seed: int = 0,
+    pattern: str = "solid1",
+) -> EngineObservation:
+    """Run ``stream`` on a fresh bank of the given engine and observe it."""
+    model = DisturbanceModel(geometry, profile, seed)
+    bank = DramBank(geometry, model, 0, default_pattern=pattern, engine=engine)
+    returned = bank.execute(stream)
+    return observe(bank, returned)
+
+
+def diff_observations(
+    reference: EngineObservation,
+    candidate: EngineObservation,
+    float_rtol: float = 1e-9,
+    float_atol: float = 1e-6,
+) -> List[str]:
+    """Compare two observations; return human-readable mismatches."""
+    problems: List[str] = []
+
+    def exact(name: str, a, b) -> None:
+        if a != b:
+            problems.append(f"{name}: reference={a!r} vs candidate={b!r}")
+
+    exact("returned flips", reference.returned, candidate.returned)
+    exact("stats", reference.stats, candidate.stats)
+    exact("open_row", reference.open_row, candidate.open_row)
+    exact("touch_order", reference.touch_order, candidate.touch_order)
+    exact("touched_rows", reference.touched_rows, candidate.touched_rows)
+    exact("last_aggressor", reference.last_aggressor, candidate.last_aggressor)
+    exact("shadow digests", reference.digests, candidate.digests)
+    if reference.flip_log != candidate.flip_log:
+        n_ref, n_can = len(reference.flip_log), len(candidate.flip_log)
+        detail = f"{n_ref} vs {n_can} entries"
+        for i, (a, b) in enumerate(zip(reference.flip_log, candidate.flip_log)):
+            if a != b:
+                detail += f"; first divergence at {i}: {a} vs {b}"
+                break
+        problems.append(f"flip_log: {detail}")
+    if sorted(reference.row_data) != sorted(candidate.row_data):
+        problems.append(
+            f"row_data keys: {sorted(reference.row_data)} vs "
+            f"{sorted(candidate.row_data)}")
+    else:
+        for row, bits in reference.row_data.items():
+            if not np.array_equal(bits, candidate.row_data[row]):
+                diff = int(np.count_nonzero(bits != candidate.row_data[row]))
+                problems.append(f"row_data[{row}]: {diff} differing bits")
+    for name, ref_map, can_map in (
+        ("pressure", reference.pressure, candidate.pressure),
+        ("peak", reference.peak, candidate.peak),
+    ):
+        for row, value in ref_map.items():
+            other = can_map.get(row)
+            if other is None or not np.isclose(
+                    value, other, rtol=float_rtol, atol=float_atol):
+                problems.append(
+                    f"{name}[{row}]: reference={value!r} vs candidate={other!r}")
+    return problems
+
+
+def run_differential(
+    seed: int,
+    geometry: DramGeometry = DEFAULT_GEOMETRY,
+    profile: Optional[VulnerabilityProfile] = None,
+    pattern: Optional[str] = None,
+    n_commands: int = 60,
+) -> Dict[str, object]:
+    """One oracle round: random stream, both engines, full comparison.
+
+    Profile and pattern default to a seed-derived pick from the
+    built-in pools so a plain seed sweep covers the matrix.
+    """
+    if profile is None:
+        profile = DEFAULT_PROFILES[seed % len(DEFAULT_PROFILES)]
+    if pattern is None:
+        pattern = _PATTERNS[(seed // len(DEFAULT_PROFILES)) % len(_PATTERNS)]
+    stream = random_stream(seed, geometry, n_commands=n_commands)
+    reference = replay_stream(stream, "reference", geometry, profile, seed, pattern)
+    candidate = replay_stream(stream, "columnar", geometry, profile, seed, pattern)
+    problems = diff_observations(reference, candidate)
+    return {
+        "seed": seed,
+        "pattern": pattern,
+        "profile_density": profile.weak_cell_density,
+        "commands": len(stream),
+        "flips": reference.stats["flips_materialized"],
+        "ok": not problems,
+        "mismatches": problems,
+    }

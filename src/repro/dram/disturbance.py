@@ -21,8 +21,14 @@ study the paper builds on:
   victim accumulates, matching the observed ~2x effectiveness gain.
 
 Weak-cell placement is a deterministic function of (module seed, bank,
-row), so a module's error map is stable across runs and experiments —
-the paper's "consistently predictable bit locations" property.
+block), so a module's error map is stable across runs and experiments —
+the paper's "consistently predictable bit locations" property.  Cells
+are generated one :data:`BLOCK_ROWS`-row **block** at a time
+(:meth:`DisturbanceModel.weak_cells_block`): one derived generator
+serves vectorized draws for the whole block, amortizing the dominant
+per-``Generator`` construction cost ~100x versus per-row derivation.
+Per-row :meth:`~DisturbanceModel.weak_cells` views are zero-copy slices
+of the block's CSR arrays.
 """
 
 from __future__ import annotations
@@ -36,8 +42,12 @@ from repro.dram.geometry import DramGeometry
 from repro.utils.rng import derive_rng
 from repro.utils.validation import check_positive, check_probability
 
-#: Weak-cell cache entries kept per model before eviction.
+#: Weak-cell cache entries (blocks) kept per model before eviction.
 _CACHE_LIMIT = 4096
+
+#: Rows generated per weak-cell block.  Part of the deterministic map:
+#: changing it changes which rng serves which row.
+BLOCK_ROWS = 128
 
 
 @dataclass(frozen=True)
@@ -118,6 +128,64 @@ _EMPTY = WeakCellSet(
 )
 
 
+def _sorted_unique(a: np.ndarray) -> np.ndarray:
+    """Sorted distinct values of ``a`` (sort+mask: much faster than the
+    hash-based ``np.unique`` on the small arrays this module handles)."""
+    if len(a) == 0:
+        return a
+    a = np.sort(a)
+    return a[np.concatenate(([True], a[1:] != a[:-1]))]
+
+
+@dataclass(frozen=True)
+class WeakCellBlock:
+    """Weak cells of :data:`BLOCK_ROWS` consecutive rows, CSR-packed.
+
+    ``offsets[i]:offsets[i+1]`` slices the cell arrays for physical row
+    ``start + i``.  ``min_hc[i]`` is the row's smallest threshold
+    (``inf`` for rows with no weak cells) — the vectorized scan paths
+    use it to discard rows that cannot flip without touching data.
+    """
+
+    start: int
+    n_rows: int
+    offsets: np.ndarray
+    bits: np.ndarray
+    hc_first: np.ndarray
+    anti: np.ndarray
+    aggressor_sensitive: np.ndarray
+    min_hc: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.bits)
+
+    def row(self, row: int) -> WeakCellSet:
+        """Zero-copy :class:`WeakCellSet` view of one row in the block."""
+        i = row - self.start
+        lo, hi = int(self.offsets[i]), int(self.offsets[i + 1])
+        if lo == hi:
+            return _EMPTY
+        return WeakCellSet(
+            bits=self.bits[lo:hi],
+            hc_first=self.hc_first[lo:hi],
+            anti=self.anti[lo:hi],
+            aggressor_sensitive=self.aggressor_sensitive[lo:hi],
+        )
+
+
+def _empty_block(start: int, n_rows: int) -> WeakCellBlock:
+    return WeakCellBlock(
+        start=start,
+        n_rows=n_rows,
+        offsets=np.zeros(n_rows + 1, dtype=np.int64),
+        bits=_EMPTY.bits,
+        hc_first=_EMPTY.hc_first,
+        anti=_EMPTY.anti,
+        aggressor_sensitive=_EMPTY.aggressor_sensitive,
+        min_hc=np.full(n_rows, np.inf),
+    )
+
+
 class DisturbanceModel:
     """Deterministic weak-cell map and flip evaluation for one module.
 
@@ -125,49 +193,139 @@ class DisturbanceModel:
         geometry: module organization.
         profile: vulnerability parameters.
         seed: module seed; weak cells are a pure function of
-            ``(seed, bank, row)``.
+            ``(seed, bank, block)``.
     """
 
     def __init__(self, geometry: DramGeometry, profile: VulnerabilityProfile, seed: int = 0) -> None:
         self.geometry = geometry
         self.profile = profile
         self.seed = seed
-        self._cache: Dict[Tuple[int, int], WeakCellSet] = {}
+        self.cache_limit = _CACHE_LIMIT
+        self._cache: Dict[Tuple[int, int], WeakCellBlock] = {}
 
-    def weak_cells(self, bank: int, row: int) -> WeakCellSet:
-        """Return the weak cells of physical ``(bank, row)`` (cached)."""
+    # ------------------------------------------------------------------
+    # Weak-cell map (block-generated, row-sliced)
+    # ------------------------------------------------------------------
+    def weak_cells_block(self, bank: int, row: int) -> WeakCellBlock:
+        """The weak-cell block containing physical ``(bank, row)`` (cached).
+
+        Entries evict oldest-inserted-first (dict insertion order) at
+        :attr:`cache_limit`, so a long sweep thrashes at most one block
+        instead of regenerating the whole working set.
+        """
         self.geometry.check_bank(bank)
         self.geometry.check_row(row)
-        key = (bank, row)
+        start = row - row % BLOCK_ROWS
+        key = (bank, start)
         cached = self._cache.get(key)
         if cached is not None:
             return cached
-        cells = self._generate(bank, row)
-        if len(self._cache) >= _CACHE_LIMIT:
-            self._cache.clear()
-        self._cache[key] = cells
-        return cells
+        block = self._generate_block(bank, start)
+        while self._cache and len(self._cache) >= self.cache_limit:
+            self._cache.pop(next(iter(self._cache)))
+        self._cache[key] = block
+        return block
 
-    def _generate(self, bank: int, row: int) -> WeakCellSet:
+    def weak_cells(self, bank: int, row: int) -> WeakCellSet:
+        """Return the weak cells of physical ``(bank, row)``."""
+        return self.weak_cells_block(bank, row).row(row)
+
+    def _generate_block(self, bank: int, start: int) -> WeakCellBlock:
         profile = self.profile
+        n_rows = min(BLOCK_ROWS, self.geometry.rows - start)
         if not profile.vulnerable:
-            return _EMPTY
-        rng = derive_rng(self.seed, "weak", bank, row)
+            return _empty_block(start, n_rows)
+        rng = derive_rng(self.seed, "weakblock", bank, start)
         row_bits = self.geometry.row_bits
-        count = rng.binomial(row_bits, profile.weak_cell_density)
-        if count == 0:
-            return _EMPTY
-        bits = np.sort(rng.choice(row_bits, size=count, replace=False))
+        counts = rng.binomial(row_bits, profile.weak_cell_density, size=n_rows)
+        total = int(counts.sum())
+        if total == 0:
+            return _empty_block(start, n_rows)
+        # Draw positions with replacement for the whole block, then
+        # dedupe per row in one global pass (row*row_bits+bit keys sort
+        # grouped-by-row, ascending-within-row — exactly the CSR order).
+        # Rows that lost positions to duplicates redraw their deficit;
+        # the loop is deterministic and terminates almost immediately at
+        # realistic densities.
+        row_of = np.repeat(np.arange(n_rows, dtype=np.int64), counts)
+        keys = _sorted_unique(row_of * row_bits + rng.integers(0, row_bits, size=total))
+        have = np.bincount(keys // row_bits, minlength=n_rows)
+        while True:
+            deficit = counts - have
+            short = np.nonzero(deficit > 0)[0]
+            if len(short) == 0:
+                break
+            extra_rows = np.repeat(short, deficit[short])
+            extra = extra_rows * row_bits + rng.integers(
+                0, row_bits, size=len(extra_rows))
+            keys = _sorted_unique(np.concatenate([keys, extra]))
+            have = np.bincount(keys // row_bits, minlength=n_rows)
+        bits = keys % row_bits
+        offsets = np.zeros(n_rows + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
         mu = np.log(profile.hc_first_median)
-        hc = np.exp(rng.normal(mu, profile.hc_first_sigma, size=count))
+        hc = np.exp(rng.normal(mu, profile.hc_first_sigma, size=total))
         hc = np.maximum(hc, profile.hc_first_min)
-        anti = rng.random(count) < profile.anti_cell_fraction
-        sensitive = rng.random(count) < profile.aggressor_sensitive_fraction
-        return WeakCellSet(bits=bits, hc_first=hc, anti=anti, aggressor_sensitive=sensitive)
+        anti = rng.random(total) < profile.anti_cell_fraction
+        sensitive = rng.random(total) < profile.aggressor_sensitive_fraction
+        min_hc = np.full(n_rows, np.inf)
+        np.minimum.at(min_hc, keys // row_bits, hc)
+        return WeakCellBlock(
+            start=start,
+            n_rows=n_rows,
+            offsets=offsets,
+            bits=bits,
+            hc_first=hc,
+            anti=anti,
+            aggressor_sensitive=sensitive,
+            min_hc=min_hc,
+        )
 
+    # ------------------------------------------------------------------
+    # Flip evaluation
+    # ------------------------------------------------------------------
     def charged_values(self, cells: WeakCellSet) -> np.ndarray:
         """The stored value that makes each weak cell flippable."""
         return (~cells.anti).astype(np.uint8)
+
+    def flip_mask_batch(
+        self,
+        cells,
+        pressures,
+        victim_vals: np.ndarray,
+        agg_vals: Optional[np.ndarray] = None,
+        agg_valid: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Vectorized flip decision over pre-gathered cell values.
+
+        This is the one implementation of the flip rule; the per-row
+        :meth:`flip_mask` and the columnar engine's batched
+        materialization both delegate here.
+
+        Args:
+            cells: a :class:`WeakCellSet` (or any object with
+                ``hc_first``/``anti``/``aggressor_sensitive`` arrays) —
+                possibly a concatenation spanning many rows.
+            pressures: scalar or per-cell peak pressure.
+            victim_vals: stored value of each cell (0/1).
+            agg_vals: dominant-aggressor value at each cell's bit
+                position; ``None`` means worst-case (full) coupling.
+            agg_valid: per-cell mask of where ``agg_vals`` is
+                meaningful (cells whose victim row has no recorded
+                aggressor get worst-case coupling, like ``None``).
+
+        Returns:
+            Boolean mask over the cells, True where the cell flips.
+        """
+        thresholds = cells.hc_first
+        if agg_vals is not None:
+            relieved = cells.aggressor_sensitive & (agg_vals == victim_vals)
+            if agg_valid is not None:
+                relieved &= agg_valid
+            thresholds = np.where(relieved, thresholds * self.profile.dpd_relief, thresholds)
+        crossed = pressures >= thresholds
+        flippable = victim_vals == (~cells.anti).astype(np.uint8)
+        return crossed & flippable
 
     def flip_mask(
         self,
@@ -190,16 +348,10 @@ class DisturbanceModel:
         cells = self.weak_cells(bank, row)
         if len(cells) == 0 or pressure <= 0:
             return np.empty(0, dtype=np.int64)
-        thresholds = cells.hc_first
-        if aggressor_bits is not None:
-            victim_vals = data_bits[cells.bits]
-            agg_vals = aggressor_bits[cells.bits]
-            relieved = cells.aggressor_sensitive & (agg_vals == victim_vals)
-            thresholds = np.where(relieved, thresholds * self.profile.dpd_relief, thresholds)
-        crossed = pressure >= thresholds
-        charged = self.charged_values(cells)
-        flippable = data_bits[cells.bits] == charged
-        return cells.bits[crossed & flippable]
+        victim_vals = data_bits[cells.bits]
+        agg_vals = aggressor_bits[cells.bits] if aggressor_bits is not None else None
+        mask = self.flip_mask_batch(cells, pressure, victim_vals, agg_vals)
+        return cells.bits[mask]
 
     def apply_flips(
         self,
@@ -226,19 +378,41 @@ class DisturbanceModel:
         """Vectorized campaign helper: total flips across ``rows``.
 
         ``data_bits_for_row`` maps a physical row index to its bit array;
-        used by the field-study path that skips cycle simulation.
+        used by the field-study path that skips cycle simulation.  Rows
+        whose smallest threshold exceeds ``pressure`` are discarded from
+        the blocks' ``min_hc`` arrays without gathering any data, so the
+        cost scales with rows that *can* flip, not rows scanned.
         """
+        if pressure <= 0 or not self.profile.vulnerable or len(rows) == 0:
+            return 0
         total = 0
-        for row in rows:
-            agg = aggressor_bits_for_row(row) if aggressor_bits_for_row else None
-            total += len(self.flip_mask(bank, row, pressure, data_bits_for_row(row), agg))
+        for block, local in self._blocks_overlapping(bank, rows):
+            candidates = local[block.min_hc[local] <= pressure]
+            for i in candidates:
+                row = block.start + int(i)
+                agg = aggressor_bits_for_row(row) if aggressor_bits_for_row else None
+                total += len(self.flip_mask(bank, row, pressure,
+                                            data_bits_for_row(row), agg))
         return total
 
     def min_threshold(self, bank: int, rows: range) -> float:
         """Smallest ``hc_first`` across ``rows`` (inf if no weak cells)."""
         best = float("inf")
-        for row in rows:
-            cells = self.weak_cells(bank, row)
-            if len(cells):
-                best = min(best, float(cells.hc_first.min()))
+        if not self.profile.vulnerable or len(rows) == 0:
+            return best
+        for block, local in self._blocks_overlapping(bank, rows):
+            window = block.min_hc[local]
+            if len(window):
+                best = min(best, float(window.min()))
         return best
+
+    def _blocks_overlapping(self, bank: int, rows: range):
+        """Yield ``(block, local_indices)`` pairs covering ``rows``."""
+        row_arr = np.arange(rows.start, rows.stop, rows.step, dtype=np.int64)
+        row_arr = row_arr[(row_arr >= 0) & (row_arr < self.geometry.rows)]
+        if len(row_arr) == 0:
+            return
+        for start in _sorted_unique(row_arr - row_arr % BLOCK_ROWS):
+            block = self.weak_cells_block(bank, int(start))
+            mask = (row_arr >= start) & (row_arr < start + block.n_rows)
+            yield block, row_arr[mask] - start

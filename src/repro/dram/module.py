@@ -35,6 +35,8 @@ class DramModule:
         remap_scheme: internal row remapping scheme.
         default_pattern: background data fill.
         seed: experiment root seed.
+        engine: DRAM engine for the banks (``"columnar"``/``"reference"``;
+            default follows ``REPRO_DRAM_ENGINE``).
     """
 
     def __init__(
@@ -48,6 +50,7 @@ class DramModule:
         remap_scheme: str = "identity",
         default_pattern: str = "solid1",
         seed: int = 0,
+        engine: Optional[str] = None,
     ) -> None:
         if profile is None:
             profile = profile_for(manufacturer, manufacture_date)
@@ -61,8 +64,14 @@ class DramModule:
         self.remapper = RowRemapper(geometry.rows, remap_scheme)
         self.model = DisturbanceModel(geometry, profile, self.seed)
         self.banks: List[DramBank] = [
-            DramBank(geometry, self.model, i, default_pattern) for i in range(geometry.banks)
+            DramBank(geometry, self.model, i, default_pattern, engine=engine)
+            for i in range(geometry.banks)
         ]
+
+    @property
+    def engine(self) -> str:
+        """The DRAM engine the module's banks run on."""
+        return self.banks[0].engine
 
     @classmethod
     def from_vintage(
@@ -118,6 +127,20 @@ class DramModule:
     def refresh_physical_row(self, bank: int, physical_row: int, time: float = 0.0) -> np.ndarray:
         """Refresh one physical row (in-DRAM mitigations know true adjacency)."""
         return self.bank(bank).refresh_row(physical_row, time)
+
+    def refresh_physical_rows(self, bank: int, physical_rows, time: float = 0.0) -> int:
+        """Refresh a batch of physical rows in one bank; return flip count.
+
+        The auto-refresh engine issues its round-robin chunks through
+        this path so the columnar engine can materialize the whole
+        chunk in one batched pass.
+        """
+        return self.bank(bank).refresh_rows(physical_rows, time)
+
+    def execute(self, bank: int, stream) -> int:
+        """Run a :class:`~repro.dram.stream.CommandStream` on one bank
+        (physical row space); return the flips it materialized."""
+        return self.bank(bank).execute(stream)
 
     # ------------------------------------------------------------------
     # Summary helpers

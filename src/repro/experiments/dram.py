@@ -8,8 +8,19 @@ from typing import Dict, List, Sequence
 
 from repro.attacks.invariants import check_read_isolation, check_write_isolation
 from repro.core.scenarios import full_scale_scenario
+from repro.dram.stream import CommandStream
 from repro.experiments.registry import experiment
 from repro.fieldstudy.campaign import run_campaign
+
+
+def _double_sided_sweep(victims: int, pressure: int,
+                        first_victim: int = 64, stride: int = 3) -> CommandStream:
+    """The bracketed double-sided hammer pattern as one command stream."""
+    stream = CommandStream()
+    for i in range(victims):
+        victim = first_victim + stride * i
+        stream.act(victim - 1, pressure).act(victim + 1, pressure)
+    return stream
 
 
 # ----------------------------------------------------------------------
@@ -40,11 +51,7 @@ def rowhammer_basic(seed: int = 0, victims: int = 64, pressure: int = 0) -> Dict
     module = scenario.make_module(serial="rowhammer-basic", seed=seed)
     bank = module.bank(0)
     pressure = pressure or scenario.attack_budget // 2
-    for i in range(victims):
-        victim = 64 + 3 * i
-        bank.bulk_activate(victim - 1, pressure)
-        bank.bulk_activate(victim + 1, pressure)
-    bank.refresh_all()
+    bank.execute(_double_sided_sweep(victims, pressure).ref_all())
     return {
         "activations": bank.stats.activations,
         "refreshes": bank.stats.refreshes,
@@ -134,13 +141,8 @@ def pattern_dependence_study(
     out = []
     for pattern in patterns:
         module = scenario.make_module(serial="dpd", seed=seed, default_pattern=pattern)
-        flips = 0
         bank = module.bank(0)
-        for i in range(victims):
-            victim = 64 + 3 * i
-            bank.bulk_activate(victim - 1, pressure)
-            bank.bulk_activate(victim + 1, pressure)
-        bank.settle()
+        bank.execute(_double_sided_sweep(victims, pressure).settle())
         flips = bank.stats.flips_materialized
         out.append({"pattern": pattern, "flips": flips})
     return out

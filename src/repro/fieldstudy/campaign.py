@@ -26,9 +26,9 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.attacks.hammer import double_sided_device
 from repro.dram.geometry import DramGeometry
 from repro.dram.module import DramModule
+from repro.dram.stream import CommandStream
 from repro.fieldstudy.population import ModuleSpec, build_population, instantiate
 from repro.utils.rng import derive_rng
 from repro.utils.units import GIGA
@@ -150,14 +150,28 @@ def scan_module_rows(
 
     Exercises the exact bank accounting; each victim receives
     ``budget`` pressure (both neighbors hammered ``budget / 2`` times).
+    Each victim runs as its own command stream because attribution
+    needs per-victim flip-log boundaries — a single stream would let a
+    later victim's aggressors disturb an earlier victim's neighborhood
+    after its count was taken.
     """
     if budget is None:
         budget = victim_pressure(module)
     per_aggressor = budget // 2
+    rows = module.geometry.rows
+    dev = module.bank(bank)
     errors = 0
     for victim in victims:
-        result = double_sided_device(module, bank, victim, per_aggressor)
-        errors += sum(1 for row, _bit in result.flips if row == victim)
+        module.geometry.check_row(victim)
+        stream = CommandStream()
+        for aggressor in (victim - 1, victim + 1):
+            if 0 <= aggressor < rows:
+                stream.act(aggressor, per_aggressor)
+        stream.settle()
+        before = len(dev.stats.flip_log)
+        dev.execute(stream)
+        errors += sum(1 for row, _bit, _t in dev.stats.flip_log[before:]
+                      if row == victim)
     cells = len(victims) * module.geometry.row_bits
     return _result(module, errors, cells, budget)
 

@@ -14,6 +14,7 @@ from typing import Dict, Iterable, List, Sequence
 import numpy as np
 
 from repro.dram.module import DramModule
+from repro.dram.stream import CommandStream
 from repro.ecc.accounting import EccEvaluation, evaluate_code_against_histogram, flips_per_word
 from repro.ecc.base import EccCode
 from repro.utils.rng import derive_rng
@@ -29,13 +30,15 @@ def hammer_flip_positions(
 
     Each ``(low, high)`` pair brackets a victim at ``low + 1``; both
     aggressors receive ``pressure`` activations via the exact bulk path
-    and the bank is then settled.
+    and the bank is then settled.  The whole session is one command
+    stream, so the columnar engine executes it batched.
     """
-    dev_bank = module.bank(bank)
+    stream = CommandStream()
     for low, high in aggressor_pairs:
-        dev_bank.bulk_activate(low, int(pressure), 0.0)
-        dev_bank.bulk_activate(high, int(pressure), 0.0)
-    dev_bank.settle()
+        stream.act(low, int(pressure)).act(high, int(pressure))
+    stream.settle()
+    dev_bank = module.bank(bank)
+    dev_bank.execute(stream)
     return [bit for _row, bit, _t in dev_bank.stats.flip_log]
 
 
@@ -47,18 +50,24 @@ def flip_histogram_from_hammer(
     start_row: int = 64,
     word_bits: int = 64,
 ) -> Dict[int, int]:
-    """Hammer ``victim_count`` disjoint victims; histogram flips per word."""
-    pairs = [(start_row + 3 * i, start_row + 3 * i + 2) for i in range(victim_count)]
+    """Hammer ``victim_count`` disjoint victims; histogram flips per word.
+
+    One stream carries every pair with its per-pair settle (the settle
+    barriers keep the per-victim materialization points identical to
+    the old per-pair loop); flips are attributed afterwards by their
+    globally unique ``row * row_bits + bit`` key, which offsets each
+    victim's bits so words of different rows don't merge.
+    """
+    stream = CommandStream()
+    for i in range(victim_count):
+        low = start_row + 3 * i
+        stream.act(low, int(pressure)).act(low + 2, int(pressure)).settle()
     dev_bank = module.bank(bank)
-    all_bits: List[int] = []
-    for low, high in pairs:
-        before = len(dev_bank.stats.flip_log)
-        dev_bank.bulk_activate(low, int(pressure), 0.0)
-        dev_bank.bulk_activate(high, int(pressure), 0.0)
-        dev_bank.settle()
-        # Offset each victim's bits so words of different rows don't merge.
-        for row, bit, _t in dev_bank.stats.flip_log[before:]:
-            all_bits.append(row * module.geometry.row_bits + bit)
+    before = len(dev_bank.stats.flip_log)
+    dev_bank.execute(stream)
+    row_bits = module.geometry.row_bits
+    all_bits = [row * row_bits + bit
+                for row, bit, _t in dev_bank.stats.flip_log[before:]]
     return flips_per_word(all_bits, word_bits)
 
 

@@ -59,6 +59,14 @@ def _check_dram_bank(bank: Any, full: bool, ctx: Dict[str, Any]) -> None:
         if not pressure >= 0.0 or not peak >= 0.0:
             violation("dram.bank", "negative disturbance charge",
                       f"row={row}, pressure={pressure}, peak={peak}")
+    state = getattr(bank, "_cs", None)  # columnar engine only
+    if state is not None:
+        if row is not None and row in state.store and row in state.flips:
+            violation(
+                "dram.bank", "columnar storage incoherent",
+                f"row={row} holds both explicit data and pending flips")
+        if full and ctx.get("force"):
+            _scan_columnar_state(state)
     if not full:
         return
     digests = bank.__dict__.get("_sanit_digest")
@@ -79,6 +87,39 @@ def _check_dram_bank(bank: Any, full: bool, ctx: Dict[str, Any]) -> None:
                 f"row={r}: data changed outside a modeled write/flip "
                 f"(digest {actual:#010x} != shadow {expected:#010x})",
             )
+
+
+def _scan_columnar_state(state: Any) -> None:
+    """Whole-structure scan of the columnar engine's sparse storage
+    (forced full checks only — O(touched rows))."""
+    overlap = state.store.keys() & state.flips.keys()
+    if overlap:
+        violation("dram.bank", "columnar storage incoherent",
+                  f"rows {sorted(overlap)[:8]} hold both explicit data "
+                  f"and pending flips")
+    mask = state._instantiated
+    for label, keys in (("store", state.store), ("flips", state.flips)):
+        for r in keys:
+            if not 0 <= r < state.rows:
+                violation("dram.bank", "columnar storage incoherent",
+                          f"{label} key {r} outside [0, {state.rows})")
+            elif mask is None or not mask[r]:
+                violation(
+                    "dram.bank", "columnar storage incoherent",
+                    f"{label} row {r} not marked instantiated")
+    touched = state._touched
+    n_touched = 0 if touched is None else int(touched.sum())
+    if n_touched != len(state.touch_order):
+        violation(
+            "dram.bank", "columnar touch accounting incoherent",
+            f"{n_touched} touched rows vs {len(state.touch_order)} "
+            f"touch-order entries")
+    for flips in state.flips.values():
+        if len(flips) and (np.any(flips[1:] <= flips[:-1])
+                           or flips[0] < 0):
+            violation("dram.bank", "columnar flip set corrupt",
+                      "pending-flip bits not sorted unique non-negative")
+            break
 
 
 def _note_dram_bank(bank: Any, ctx: Dict[str, Any]) -> None:

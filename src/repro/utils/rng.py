@@ -13,6 +13,8 @@ import hashlib
 from typing import Iterable, List, Optional
 
 import numpy as np
+import numpy.random  # noqa: F401 — eager: keep the lazy subpackage
+# import out of timed simulation regions (first derive_rng call)
 
 _SEED_BYTES = 8
 

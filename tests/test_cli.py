@@ -336,7 +336,7 @@ class TestProfileCommand:
         out = capsys.readouterr().out
         assert "# rowhammer_basic · seed 1" in out
         assert "job{name=rowhammer_basic}" in out
-        assert "dram.bulk_activate" in out
+        assert "dram.execute" in out
         from repro.telemetry import runtime as telem
 
         assert not telem.spans_on  # the command turned profiling back off

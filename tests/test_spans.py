@@ -205,7 +205,7 @@ class TestJobProfiles:
         assert root[0] == 1
         assert profile.total_s() == pytest.approx(result.duration_s, rel=0.05)
         # The instrumented hot path shows up under the job root.
-        assert profile.get("job{name=rowhammer_basic}", "dram.bulk_activate")[0] > 0
+        assert profile.get("job{name=rowhammer_basic}", "dram.execute")[0] > 0
 
     def test_profile_snapshot_is_json_safe(self):
         result = execute_job("rowhammer_basic", params=self.CHEAP, seed=0,
