@@ -14,6 +14,7 @@ import numpy as np
 from conftest import run_once
 from repro.experiments import execute_job
 from repro.telemetry import MetricsRegistry
+from repro.telemetry import events as stream_events
 from repro.telemetry import runtime as telem
 
 #: One sensed row's worth of work per iteration — the granularity at
@@ -34,6 +35,8 @@ def _hot_loop(iters: int, guarded: bool) -> int:
                 telem.counter("bench_ops_total").inc()
             if telem.trace_on:
                 telem.trace("bench_op")
+            if stream_events.stream_on:
+                stream_events.sink().tick()
     return total
 
 

@@ -29,6 +29,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
 
 from repro.experiments.runner import JobTimeout, call_with_deadline, execute_job
+from repro.telemetry.ids import environment_fingerprint
 from repro.telemetry.ledger import git_sha
 
 __all__ = [
@@ -37,6 +38,7 @@ __all__ = [
     "SUITE",
     "bench_names",
     "compare_reports",
+    "fingerprint_mismatches",
     "load_report",
     "run_bench",
     "run_suite",
@@ -217,6 +219,7 @@ def run_suite(names: Optional[Sequence[str]] = None,
         "host": socket.gethostname(),
         "repro_version": repro.__version__,
         "git_sha": git_sha(),
+        "fingerprint": environment_fingerprint(),
         "quick": quick,
         "benches": [run_bench(spec, quick=quick, timeout_s=timeout_s)
                     for spec in selected],
@@ -248,6 +251,25 @@ def load_report(path: Union[str, Path]) -> Dict[str, Any]:
     return report
 
 
+def fingerprint_mismatches(current: Mapping[str, Any],
+                           baseline: Mapping[str, Any]) -> List[Dict[str, Any]]:
+    """Environment-fingerprint fields that differ between two reports.
+
+    Wall-time deltas across different hosts, interpreters, or DRAM
+    engines measure the environment, not the code — the comparison
+    must say so instead of silently gating on them.  Fields missing
+    from one side (pre-fingerprint baselines) are never mismatches.
+    """
+    fp_cur = current.get("fingerprint") or {}
+    fp_base = baseline.get("fingerprint") or {}
+    out: List[Dict[str, Any]] = []
+    for key in sorted(set(fp_cur) | set(fp_base)):
+        a, b = fp_base.get(key), fp_cur.get(key)
+        if a is not None and b is not None and a != b:
+            out.append({"field": key, "baseline": a, "current": b})
+    return out
+
+
 def compare_reports(current: Mapping[str, Any], baseline: Mapping[str, Any],
                     threshold_pct: float = DEFAULT_REGRESS_PCT) -> Dict[str, Any]:
     """Diff two reports bench-by-bench on wall time.
@@ -255,6 +277,9 @@ def compare_reports(current: Mapping[str, Any], baseline: Mapping[str, Any],
     A bench *regresses* when its wall time grew more than
     ``threshold_pct`` percent over the baseline.  Benches present on
     only one side are reported but never counted as regressions.
+    ``fingerprint_mismatches`` lists environment differences (host,
+    python/numpy, DRAM engine) that make the wall-time comparison
+    apples-to-oranges; callers should surface them as warnings.
     """
     base_by_name = {b["name"]: b for b in baseline.get("benches", ())}
     cur_by_name = {b["name"]: b for b in current.get("benches", ())}
@@ -285,5 +310,6 @@ def compare_reports(current: Mapping[str, Any], baseline: Mapping[str, Any],
         "threshold_pct": threshold_pct,
         "rows": rows,
         "regressions": regressions,
+        "fingerprint_mismatches": fingerprint_mismatches(current, baseline),
         "ok": not regressions,
     }

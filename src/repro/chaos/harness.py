@@ -25,11 +25,11 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro import chaos
 from repro.experiments import registry
-from repro.experiments.checkpoint import SweepCheckpoint
+from repro.experiments.checkpoint import SweepCheckpoint, job_key
 from repro.experiments.runner import ExperimentRunner, Job, derive_seed
 from repro.sanitizer import runtime as sanit
 from repro.sanitizer.bundle import ENV_CAPTURE, load_bundle, replay_bundle
-from repro.telemetry import RunLedger
+from repro.telemetry import RunLedger, job_id_from_key
 
 __all__ = [
     "PROBE_EXPERIMENT",
@@ -173,11 +173,15 @@ def scenario_kill(arena: _Arena, jobs: int, workers: int) -> ScenarioOutcome:
 
 
 def scenario_hang(arena: _Arena, jobs: int, workers: int) -> ScenarioOutcome:
-    """One hung job → structured timeout outcome, worker reclaimed."""
+    """One hung job → stale-heartbeat warning, *then* a structured
+    timeout outcome; worker reclaimed."""
     out = ScenarioOutcome("hang")
     victim = derive_seed(0, 2)
     arena.arm(f"hang:seed={victim}:secs={HANG_SECS:g}")
-    runner = _runner(arena, workers, timeout_s=SCENARIO_TIMEOUT_S)
+    # Streaming with a tight heartbeat: the hung job must be flagged
+    # stale well inside the 2 s deadline, not discovered by it.
+    runner = _runner(arena, workers, timeout_s=SCENARIO_TIMEOUT_S,
+                     stream=True, heartbeat_s=0.1, stale_after_s=0.5)
     results = runner.run(_jobs(jobs))
     timeouts = [r for r in results if r.outcome == "timeout"]
     out.expect_eq("all jobs return results", len(results), jobs)
@@ -193,6 +197,25 @@ def scenario_hang(arena: _Arena, jobs: int, workers: int) -> ScenarioOutcome:
     out.expect_eq("hung worker reclaimed (one rebuild)", runner.pool_rebuilds, 1)
     out.expect_eq("everything else ok",
                   sum(r.ok for r in results), jobs - 1)
+
+    hung_id = job_id_from_key(
+        job_key(registry.resolve(PROBE_EXPERIMENT), {}, victim))
+    progress = runner.progress
+    stale = [e for e in (progress.stale_events if progress else [])
+             if e["job_id"] == hung_id]
+    out.expect("stale heartbeat flagged for the hung job", bool(stale),
+               f"stale job_ids {[e['job_id'] for e in progress.stale_events]}"
+               if progress else "runner kept no progress")
+    hung_job = progress.jobs.get(hung_id) if progress else None
+    finished = hung_job.get("finished_mono") if hung_job else None
+    out.expect("stale warning strictly precedes the timeout outcome",
+               bool(stale) and finished is not None
+               and stale[0]["at_mono"] < finished,
+               f"stale at {stale[0]['at_mono'] if stale else None}, "
+               f"job finished at {finished}")
+    out.expect("runner_stale_heartbeats_total incremented",
+               _jobs_metric_total(runner, "runner_stale_heartbeats_total") >= 1,
+               f"got {_jobs_metric_total(runner, 'runner_stale_heartbeats_total')}")
     return out
 
 

@@ -33,6 +33,16 @@ and diffs the append-only run manifest every runner job feeds; and
 ``bench`` drives the bench-regression suite (``repro bench --compare
 BASELINE.json`` exits nonzero past the regression threshold).
 
+Live telemetry: ``run``/``sweep`` take ``--serve-metrics [PORT]``,
+which arms worker→parent metric streaming and serves a Prometheus
+``/metrics`` endpoint *while the batch runs* — live hardware counters
+folded from in-flight jobs plus sweep progress gauges (jobs by state,
+retries, ETA, per-worker heartbeat ages), all labeled with the sweep's
+``run_id``; ``sweep --live`` repaints a top(1)-style progress view on
+stderr from the same event stream.  ``ledger diff RUN_A RUN_B`` (two
+run-ID refs) joins the two runs' records on ``job_id`` instead of
+diffing single records positionally.
+
 Hardened execution: ``run``/``sweep`` take ``--timeout`` (per-job
 wall-clock deadline → structured ``timeout`` outcome) and ``--retries``
 (deterministic backoff for transient failures); ``sweep`` checkpoints
@@ -151,6 +161,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--retries", type=int, default=0, metavar="N",
                      help="retry budget for transient job failures "
                           "(default 0: strict determinism)")
+    _add_serve_metrics_arg(run)
     _add_sanitize_args(run)
 
     report = sub.add_parser("report", help="run several experiments, write a markdown report")
@@ -193,6 +204,10 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--resume", action="store_true",
                        help="restore completed jobs from the checkpoint "
                             "instead of re-running them")
+    sweep.add_argument("--live", action="store_true",
+                       help="repaint a live progress view (per-job state, "
+                            "worker heartbeat ages, top spans) on stderr")
+    _add_serve_metrics_arg(sweep)
     _add_sanitize_args(sweep)
 
     replay = sub.add_parser(
@@ -375,6 +390,31 @@ def _describe(name: str) -> int:
     return 0
 
 
+def _add_serve_metrics_arg(cmd: argparse.ArgumentParser) -> None:
+    from repro.telemetry.export import DEFAULT_EXPORT_PORT
+
+    cmd.add_argument("--serve-metrics", nargs="?", type=int, default=None,
+                     const=DEFAULT_EXPORT_PORT, metavar="PORT",
+                     help="serve live Prometheus /metrics on 127.0.0.1 "
+                          f"while the batch runs (default port "
+                          f"{DEFAULT_EXPORT_PORT}; 0 = ephemeral); arms "
+                          "worker metric streaming")
+
+
+def _serve_metrics(args, runner: ExperimentRunner):
+    """Start the live exporter when ``--serve-metrics`` was given;
+    returns the server (caller must ``stop()`` it) or ``None``."""
+    if getattr(args, "serve_metrics", None) is None:
+        return None
+    from repro.telemetry.export import MetricsHTTPServer
+
+    server = MetricsHTTPServer(runner.live_exposition,
+                               port=args.serve_metrics).start()
+    print(f"serving metrics at {server.url}/metrics (run {runner.run_id})",
+          file=sys.stderr)
+    return server
+
+
 def _add_sanitize_args(cmd: argparse.ArgumentParser) -> None:
     cmd.add_argument("--sanitize", choices=("off", "cheap", "full"),
                      default=None,
@@ -437,14 +477,20 @@ def _print_batch_errors(summary: dict) -> None:
 
 def _run(args) -> int:
     _apply_sanitize(args)
+    stream = True if args.serve_metrics is not None else None
     runner = _make_runner(args.parallel, args.cache_dir, collect_metrics=args.metrics,
-                          timeout_s=args.timeout, retries=args.retries)
+                          timeout_s=args.timeout, retries=args.retries,
+                          stream=stream)
     jobs = [Job(name, {}, args.seed) for name in args.names]
+    server = _serve_metrics(args, runner)
     try:
         results = runner.run(jobs)
     except KeyboardInterrupt:
         print("interrupted; completed results were flushed", file=sys.stderr)
         return 130
+    finally:
+        if server is not None:
+            server.stop()
     for i, result in enumerate(results):
         body = result.to_json_dict() if args.record else result.payload
         if args.json:
@@ -528,9 +574,18 @@ def _sweep(args) -> int:
               "or pass --checkpoint PATH when using --no-cache)",
               file=sys.stderr)
         return 2
+    renderer = None
+    if args.live:
+        from repro.telemetry.live import LiveRenderer
+
+        renderer = LiveRenderer()
+    stream = True if (args.serve_metrics is not None or args.live) else None
     runner = _make_runner(args.parallel, cache_dir, collect_metrics=args.metrics,
                           timeout_s=args.timeout, retries=args.retries,
-                          checkpoint=checkpoint, resume=args.resume)
+                          checkpoint=checkpoint, resume=args.resume,
+                          stream=stream, collect_profile=args.live,
+                          on_progress=renderer.update if renderer else None)
+    server = _serve_metrics(args, runner)
     try:
         results = runner.sweep(args.name, seeds=args.seeds, base_seed=args.base_seed)
     except ValueError as exc:
@@ -540,6 +595,11 @@ def _sweep(args) -> int:
         where = f"; resume with --resume (checkpoint: {checkpoint})" if checkpoint else ""
         print(f"interrupted; completed results were flushed{where}", file=sys.stderr)
         return 130
+    finally:
+        if server is not None:
+            server.stop()
+    if renderer is not None:
+        renderer.finish(runner)
     if args.metrics:
         _write_metrics_snapshot(runner, args.metrics_out, "sweep", [args.name])
     summary = runner.summary(results)
@@ -742,9 +802,14 @@ def _ledger(args) -> int:
         print(json.dumps(record, indent=2, sort_keys=True))
         return 0
     if args.ledger_command == "diff":
+        records = book.records()
+        _warn_corrupt_lines(book)
+        rid_a, runs_a = _run_records(records, args.ref_a)
+        rid_b, runs_b = _run_records(records, args.ref_b)
+        if rid_a and rid_b:
+            return _ledger_run_diff(rid_a, runs_a, rid_b, runs_b)
         rec_a = book.find(args.ref_a)
         rec_b = book.find(args.ref_b)
-        _warn_corrupt_lines(book)
         for ref, rec in ((args.ref_a, rec_a), (args.ref_b, rec_b)):
             if rec is None:
                 print(f"error: no ledger record matching {ref!r} in {book.path}",
@@ -754,11 +819,65 @@ def _ledger(args) -> int:
     raise AssertionError(args.ledger_command)  # pragma: no cover
 
 
+def _run_records(records: List[dict], ref: str):
+    """Resolve a ref as a run: ``(run_id, its records)`` when the ref
+    prefix-matches exactly one recorded ``run_id``, else ``(None, [])``."""
+    run_ids = sorted({str(r.get("run_id")) for r in records if r.get("run_id")})
+    matches = [rid for rid in run_ids if rid.startswith(ref)]
+    if len(matches) != 1:
+        return None, []
+    rid = matches[0]
+    return rid, [r for r in records if r.get("run_id") == rid]
+
+
+def _ledger_run_diff(rid_a: str, recs_a: List[dict],
+                     rid_b: str, recs_b: List[dict]) -> int:
+    """Join two runs' records on ``job_id`` and diff each pair.
+
+    The ``job_id`` is derived from (name, params, seed), so the join
+    pairs *the same job* across the runs regardless of completion
+    order — no positional matching.  Last record wins per job (a
+    retried job's final ledger line is the one that counts).
+    """
+    by_a = {r["job_id"]: r for r in recs_a if r.get("job_id")}
+    by_b = {r["job_id"]: r for r in recs_b if r.get("job_id")}
+    print(f"a: run {rid_a} · {len(recs_a)} records")
+    print(f"b: run {rid_b} · {len(recs_b)} records")
+    shared = sorted(set(by_a) & set(by_b))
+    differing = 0
+    for jid in shared:
+        ra, rb = by_a[jid], by_b[jid]
+        same = (ra.get("payload_digest") == rb.get("payload_digest")
+                and ra.get("ok") == rb.get("ok"))
+        if not same:
+            differing += 1
+        da, db = ra.get("duration_s", 0.0), rb.get("duration_s", 0.0)
+        delta = f" ({100.0 * (db - da) / da:+.1f}%)" if da else ""
+        seed = ra.get("seed")
+        verdict = "identical" if same else "DIFFERENT"
+        print(f"{'  ' if same else '! '}{jid}  {ra.get('name')}  "
+              f"seed {'-' if seed is None else seed}  payload {verdict}  "
+              f"{da:.3f}s -> {db:.3f}s{delta}")
+    for jid in sorted(set(by_a) - set(by_b)):
+        print(f"! {jid}  only in a  ({by_a[jid].get('name')} "
+              f"seed {by_a[jid].get('seed')})")
+    for jid in sorted(set(by_b) - set(by_a)):
+        print(f"! {jid}  only in b  ({by_b[jid].get('name')} "
+              f"seed {by_b[jid].get('seed')})")
+    print(f"{len(shared)} job(s) joined on job_id, "
+          f"{differing} differing")
+    return 0
+
+
 def _ledger_diff(rec_a: dict, rec_b: dict) -> int:
     """Print a field-by-field comparison of two ledger records."""
-    print(f"a: {rec_a.get('id')}  {rec_a.get('time')}  {rec_a.get('name')}")
-    print(f"b: {rec_b.get('id')}  {rec_b.get('time')}  {rec_b.get('name')}")
-    for key in ("name", "seed", "params", "git_sha", "repro_version", "ok"):
+    for side, rec in (("a", rec_a), ("b", rec_b)):
+        run = rec.get("run_id") or "-"
+        job = rec.get("job_id") or "-"
+        print(f"{side}: {rec.get('id')}  {rec.get('time')}  {rec.get('name')}  "
+              f"run {run}  job {job}")
+    for key in ("job_id", "name", "seed", "params", "git_sha",
+                "repro_version", "ok"):
         va, vb = rec_a.get(key), rec_b.get(key)
         marker = "  " if va == vb else "! "
         print(f"{marker}{key}: {va!r} -> {vb!r}")
@@ -818,6 +937,11 @@ def _bench(args) -> int:
             threshold_pct=threshold if threshold is not None
             else bench_mod.DEFAULT_REGRESS_PCT,
         )
+        for mismatch in comparison.get("fingerprint_mismatches", ()):
+            print(f"warning: environment fingerprint mismatch on "
+                  f"{mismatch['field']!r}: baseline {mismatch['baseline']!r} "
+                  f"vs current {mismatch['current']!r} — wall-time deltas "
+                  f"compare environments, not code", file=sys.stderr)
 
     if args.json:
         body = {"report": report}

@@ -117,6 +117,8 @@ class SweepCheckpoint:
                 raise RuntimeError("checkpoint load left no seen-set")
         if key in seen:
             return True
+        from repro.telemetry import ids
+
         record = {
             "schema": CHECKPOINT_SCHEMA,
             "key": key,
@@ -124,6 +126,8 @@ class SweepCheckpoint:
             "name": result.name,
             "seed": result.seed,
             "params": to_jsonable(result.params),
+            "run_id": result.run_id or ids.current_run_id(),
+            "job_id": ids.job_id_from_key(key),
             "result": result.to_json_dict(),
         }
         line = (json.dumps(record, sort_keys=True, default=repr) + "\n").encode("utf-8")

@@ -68,6 +68,12 @@ class ExperimentResult:
     (:meth:`~repro.experiments.runner.ExperimentRunner.run`) captures a
     raising job as a result with ``payload=None`` and ``error`` set to
     ``"ExcType: message"`` — never cached, always surfaced.
+
+    ``run_id``/``job_id`` are the correlation pair from
+    :mod:`repro.telemetry.ids`: the sweep-level run and the
+    deterministic per-job ID also stamped into trace events, ledger
+    lines, checkpoint records, and failure-capture bundles.  Both may
+    be ``None`` for results read from pre-correlation caches.
     """
 
     name: str
@@ -81,6 +87,8 @@ class ExperimentResult:
     metrics: Optional[Dict[str, Any]] = None
     profile: Optional[Dict[str, Any]] = None
     error: Optional[str] = None
+    run_id: Optional[str] = None
+    job_id: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -122,6 +130,8 @@ class ExperimentResult:
             "metrics": self.metrics,
             "profile": self.profile,
             "error": self.error,
+            "run_id": self.run_id,
+            "job_id": self.job_id,
             "payload": self.payload,
         }
 
@@ -139,6 +149,8 @@ class ExperimentResult:
             "metrics": record.get("metrics"),
             "profile": record.get("profile"),
             "error": record.get("error"),
+            "run_id": record.get("run_id"),
+            "job_id": record.get("job_id"),
         }
         fields.update(overrides)
         return cls(**fields)

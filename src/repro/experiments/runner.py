@@ -74,7 +74,10 @@ from repro.experiments.checkpoint import SweepCheckpoint, job_key
 from repro.experiments.result import ExperimentResult, to_jsonable
 from repro.telemetry import MetricsRegistry, RunLedger, SpanProfile, SpanProfiler
 from repro.telemetry import default_ledger
+from repro.telemetry import events as stream_events
+from repro.telemetry import ids
 from repro.telemetry import runtime as telem
+from repro.telemetry.events import EventStream, SweepProgress
 
 try:  # not available on Windows; RSS reads as 0 there
     import resource
@@ -240,10 +243,22 @@ def execute_job(name: str, params: Optional[Mapping[str, Any]] = None,
 
     spec = registry.get(name)
     kwargs = spec.bind(params=params, seed=seed)
+    run_id = ids.current_run_id()
+    jid = ids.job_id_from_key(job_key(spec.name, params or {}, seed))
     if collect_metrics:
-        prev_registry = telem.swap_registry(MetricsRegistry())
+        # job_registry() returns a StreamingRegistry when live streaming
+        # is armed, so instrument touches double as worker heartbeats.
+        prev_registry = telem.swap_registry(stream_events.job_registry())
         prev_metrics_on = telem.metrics_on
         telem.enable_metrics()
+    # Pin the tracer and stamp the correlation pair into every event it
+    # records for the duration of the job (explicit fields still win).
+    tracer = telem.get_tracer()
+    prev_context = tracer.context
+    context: Dict[str, Any] = {"job_id": jid}
+    if run_id:
+        context["run_id"] = run_id
+    tracer.context = {**prev_context, **context}
     if collect_profile:
         prev_profiler = telem.swap_profiler(SpanProfiler())
         prev_spans_on = telem.spans_on
@@ -270,6 +285,7 @@ def execute_job(name: str, params: Optional[Mapping[str, Any]] = None,
             if error is not None:
                 end_fields["error"] = error
             telem.trace("job_end", **end_fields)
+        tracer.context = prev_context
         if collect_profile:
             profile = telem.get_profiler().snapshot()
             telem.swap_profiler(prev_profiler)
@@ -290,6 +306,8 @@ def execute_job(name: str, params: Optional[Mapping[str, Any]] = None,
         version=repro.__version__,
         metrics=snapshot,
         profile=profile,
+        run_id=run_id,
+        job_id=jid,
     )
 
 
@@ -323,16 +341,25 @@ def execute_job_safe(name: str, params: Optional[Mapping[str, Any]] = None,
     # Pool workers inherit REPRO_SANITIZE through the environment; the
     # sync here makes the level effective whatever process we run in.
     sanit.sync_from_env()
+    jid = ids.job_id_from_key(job_key(spec.name, params or {}, seed))
+    sink = stream_events.sink() if stream_events.stream_on else None
+    if sink is not None:
+        # Announce before the chaos hook: a job that hangs right at
+        # start must already be visible to the parent's stale check.
+        sink.on_job_start(jid, spec.name,
+                          seed if spec.accepts_seed else -1)
     capture = CaptureContext.arm_if_enabled()
     start = time.perf_counter()
+    result: Optional[ExperimentResult] = None
     try:
         from repro import chaos
 
         if chaos.enabled():
             chaos.on_job_start(spec.name, seed)
-        return execute_job(name, params=params, seed=seed,
-                           collect_metrics=collect_metrics,
-                           collect_profile=collect_profile)
+        result = execute_job(name, params=params, seed=seed,
+                             collect_metrics=collect_metrics,
+                             collect_profile=collect_profile)
+        return result
     except (Exception, SystemExit) as exc:
         detail = str(exc)
         if isinstance(exc, SystemExit) and not detail:
@@ -346,6 +373,8 @@ def execute_job_safe(name: str, params: Optional[Mapping[str, Any]] = None,
             peak_rss_kb=_peak_rss_kb(),
             version=repro.__version__,
             error=f"{type(exc).__name__}: {detail}",
+            run_id=ids.current_run_id(),
+            job_id=jid,
         )
         if capture is not None:
             try:
@@ -356,6 +385,11 @@ def execute_job_safe(name: str, params: Optional[Mapping[str, Any]] = None,
     finally:
         if capture is not None:
             capture.restore()
+        if sink is not None:
+            sink.on_job_end(
+                jid,
+                result.outcome if result is not None else "error",
+                result.duration_s if result is not None else None)
 
 
 def _pool_worker(job: Tuple[str, Dict[str, Any], Optional[int], bool, bool]) -> ExperimentResult:
@@ -477,12 +511,13 @@ class ResultCache:
 class _Pending:
     """One not-yet-finalized job in a batch."""
 
-    __slots__ = ("index", "job", "retries_used", "ready_at", "started_at",
-                 "deadline")
+    __slots__ = ("index", "job", "job_id", "retries_used", "ready_at",
+                 "started_at", "deadline")
 
-    def __init__(self, index: int, job: Job):
+    def __init__(self, index: int, job: Job, job_id: str = ""):
         self.index = index
         self.job = job
+        self.job_id = job_id
         self.retries_used = 0
         self.ready_at = 0.0  # monotonic time before which not to start (backoff)
         self.started_at: Optional[float] = None
@@ -538,6 +573,19 @@ class ExperimentRunner:
     Every finished job is also appended to the **run ledger** (see
     :mod:`repro.telemetry.ledger`) unless ``ledger=False`` or the
     ``REPRO_LEDGER=off`` environment switch disables it.
+
+    **Live telemetry** (:mod:`repro.telemetry.events`): every batch
+    runs under a run ID (``run_id``, auto-minted unless passed) and
+    maintains a :class:`SweepProgress` view in :attr:`progress`.  With
+    ``stream=True`` pool workers flush incremental metric deltas and
+    heartbeats to the parent (``heartbeat_s`` between flushes), the
+    merged live registry is available via :meth:`live_metrics` /
+    :meth:`live_exposition` mid-run, and a running job whose heartbeat
+    goes silent for ``stale_after_s`` is flagged (trace event
+    ``heartbeat_stale``, counter ``runner_stale_heartbeats_total``,
+    ``progress.stale_events``) *before* its timeout fires.
+    ``on_progress`` — a ``callable(runner)`` — is invoked as jobs make
+    progress (the ``--live`` renderer hooks in here).
     """
 
     def __init__(self, cache_dir: Optional[Union[str, Path]] = None,
@@ -550,9 +598,32 @@ class ExperimentRunner:
                  backoff_s: float = 0.1,
                  max_pool_rebuilds: int = 3,
                  checkpoint: Union[None, str, Path, SweepCheckpoint] = None,
-                 resume: bool = True):
+                 resume: bool = True,
+                 run_id: Optional[str] = None,
+                 stream: Union[None, bool, EventStream] = None,
+                 heartbeat_s: float = stream_events.DEFAULT_HEARTBEAT_S,
+                 stale_after_s: Optional[float] = None,
+                 on_progress: Optional[Any] = None):
         self.cache = ResultCache(cache_dir) if cache_dir is not None else None
         self.max_workers = max_workers
+        self.run_id = run_id or ids.new_run_id()
+        if stream is True:
+            if stale_after_s is None:
+                # Staleness must be able to fire before the deadline.
+                stale_after_s = max(3 * heartbeat_s,
+                                    stream_events.DEFAULT_STALE_AFTER_S * 0.75)
+                if timeout_s:
+                    stale_after_s = min(stale_after_s, timeout_s / 2.0)
+            self.stream: Optional[EventStream] = EventStream(
+                heartbeat_s=heartbeat_s, stale_after_s=stale_after_s)
+        elif stream:
+            self.stream = stream
+        else:
+            self.stream = None
+        if self.stream is not None:
+            collect_metrics = True  # deltas ride on the metric stream
+        self.progress: Optional[SweepProgress] = None
+        self.on_progress = on_progress
         self.collect_metrics = collect_metrics
         self.collect_profile = collect_profile
         self.timeout_s = timeout_s
@@ -579,9 +650,67 @@ class ExperimentRunner:
         else:
             self.ledger = ledger
 
+    # -- live telemetry --------------------------------------------------
+    def live_metrics(self) -> MetricsRegistry:
+        """A point-in-time registry copy: finalized job metrics plus the
+        streamed deltas of every in-flight job.  Thread-safe; the
+        ``--serve-metrics`` exporter calls this from its HTTP thread."""
+        if self.stream is not None:
+            return self.stream.consumer.live_registry(self.metrics)
+        merged = MetricsRegistry()
+        if self.metrics is not None:
+            merged.merge(self.metrics.snapshot())
+        return merged
+
+    def live_exposition(self) -> str:
+        """Prometheus exposition of :meth:`live_metrics` plus the sweep
+        progress gauges — the ``/metrics`` endpoint body."""
+        from repro.telemetry import export
+
+        registry_copy = self.live_metrics()
+        if self.progress is not None:
+            registry_copy.merge(export.progress_registry(
+                self.progress, workers=self.max_workers or 1).snapshot())
+        return export.render_exposition(registry_copy)
+
+    def _metrics_lock(self):
+        """Streamed runs guard parent-side metric merges against the
+        exporter thread reading through ``live_metrics``."""
+        if self.stream is not None:
+            return self.stream.consumer.lock
+        import contextlib
+
+        return contextlib.nullcontext()
+
+    def _notify_progress(self) -> None:
+        if self.on_progress is not None:
+            try:
+                self.on_progress(self)
+            except Exception:  # a broken renderer must not kill the batch
+                pass
+
+    def _service_stream(self) -> None:
+        """Parent-side streaming upkeep: drain queued worker events and
+        flag newly stale heartbeats."""
+        if self.stream is None:
+            return
+        self.stream.drain()
+        for record in self.stream.check_stale():
+            with self._metrics_lock():
+                if self.metrics is not None:
+                    self.metrics.counter("runner_stale_heartbeats_total").inc()
+            if telem.trace_on:
+                telem.trace("heartbeat_stale", job_id=record["job_id"],
+                            pid=record["pid"], age_s=round(record["age_s"], 3),
+                            run_id=self.run_id)
+
     def _absorb(self, result: ExperimentResult) -> None:
         """Account one finished job: merge its metric/span snapshots
         into the parent sinks and append it to the run ledger."""
+        with self._metrics_lock():
+            self._absorb_locked(result)
+
+    def _absorb_locked(self, result: ExperimentResult) -> None:
         if self.metrics is not None:
             if result.metrics:
                 self.metrics.merge(result.metrics)
@@ -609,6 +738,9 @@ class ExperimentRunner:
         summary so failures are surfaced, not silently dropped."""
         errored = [r for r in results if r.error]
         return {
+            "run_id": self.run_id,
+            "stale_heartbeats": (len(self.progress.stale_events)
+                                 if self.progress is not None else 0),
             "jobs": len(results),
             "ok": len(results) - len(errored),
             "errors": len(errored),
@@ -633,18 +765,19 @@ class ExperimentRunner:
         one job means there are no siblings to protect.
         """
         params = dict(params or {})
-        if self.cache is not None:
-            hit = self.cache.get(name, params, seed)
-            if hit is not None:
-                self._absorb(hit)
-                return hit
-        result = execute_job(name, params=params, seed=seed,
-                             collect_metrics=self.collect_metrics,
-                             collect_profile=self.collect_profile)
-        if self.cache is not None:
-            self.cache.put(result)
-        self._absorb(result)
-        return result
+        with ids.run_scope(self.run_id):
+            if self.cache is not None:
+                hit = self.cache.get(name, params, seed)
+                if hit is not None:
+                    self._absorb(hit)
+                    return hit
+            result = execute_job(name, params=params, seed=seed,
+                                 collect_metrics=self.collect_metrics,
+                                 collect_profile=self.collect_profile)
+            if self.cache is not None:
+                self.cache.put(result)
+            self._absorb(result)
+            return result
 
     # -- batch execution ------------------------------------------------
     def run(self, jobs: Sequence[Job]) -> List[ExperimentResult]:
@@ -657,17 +790,29 @@ class ExperimentRunner:
         checkpoint.  Results are flushed (cache + checkpoint + ledger)
         as they finish, so an interrupt loses nothing already done.
         """
+        with ids.run_scope(self.run_id):
+            return self._run_batch(jobs)
+
+    def _run_batch(self, jobs: Sequence[Job]) -> List[ExperimentResult]:
         results: List[Optional[ExperimentResult]] = [None] * len(jobs)
         restored: Dict[str, ExperimentResult] = {}
         if self.checkpoint is not None and self.resume:
             restored = self.checkpoint.results()
+        self.progress = SweepProgress(run_id=self.run_id)
+        if self.stream is not None:
+            self.stream.attach(self.progress)
         pending: Deque[_Pending] = deque()
         for i, job in enumerate(jobs):
             registry.get(job.name)  # fail fast on unknown names
+            key = job_key(job.name, job.params, job.seed)
+            jid = ids.job_id_from_key(key)
+            self.progress.add_job(jid, registry.resolve(job.name), job.seed)
             if restored:
-                hit = restored.get(job_key(job.name, job.params, job.seed))
+                hit = restored.get(key)
                 if hit is not None:
                     results[i] = hit
+                    self.progress.mark_done(jid, hit.outcome, cache_hit=True,
+                                            duration_s=hit.duration_s)
                     self._absorb(hit)
                     continue
             if self.cache is not None:
@@ -676,16 +821,26 @@ class ExperimentRunner:
                     results[i] = hit
                     if self.checkpoint is not None:
                         self.checkpoint.record(hit)
+                    self.progress.mark_done(jid, hit.outcome, cache_hit=True,
+                                            duration_s=hit.duration_s)
                     self._absorb(hit)
                     continue
-            pending.append(_Pending(i, job))
+            pending.append(_Pending(i, job, jid))
+        self._notify_progress()
 
         if pending:
             workers = self.max_workers or 1
-            if workers > 1 and len(pending) > 1:
-                self._drain_pool(pending, results, min(workers, len(pending)))
-            else:
-                self._drain_serial(pending, results)
+            try:
+                if workers > 1 and len(pending) > 1:
+                    self._drain_pool(pending, results,
+                                     min(workers, len(pending)))
+                else:
+                    self._drain_serial(pending, results)
+            finally:
+                if self.stream is not None:
+                    self.stream.drain()  # late job_end events
+                    stream_events.disarm()
+        self._notify_progress()
         return [r for r in results if r is not None]
 
     def _job_timeout(self, job: Job) -> Optional[float]:
@@ -706,6 +861,9 @@ class ExperimentRunner:
             peak_rss_kb=0,
             version=repro.__version__,
             error=f"JobTimeout: exceeded {limit:g}s wall-clock",
+            run_id=self.run_id,
+            job_id=ids.job_id_from_key(
+                job_key(job.name, job.params, job.seed)),
         )
 
     def _finalize(self, p: _Pending, result: ExperimentResult,
@@ -716,7 +874,11 @@ class ExperimentRunner:
             self.cache.put(result)
         if self.checkpoint is not None:
             self.checkpoint.record(result)
+        if self.progress is not None and p.job_id:
+            self.progress.mark_done(p.job_id, result.outcome,
+                                    duration_s=result.duration_s)
         self._absorb(result)
+        self._notify_progress()
 
     def _handle_result(self, p: _Pending, result: ExperimentResult,
                        pending: Deque[_Pending],
@@ -730,10 +892,14 @@ class ExperimentRunner:
             p.ready_at = time.monotonic() + retry_backoff_s(
                 self.backoff_s, p.job, p.retries_used)
             self.retries_total += 1
-            if self.metrics is not None:
-                self.metrics.counter(
-                    "runner_retries_total",
-                    error=error_class(result.error)).inc()
+            with self._metrics_lock():
+                if self.metrics is not None:
+                    self.metrics.counter(
+                        "runner_retries_total",
+                        error=error_class(result.error)).inc()
+            if self.progress is not None and p.job_id:
+                self.progress.retries += 1
+                self.progress.mark_pending(p.job_id)
             pending.append(p)
             return
         self._finalize(p, result, results)
@@ -745,12 +911,21 @@ class ExperimentRunner:
         Timeouts are enforced with ``SIGALRM`` when possible (main
         thread, POSIX); results are finalized as they complete, so an
         interrupt at any point keeps everything already finished.
+
+        Heartbeat staleness cannot be observed here — the parent *is*
+        the worker — so streaming only short-circuits events in-process
+        for the progress view.
         """
+        if self.stream is not None and not stream_events.stream_on:
+            self.stream.arm_local()
         while pending:
             p = pending.popleft()
             delay = p.ready_at - time.monotonic()
             if delay > 0:
                 time.sleep(delay)
+            if self.progress is not None and p.job_id:
+                self.progress.mark_running(p.job_id, os.getpid())
+                self._notify_progress()
             timeout_s = self._job_timeout(p.job)
             start = time.monotonic()
             try:
@@ -766,6 +941,14 @@ class ExperimentRunner:
                     p.job, timeout_s, time.monotonic() - start)
             self._handle_result(p, result, pending, results)
 
+    def _make_pool(self, workers: int) -> ProcessPoolExecutor:
+        if self.stream is not None:
+            return ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=self.stream.pool_initializer(),
+                initargs=self.stream.pool_initargs())
+        return ProcessPoolExecutor(max_workers=workers)
+
     def _submit(self, pool: ProcessPoolExecutor, p: _Pending):
         fut = pool.submit(_pool_worker, (p.job.name, dict(p.job.params),
                                          p.job.seed, self.collect_metrics,
@@ -773,6 +956,8 @@ class ExperimentRunner:
         timeout_s = self._job_timeout(p.job)
         p.started_at = time.monotonic()
         p.deadline = (p.started_at + timeout_s) if timeout_s else None
+        if self.progress is not None and p.job_id:
+            self.progress.mark_running(p.job_id)
         return fut
 
     def _kill_pool(self, pool: ProcessPoolExecutor) -> None:
@@ -798,15 +983,18 @@ class ExperimentRunner:
             fut.cancel()
             p.started_at = None
             p.deadline = None
+            if self.progress is not None and p.job_id:
+                self.progress.mark_pending(p.job_id)
             pending.appendleft(p)
         inflight.clear()
         self._kill_pool(pool)
         if self.pool_rebuilds >= self.max_pool_rebuilds:
             return None
         self.pool_rebuilds += 1
-        if self.metrics is not None:
-            self.metrics.counter("runner_pool_rebuilds_total").inc()
-        return ProcessPoolExecutor(max_workers=workers)
+        with self._metrics_lock():
+            if self.metrics is not None:
+                self.metrics.counter("runner_pool_rebuilds_total").inc()
+        return self._make_pool(workers)
 
     def _drain_completed(self, inflight: Dict[Any, _Pending],
                          results: List[Optional[ExperimentResult]]) -> None:
@@ -830,8 +1018,12 @@ class ExperimentRunner:
         starts (nearly) immediately and its submit-time deadline is a
         faithful run-time deadline.
         """
-        pool: Optional[ProcessPoolExecutor] = ProcessPoolExecutor(max_workers=workers)
+        pool: Optional[ProcessPoolExecutor] = self._make_pool(workers)
         inflight: Dict[Any, _Pending] = {}
+        # Streaming needs the wait loop to wake regularly to drain the
+        # event queue and age heartbeats, even with nothing completing.
+        poll_s = (min(self.stream.heartbeat_s, 0.25)
+                  if self.stream is not None else None)
         try:
             while pending or inflight:
                 # Fill the submission window with ready jobs.
@@ -864,8 +1056,11 @@ class ExperimentRunner:
                     wake_points += [p.ready_at for p in pending if p.ready_at > 0]
                     timeout = (max(0.0, min(wake_points) - time.monotonic())
                                if wake_points else None)
+                    if poll_s is not None:
+                        timeout = poll_s if timeout is None else min(timeout, poll_s)
                     done, _ = futures_wait(list(inflight), timeout=timeout,
                                            return_when=FIRST_COMPLETED)
+                    self._service_stream()
                     for fut in done:
                         p = inflight.pop(fut)
                         try:
@@ -890,6 +1085,8 @@ class ExperimentRunner:
                             # was premature, not exceeded.
                             p.started_at = None
                             p.deadline = None
+                            if self.progress is not None and p.job_id:
+                                self.progress.mark_pending(p.job_id)
                             pending.appendleft(p)
                             continue
                         elapsed = now - (p.started_at or now)

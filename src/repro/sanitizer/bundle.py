@@ -137,12 +137,14 @@ class CaptureContext:
         """Persist one failed job as a bundle; returns the bundle path."""
         import repro
         from repro.experiments.checkpoint import job_key
+        from repro.telemetry import ids
 
         violation = None
         if isinstance(exc, sanit.InvariantViolation):
             violation = exc.to_json_dict()
         digest = failure_digest(result.name, dict(result.params),
                                 result.seed, result.error)
+        key = job_key(result.name, result.params, result.seed)
         record = {
             "schema": BUNDLE_SCHEMA,
             "kind": BUNDLE_KIND,
@@ -157,7 +159,9 @@ class CaptureContext:
             "chaos": os.environ.get("REPRO_CHAOS", "").strip() or None,
             "rng_labels": list(rng_utils._capture_labels or []),
             "trace": self._recent_trace(),
-            "job_key": job_key(result.name, result.params, result.seed),
+            "job_key": key,
+            "run_id": getattr(result, "run_id", None) or ids.current_run_id(),
+            "job_id": getattr(result, "job_id", None) or ids.job_id_from_key(key),
             "repro_version": repro.__version__,
             "captured_at": time.time(),
         }

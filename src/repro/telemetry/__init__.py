@@ -30,6 +30,14 @@ from repro.telemetry.metrics import (
     Histogram,
     MetricsRegistry,
 )
+from repro.telemetry.events import EventStream, SweepProgress
+from repro.telemetry.ids import (
+    current_run_id,
+    environment_fingerprint,
+    job_id_from_key,
+    new_run_id,
+    run_scope,
+)
 from repro.telemetry.ledger import RunLedger, build_record, default_ledger
 from repro.telemetry.runtime import (
     counter,
@@ -68,6 +76,13 @@ __all__ = [
     "RunLedger",
     "build_record",
     "default_ledger",
+    "EventStream",
+    "SweepProgress",
+    "new_run_id",
+    "current_run_id",
+    "run_scope",
+    "job_id_from_key",
+    "environment_fingerprint",
     "enable_metrics",
     "disable_metrics",
     "enable_tracing",

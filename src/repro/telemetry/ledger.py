@@ -105,7 +105,17 @@ def build_record(result: Any, command: str = "runner") -> Dict[str, Any]:
     """
     import repro
     from repro.experiments.result import canonical_json
+    from repro.telemetry import ids
 
+    job_id = getattr(result, "job_id", None)
+    if not job_id:
+        try:
+            from repro.experiments.checkpoint import job_key
+
+            job_id = ids.job_id_from_key(
+                job_key(result.name, result.params, result.seed))
+        except Exception:  # unregistered name: identity stays best-effort
+            job_id = ""
     metrics_digest = ""
     metrics_totals: Dict[str, float] = {}
     if result.metrics:
@@ -124,6 +134,8 @@ def build_record(result: Any, command: str = "runner") -> Dict[str, Any]:
         "repro_version": repro.__version__,
         "git_sha": git_sha(),
         "command": command,
+        "run_id": getattr(result, "run_id", None) or ids.current_run_id() or "",
+        "job_id": job_id,
         "name": result.name,
         "params": dict(result.params),
         "seed": result.seed,
@@ -203,6 +215,10 @@ class RunLedger:
                     out.append(record)
                 else:
                     self.corrupt_lines += 1
+        from repro.telemetry import runtime as telem
+
+        if telem.metrics_on:
+            telem.gauge("ledger_corrupt_lines").set(self.corrupt_lines)
         return out
 
     def records(self) -> List[Dict[str, Any]]:

@@ -277,27 +277,15 @@ class MetricsRegistry:
     # Rendering
     # ------------------------------------------------------------------
     def render_prometheus(self) -> str:
-        """Prometheus text exposition format (version 0.0.4)."""
-        lines: List[str] = []
-        seen_types: Dict[str, str] = {}
-        for metric in self:
-            if seen_types.get(metric.name) != metric.kind:
-                lines.append(f"# TYPE {metric.name} {metric.kind}")
-                seen_types[metric.name] = metric.kind
-            label_s = _label_str(metric.labels)
-            if isinstance(metric, Histogram):
-                cumulative = 0
-                for edge, count in zip(metric.edges, metric.counts):
-                    cumulative += count
-                    le = _label_str(metric.labels + (("le", f"{edge:g}"),))
-                    lines.append(f"{metric.name}_bucket{le} {cumulative}")
-                inf = _label_str(metric.labels + (("le", "+Inf"),))
-                lines.append(f"{metric.name}_bucket{inf} {metric.count}")
-                lines.append(f"{metric.name}_sum{label_s} {_fmt(metric.sum)}")
-                lines.append(f"{metric.name}_count{label_s} {metric.count}")
-            else:
-                lines.append(f"{metric.name}{label_s} {_fmt(metric.value)}")
-        return "\n".join(lines) + ("\n" if lines else "")
+        """Prometheus text exposition format (version 0.0.4).
+
+        Delegates to :mod:`repro.telemetry.export`, the single renderer
+        shared with the live ``--serve-metrics`` exporter (HELP/TYPE
+        lines, name sanitization, label escaping, ``_total`` suffix).
+        """
+        from repro.telemetry.export import render_exposition
+
+        return render_exposition(self)
 
     def render_table(self) -> str:
         """Human-readable fixed-width table (the ``repro stats`` default)."""

@@ -62,6 +62,11 @@ class TraceRecorder:
         self.emitted = 0
         self.dropped = 0
         self.spilled = 0
+        #: Fields merged into every event (explicit fields win); the
+        #: runner stamps ``run_id``/``job_id`` here so any trace event
+        #: joins the ledger line, checkpoint record, and capture bundle
+        #: of the job that emitted it.
+        self.context: Dict[str, Any] = {}
 
     def __len__(self) -> int:
         return len(self._buffer)
@@ -74,6 +79,8 @@ class TraceRecorder:
             else:
                 self._buffer.popleft()
                 self.dropped += 1
+        if self.context:
+            fields = {**self.context, **fields}
         self._buffer.append(TraceEvent(kind, t, fields))
         self.emitted += 1
 

@@ -131,6 +131,37 @@ class TestScenarios:
         self._run("hang", tmp_path)
 
     @fork_only
+    def test_hang_produces_stale_heartbeat_before_timeout(
+            self, tmp_path, monkeypatch):
+        """The live-telemetry contract for hangs: the streaming consumer
+        must flag the hung job's stale heartbeat strictly *before* the
+        timeout reaper produces its structured outcome."""
+        from repro.experiments import ExperimentRunner, Job, registry
+        from repro.experiments.checkpoint import job_key
+        from repro.experiments.runner import derive_seed
+        from repro.telemetry import job_id_from_key
+
+        victim = derive_seed(0, 1)
+        monkeypatch.setenv(chaos.ENV_CHAOS, f"hang:seed={victim}:secs=20")
+        monkeypatch.setenv(chaos.ENV_CHAOS_STATE, str(tmp_path / "state"))
+        chaos.reset()
+        name = registry.resolve(harness.PROBE_EXPERIMENT)
+        runner = ExperimentRunner(cache_dir=None, max_workers=2, ledger=False,
+                                  timeout_s=2.0, stream=True,
+                                  heartbeat_s=0.1, stale_after_s=0.5)
+        results = runner.run([Job(name, {}, derive_seed(0, i))
+                              for i in range(4)])
+        hung = [r for r in results if r.seed == victim]
+        assert hung and hung[0].outcome == "timeout"
+        jid = job_id_from_key(job_key(name, {}, victim))
+        stale = [e for e in runner.progress.stale_events
+                 if e["job_id"] == jid]
+        assert stale, "hung job was never flagged stale"
+        finished = runner.progress.jobs[jid]["finished_mono"]
+        assert stale[0]["at_mono"] < finished, (
+            "stale warning did not precede the timeout outcome")
+
+    @fork_only
     def test_combined_acceptance_scenario(self, tmp_path):
         """The pinned acceptance schedule: SIGKILL + hang + torn write in
         a 16-job sweep, exact telemetry, then a resume that re-runs
