@@ -13,8 +13,9 @@ import numpy as np
 
 from conftest import run_once
 from repro.experiments import execute_job
-from repro.telemetry import MetricsRegistry
+from repro.telemetry import MetricsRegistry, PhysicsCollector
 from repro.telemetry import events as stream_events
+from repro.telemetry import physics as phys
 from repro.telemetry import runtime as telem
 
 #: One sensed row's worth of work per iteration — the granularity at
@@ -35,6 +36,8 @@ def _hot_loop(iters: int, guarded: bool) -> int:
                 telem.counter("bench_ops_total").inc()
             if telem.trace_on:
                 telem.trace("bench_op")
+            if phys.physics_on:
+                phys.get_collector().record_activation(0, 0)
             if stream_events.stream_on:
                 stream_events.sink().tick()
     return total
@@ -75,3 +78,14 @@ def test_perf_rowhammer_basic_with_metrics(benchmark):
     assert merged.total("dram_activations_total") == result.payload["activations"]
     assert merged.total("dram_refreshes_total") == result.payload["refreshes"]
     assert merged.total("dram_bit_flips_total") == result.payload["bit_flips"]
+
+
+def test_perf_rowhammer_basic_with_physics(benchmark):
+    """End-to-end with the physics layer on: the heat map's flip total
+    must equal the experiment's own payload count."""
+    result = run_once(benchmark, execute_job, "rowhammer_basic",
+                      params={"victims": 16}, seed=0, collect_physics=True)
+    collector = PhysicsCollector.from_snapshot(result.physics)
+    assert collector.total_flips() == result.payload["bit_flips"]
+    assert collector.total_provenance_flips() == result.payload["bit_flips"]
+    assert collector.total_activations() == result.payload["activations"]

@@ -46,7 +46,7 @@ class HammerResult:
 
 
 def _collect_new_flips(bank, before: int) -> List[Tuple[int, int]]:
-    return [(row, bit) for row, bit, _t in bank.stats.flip_log[before:]]
+    return [(row, bit) for row, bit, *_prov in bank.stats.flip_log[before:]]
 
 
 def _hammer_stream(aggressors: Sequence[int], count: int) -> CommandStream:

@@ -10,6 +10,7 @@ Usage::
     python -m repro trace rowhammer_basic --output trace.jsonl
     python -m repro describe para_reliability
     python -m repro report f1 c3 --output report.md
+    python -m repro report rowhammer_basic --seeds 4 --format html --check
     python -m repro sweep fig1_error_rates --seeds 8 --parallel 4
     python -m repro sweep fig1_error_rates --seeds 64 --timeout 30 --resume
     python -m repro sweep rowhammer_basic --seeds 16 --sanitize full
@@ -32,6 +33,20 @@ span profiler and renders where the time went; ``ledger`` lists, shows,
 and diffs the append-only run manifest every runner job feeds; and
 ``bench`` drives the bench-regression suite (``repro bench --compare
 BASELINE.json`` exits nonzero past the regression threshold).
+
+Physics observability: ``run``/``sweep`` also accept ``--physics``,
+which records the domain layer — per-row disturbance heat maps, flip
+provenance (dominant aggressor, hammer pressure, data pattern, refresh
+epoch), and the mitigation decision audit trail — and persists it to
+``--physics-out`` (the file doubles as a metrics snapshot of the
+bank-level physics aggregates, so ``repro stats --input
+.repro-physics.json --format prometheus`` renders them).  ``report``
+runs (or fetches from cache) experiments with the full telemetry suite
+on and renders one self-contained markdown or HTML artifact — heat
+map, provenance table, audit summary, span tree, metric table, and an
+environment fingerprint; ``report --check`` fails the command unless
+the artifact's three independently accumulated flip totals agree (heat
+map, provenance aggregates, ``dram_bit_flips_total``).
 
 Live telemetry: ``run``/``sweep`` take ``--serve-metrics [PORT]``,
 which arms worker→parent metric streaming and serves a Prometheus
@@ -91,6 +106,9 @@ DEFAULT_CACHE_DIR = ".repro-cache"
 
 #: Default metrics-snapshot file shared by ``run --metrics`` and ``stats``.
 DEFAULT_METRICS_PATH = ".repro-metrics.json"
+
+#: Default physics-snapshot file shared by ``run --physics`` and ``stats``.
+DEFAULT_PHYSICS_PATH = ".repro-physics.json"
 
 
 def _render_text(result: Any, indent: int = 0) -> List[str]:
@@ -155,6 +173,11 @@ def build_parser() -> argparse.ArgumentParser:
                      help="collect hardware telemetry and persist the snapshot")
     run.add_argument("--metrics-out", default=DEFAULT_METRICS_PATH,
                      help=f"metrics snapshot file (default: {DEFAULT_METRICS_PATH})")
+    run.add_argument("--physics", action="store_true",
+                     help="collect the physics layer (per-row heat maps, flip "
+                          "provenance, mitigation audit) and persist it")
+    run.add_argument("--physics-out", default=DEFAULT_PHYSICS_PATH,
+                     help=f"physics snapshot file (default: {DEFAULT_PHYSICS_PATH})")
     run.add_argument("--timeout", type=float, default=None, metavar="SECS",
                      help="per-job wall-clock deadline (structured timeout "
                           "outcome instead of a hang)")
@@ -164,12 +187,30 @@ def build_parser() -> argparse.ArgumentParser:
     _add_serve_metrics_arg(run)
     _add_sanitize_args(run)
 
-    report = sub.add_parser("report", help="run several experiments, write a markdown report")
+    report = sub.add_parser(
+        "report",
+        help="run experiments with full telemetry, write a self-contained "
+             "report artifact (heat map, flip provenance, mitigation audit, "
+             "span tree, metrics, environment fingerprint)")
     report.add_argument("names", nargs="+", choices=invocable, metavar="name")
-    report.add_argument("--seed", type=int, default=0)
-    report.add_argument("--output", default="report.md", help="markdown file to write")
+    report.add_argument("--seed", type=int, default=0,
+                        help="seed for single-seed reports (default 0)")
+    report.add_argument("--seeds", type=int, default=None, metavar="N",
+                        help="sweep each experiment over N deterministically "
+                             "derived seeds instead of one --seed")
+    report.add_argument("--base-seed", type=int, default=0,
+                        help="root of the --seeds derivation")
+    report.add_argument("--output", default="report.md",
+                        help="artifact file to write (default: report.md)")
+    report.add_argument("--format", choices=("markdown", "html"), default=None,
+                        help="artifact format (default: by --output extension)")
+    report.add_argument("--check", action="store_true",
+                        help="fail unless the artifact's flip totals agree "
+                             "across the heat map, the provenance table, and "
+                             "dram_bit_flips_total")
     report.add_argument("--parallel", type=int, default=1, metavar="N")
     report.add_argument("--cache-dir", default=None)
+    _add_sanitize_args(report)
 
     sweep = sub.add_parser(
         "sweep", help="run one experiment across N deterministically derived seeds"
@@ -189,6 +230,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="collect hardware telemetry and persist the snapshot")
     sweep.add_argument("--metrics-out", default=DEFAULT_METRICS_PATH,
                        help=f"metrics snapshot file (default: {DEFAULT_METRICS_PATH})")
+    sweep.add_argument("--physics", action="store_true",
+                       help="collect the physics layer (per-row heat maps, "
+                            "flip provenance, mitigation audit) and persist it")
+    sweep.add_argument("--physics-out", default=DEFAULT_PHYSICS_PATH,
+                       help=f"physics snapshot file (default: {DEFAULT_PHYSICS_PATH})")
     sweep.add_argument("--timeout", type=float, default=None, metavar="SECS",
                        help="per-job wall-clock deadline (structured timeout "
                             "outcome instead of a hang)")
@@ -346,8 +392,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "run":
         return _run(args)
     if args.command == "report":
-        return _write_report(args.names, args.seed, args.output,
-                             parallel=args.parallel, cache_dir=args.cache_dir)
+        return _report(args)
     if args.command == "sweep":
         return _sweep(args)
     if args.command == "replay":
@@ -444,9 +489,11 @@ def _apply_sanitize(args) -> None:
 
 def _make_runner(parallel: int, cache_dir: Optional[str],
                  collect_metrics: bool = False,
+                 collect_physics: bool = False,
                  **hardening) -> ExperimentRunner:
     return ExperimentRunner(cache_dir=cache_dir, max_workers=max(1, parallel),
-                            collect_metrics=collect_metrics, **hardening)
+                            collect_metrics=collect_metrics,
+                            collect_physics=collect_physics, **hardening)
 
 
 def _write_metrics_snapshot(runner: ExperimentRunner, path: str,
@@ -466,6 +513,27 @@ def _write_metrics_snapshot(runner: ExperimentRunner, path: str,
     print(f"metrics: {len(runner.metrics)} series -> {path}", file=sys.stderr)
 
 
+def _write_physics_snapshot(runner: ExperimentRunner, path: str,
+                            command: str, names: List[str]) -> None:
+    """Persist the runner's merged physics layer.  The record carries
+    both the full-resolution snapshot and its bank-level aggregates as
+    a metrics snapshot, so ``repro stats --input <path> --format
+    prometheus`` renders the physics families unchanged."""
+    import repro
+
+    record = {
+        "repro_version": repro.__version__,
+        "command": command,
+        "names": [registry.resolve(n) for n in names],
+        "physics": runner.physics.snapshot(),
+        "metrics": runner.physics.to_registry().snapshot(),
+    }
+    with open(path, "w") as handle:
+        json.dump(record, handle, indent=1, sort_keys=True)
+    print(f"physics: {runner.physics.total_flips()} flips over "
+          f"{len(record['physics']['heat'])} rows -> {path}", file=sys.stderr)
+
+
 def _print_batch_errors(summary: dict) -> None:
     """Surface a batch's failed jobs on stderr (never silently dropped)."""
     for job in summary["errored"]:
@@ -479,6 +547,7 @@ def _run(args) -> int:
     _apply_sanitize(args)
     stream = True if args.serve_metrics is not None else None
     runner = _make_runner(args.parallel, args.cache_dir, collect_metrics=args.metrics,
+                          collect_physics=args.physics,
                           timeout_s=args.timeout, retries=args.retries,
                           stream=stream)
     jobs = [Job(name, {}, args.seed) for name in args.names]
@@ -506,6 +575,8 @@ def _run(args) -> int:
                 print("\n".join(_render_text(body)))
     if args.metrics:
         _write_metrics_snapshot(runner, args.metrics_out, "run", args.names)
+    if args.physics:
+        _write_physics_snapshot(runner, args.physics_out, "run", args.names)
     summary = runner.summary(results)
     if summary["errors"]:
         _print_batch_errors(summary)
@@ -520,33 +591,61 @@ def _format_provenance(result: ExperimentResult) -> str:
             f"peak RSS {result.peak_rss_kb} KiB{cached}")
 
 
-def _write_report(names: List[str], seed: int, output: str,
-                  parallel: int = 1, cache_dir: Optional[str] = None) -> int:
-    """Run experiments and write their results as a markdown report."""
-    runner = _make_runner(parallel, cache_dir)
-    results = runner.run([Job(name, {}, seed) for name in names])
-    lines = ["# repro experiment report", ""]
-    for result in results:
-        spec = registry.get(result.name)
-        lines.append(f"## {result.name} — {spec.claim}")
-        lines.append("")
-        lines.append(f"*{_format_provenance(result)} · repro {result.version}*")
-        lines.append("")
-        lines.append("```")
-        if result.error:
-            lines.append(f"error: {result.error}")
+def _report_jobs(names: List[str], seed: int, seeds: Optional[int],
+                 base_seed: int) -> List[Job]:
+    """The report's job list: one ``--seed`` job per experiment, or a
+    ``--seeds`` sweep per experiment (seedless experiments always run
+    once)."""
+    from repro.experiments.runner import derive_seed
+
+    jobs: List[Job] = []
+    for name in names:
+        spec = registry.get(name)
+        if seeds is not None and seeds > 0 and spec.accepts_seed:
+            jobs.extend(Job(name, {}, derive_seed(base_seed, i))
+                        for i in range(seeds))
         else:
-            lines.extend(_render_text(result.payload))
-        lines.append("```")
-        lines.append("")
-        print(f"ran {result.name} ({result.duration_s:.3f} s)")
-    with open(output, "w") as handle:
-        handle.write("\n".join(lines))
-    print(f"wrote {output}")
+            jobs.append(Job(name, {}, seed))
+    return jobs
+
+
+def _report(args) -> int:
+    """Run experiments under the full telemetry suite and render one
+    self-contained report artifact (see :mod:`repro.report`)."""
+    from repro.report import check_report, render_report
+
+    _apply_sanitize(args)
+    fmt = args.format
+    if fmt is None:
+        fmt = "html" if args.output.endswith((".html", ".htm")) else "markdown"
+    runner = _make_runner(args.parallel, args.cache_dir,
+                          collect_metrics=True, collect_physics=True,
+                          collect_profile=True)
+    jobs = _report_jobs(args.names, args.seed, args.seeds, args.base_seed)
+    try:
+        results = runner.run(jobs)
+    except KeyboardInterrupt:
+        print("interrupted; completed results were flushed", file=sys.stderr)
+        return 130
+    text = render_report(results, physics=runner.physics,
+                         metrics=runner.metrics, profile=runner.profile,
+                         fmt=fmt)
+    with open(args.output, "w") as handle:
+        handle.write(text)
+    print(f"wrote {args.output} ({fmt}, {len(results)} job(s), "
+          f"{runner.physics.total_flips()} flips)")
     summary = runner.summary(results)
     if summary["errors"]:
         _print_batch_errors(summary)
         return 1
+    if args.check:
+        problems = check_report(results, runner.physics, runner.metrics)
+        for problem in problems:
+            print(f"check: {problem}", file=sys.stderr)
+        if problems:
+            return 1
+        print("check: flip totals agree (heat map, provenance, "
+              "dram_bit_flips_total)", file=sys.stderr)
     return 0
 
 
@@ -581,6 +680,7 @@ def _sweep(args) -> int:
         renderer = LiveRenderer()
     stream = True if (args.serve_metrics is not None or args.live) else None
     runner = _make_runner(args.parallel, cache_dir, collect_metrics=args.metrics,
+                          collect_physics=args.physics,
                           timeout_s=args.timeout, retries=args.retries,
                           checkpoint=checkpoint, resume=args.resume,
                           stream=stream, collect_profile=args.live,
@@ -602,6 +702,8 @@ def _sweep(args) -> int:
         renderer.finish(runner)
     if args.metrics:
         _write_metrics_snapshot(runner, args.metrics_out, "sweep", [args.name])
+    if args.physics:
+        _write_physics_snapshot(runner, args.physics_out, "sweep", [args.name])
     summary = runner.summary(results)
     if args.json:
         print(json.dumps([r.to_json_dict() for r in results], indent=2, default=repr))

@@ -55,6 +55,7 @@ from repro.dram.stream import (
     CommandStream,
 )
 from repro.sanitizer import runtime as sanit
+from repro.telemetry import physics as phys
 from repro.telemetry import runtime as telem
 
 #: Bucket edges for the flips-per-materialization histogram.
@@ -99,9 +100,15 @@ def _flip_log_cap_from_env() -> Optional[int]:
 class BankStats:
     """Activity counters for one bank.
 
-    ``flip_log`` holds at most ``flip_log_cap`` ``(row, bit, time)``
-    entries; overflow is counted in ``flips_dropped`` instead of grown
-    without bound (``flips_materialized`` always counts every flip).
+    ``flip_log`` holds at most ``flip_log_cap`` entries of
+    ``(row, bit, time, aggressor, hammer, pattern, epoch)`` — each
+    flip's full provenance: the dominant aggressor row at flip time
+    (``-1`` when none claimed the victim), the accumulated hammer
+    pressure that tripped the cell, the stored data pattern, and the
+    refresh epoch (``refresh_epoch``, bumped once per bank-wide REF)
+    the flip was observed in.  Overflow is counted in ``flips_dropped``
+    instead of grown without bound (``flips_materialized`` always
+    counts every flip).
     """
 
     activations: int = 0
@@ -112,13 +119,22 @@ class BankStats:
     flip_log: List[tuple] = field(default_factory=list)
     flip_log_cap: Optional[int] = field(default_factory=_flip_log_cap_from_env)
     flips_dropped: int = 0
+    bank_index: int = 0
+    refresh_epoch: int = 0
 
-    def record_flips(self, row: int, bits: np.ndarray, time: float) -> None:
-        """Log materialized flips (row, bit, time) — vectorized, capped."""
+    def record_flips(self, row: int, bits: np.ndarray, time: float,
+                     aggressor: int = -1, hammer: float = 0.0,
+                     pattern: str = "") -> None:
+        """Log materialized flips with provenance — vectorized, capped."""
         n = len(bits)
         if n == 0:
             return
         self.flips_materialized += n
+        epoch = self.refresh_epoch
+        if phys.physics_on:
+            phys.get_collector().record_flip_window(
+                self.bank_index, int(row), n, float(hammer), int(aggressor),
+                pattern, epoch)
         cap = self.flip_log_cap
         if cap is not None:
             room = cap - len(self.flip_log)
@@ -130,10 +146,17 @@ class BankStats:
                 if n == 0:
                     return
         bit_list = bits.tolist() if isinstance(bits, np.ndarray) else [int(b) for b in bits]
-        self.flip_log.extend(zip(repeat(int(row), n), bit_list, repeat(float(time), n)))
+        self.flip_log.extend(zip(repeat(int(row), n), bit_list,
+                                 repeat(float(time), n),
+                                 repeat(int(aggressor), n),
+                                 repeat(float(hammer), n),
+                                 repeat(pattern, n), repeat(epoch, n)))
 
     def record_flips_batch(self, rows: np.ndarray, bits: np.ndarray,
-                           times: np.ndarray) -> None:
+                           times: np.ndarray,
+                           aggressors: Optional[np.ndarray] = None,
+                           hammers: Optional[np.ndarray] = None,
+                           pattern: str = "") -> None:
         """Log many events' flips at once — parallel per-flip arrays in
         log order.  Equivalent to per-event :meth:`record_flips` calls:
         the cap truncates the same prefix and drops the same count."""
@@ -141,6 +164,18 @@ class BankStats:
         if n == 0:
             return
         self.flips_materialized += n
+        if aggressors is None:
+            aggressors = np.full(n, -1, dtype=np.int64)
+        if hammers is None:
+            hammers = np.zeros(n)
+        epoch = self.refresh_epoch
+        if phys.physics_on:
+            collector = phys.get_collector()
+            for row, agg, hammer in zip(rows.tolist(), aggressors.tolist(),
+                                        hammers.tolist()):
+                collector.record_flip_window(self.bank_index, int(row), 1,
+                                             float(hammer), int(agg),
+                                             pattern, epoch)
         cap = self.flip_log_cap
         if cap is not None:
             room = cap - len(self.flip_log)
@@ -150,7 +185,11 @@ class BankStats:
                 if room == 0:
                     return
                 rows, bits, times = rows[:room], bits[:room], times[:room]
-        self.flip_log.extend(zip(rows.tolist(), bits.tolist(), times.tolist()))
+                aggressors, hammers = aggressors[:room], hammers[:room]
+                n = room
+        self.flip_log.extend(zip(rows.tolist(), bits.tolist(), times.tolist(),
+                                 aggressors.tolist(), hammers.tolist(),
+                                 repeat(pattern, n), repeat(epoch, n)))
 
 
 class DramBank:
@@ -206,7 +245,7 @@ class DramBank:
         self.default_pattern_name = default_pattern
         self._default_pattern: PatternFn = get_pattern(default_pattern)
         self.open_row: Optional[int] = None
-        self.stats = BankStats()
+        self.stats = BankStats(bank_index=index)
         self._init_storage()
 
     def _init_storage(self) -> None:
@@ -268,7 +307,10 @@ class DramBank:
         if len(flipped):
             if sanit.sanitize_on:
                 sanit.note("dram.bank", self, row=row)
-            self.stats.record_flips(row, flipped, time)
+            self.stats.record_flips(
+                row, flipped, time,
+                aggressor=-1 if aggressor is None else int(aggressor),
+                hammer=peak, pattern=self.default_pattern_name)
             if telem.metrics_on:
                 telem.counter("dram_bit_flips_total",
                               bank=self.index, cause=cause).inc(len(flipped))
@@ -293,6 +335,8 @@ class DramBank:
             telem.counter("dram_activations_total", bank=self.index).inc()
         if telem.trace_on:
             telem.trace("activate", t=time, bank=self.index, row=row)
+        if phys.physics_on:
+            phys.get_collector().record_activation(self.index, row)
         self._materialize(row, time)
         self._pressure[row] = 0.0
         self._peak[row] = 0.0
@@ -322,6 +366,8 @@ class DramBank:
             telem.counter("dram_activations_total", bank=self.index).inc(count)
         if telem.trace_on:
             telem.trace("activate", t=time, bank=self.index, row=row, count=count)
+        if phys.physics_on:
+            phys.get_collector().record_activation(self.index, row, count)
         if telem.spans_on:
             with telem.span("dram.bulk_activate"):
                 return self._bulk_activate_body(row, count, time)
@@ -422,6 +468,9 @@ class DramBank:
             flips = 0
             for row in list(self._peak):
                 flips += len(self.refresh_row(row, time))
+            # Flips caught by this REF belong to the epoch that just
+            # ended; the next epoch starts after materialization.
+            self.stats.refresh_epoch += 1
             return flips
 
     def settle(self, time: float = 0.0) -> int:

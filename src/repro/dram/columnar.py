@@ -52,6 +52,7 @@ from repro.dram.stream import (
     CommandStream,
 )
 from repro.sanitizer import runtime as sanit
+from repro.telemetry import physics as phys
 from repro.telemetry import runtime as telem
 
 __all__ = ["ColumnarDramBank"]
@@ -474,7 +475,9 @@ class ColumnarDramBank(DramBank):
                 if sanitize:
                     sanit.note("dram.bank", self, row=row)
                 t = float(times[i])
-                self.stats.record_flips(row, flipped, t)
+                self.stats.record_flips(row, flipped, t, aggressor=agg,
+                                        hammer=peak,
+                                        pattern=self.default_pattern_name)
                 if metrics:
                     metrics[0].inc(n_flips)
                     metrics[1].observe(n_flips)
@@ -637,6 +640,8 @@ class ColumnarDramBank(DramBank):
             times_l: List[float] = []
             counts_l: List[int] = []
             flips_l: List[np.ndarray] = []
+            aggs_l: List[int] = []
+            peaks_l: List[float] = []
             total = 0
             for i in sorted(chunks):
                 bits, mask, s, e, count = chunks[i]
@@ -650,6 +655,8 @@ class ColumnarDramBank(DramBank):
                 times_l.append(t)
                 counts_l.append(count)
                 flips_l.append(flipped)
+                aggs_l.append(int(aggs[i]))
+                peaks_l.append(float(peaks[i]))
                 if metrics:
                     metrics[1].observe(count)
                 if tracing:
@@ -662,7 +669,11 @@ class ColumnarDramBank(DramBank):
                 self.stats.record_flips_batch(
                     np.repeat(np.asarray(rows_l, dtype=np.int64), counts_l),
                     np.concatenate(flips_l),
-                    np.repeat(np.asarray(times_l), counts_l))
+                    np.repeat(np.asarray(times_l), counts_l),
+                    aggressors=np.repeat(
+                        np.asarray(aggs_l, dtype=np.int64), counts_l),
+                    hammers=np.repeat(np.asarray(peaks_l), counts_l),
+                    pattern=self.default_pattern_name)
             return total
 
         # Apply in window order; re-evaluate any window whose inputs an
@@ -687,7 +698,8 @@ class ColumnarDramBank(DramBank):
             self._apply_row_flips(row, flipped)
             dirty.add(row)
             t = float(times[i])
-            record(row, flipped, t)
+            record(row, flipped, t, aggressor=agg, hammer=float(peaks[i]),
+                   pattern=self.default_pattern_name)
             if metrics:
                 metrics[0].inc(n_flips)
                 metrics[1].observe(n_flips)
@@ -714,6 +726,9 @@ class ColumnarDramBank(DramBank):
                 for row in rows:
                     sanit.check("dram.bank", self, row=row)
             if not rows:
+                # Epoch advances per bank-wide REF even with nothing to
+                # refresh — the reference loop body is simply empty.
+                self.stats.refresh_epoch += 1
                 return 0
             row_arr = np.asarray(rows, dtype=np.int64)
             peaks = state.peak[row_arr]
@@ -726,6 +741,7 @@ class ColumnarDramBank(DramBank):
                     np.full(len(victims), float(time)), "refresh")
             state.pressure[row_arr] = 0.0
             state.peak[row_arr] = 0.0
+            self.stats.refresh_epoch += 1
             return flips
 
     def refresh_rows(self, rows: Sequence[int], time: float = 0.0) -> int:
@@ -791,6 +807,7 @@ class ColumnarDramBank(DramBank):
             act_counter = (telem.counter("dram_activations_total",
                                          bank=self.index)
                            if telem.metrics_on else None)
+            collector = phys.get_collector() if phys.physics_on else None
             act_rows: List[int] = []
             act_counts: List[int] = []
             act_times: List[float] = []
@@ -808,6 +825,9 @@ class ColumnarDramBank(DramBank):
                     if telem.trace_on:
                         telem.trace("activate", t=cmd.time, bank=self.index,
                                     row=cmd.row, count=cmd.count)
+                    if collector is not None:
+                        collector.record_activation(self.index, cmd.row,
+                                                    cmd.count)
                     act_rows.append(cmd.row)
                     act_counts.append(cmd.count)
                     act_times.append(cmd.time)

@@ -146,6 +146,7 @@ def observe(bank: DramBank, returned: int) -> EngineObservation:
             "writes": stats.writes,
             "flips_materialized": stats.flips_materialized,
             "flips_dropped": stats.flips_dropped,
+            "refresh_epoch": stats.refresh_epoch,
         },
         touch_order=touch_order,
         pressure={row: bank._pressure.get(row, 0.0) for row in touch_order},
@@ -194,11 +195,27 @@ def diff_observations(
     exact("touched_rows", reference.touched_rows, candidate.touched_rows)
     exact("last_aggressor", reference.last_aggressor, candidate.last_aggressor)
     exact("shadow digests", reference.digests, candidate.digests)
-    if reference.flip_log != candidate.flip_log:
+    # Flip-log entries carry provenance: (row, bit, time, aggressor,
+    # hammer, pattern, epoch).  Every field must match exactly except
+    # the hammer pressure, which the columnar engine accumulates in a
+    # different association order and so may differ by ulps — it gets
+    # the same float tolerance as the pressure/peak maps.
+    def entries_match(a: tuple, b: tuple) -> bool:
+        if len(a) != len(b):
+            return False
+        if len(a) >= 7:
+            return (a[:4] == b[:4] and a[5:] == b[5:]
+                    and bool(np.isclose(a[4], b[4],
+                                        rtol=float_rtol, atol=float_atol)))
+        return a == b
+
+    if (len(reference.flip_log) != len(candidate.flip_log)
+            or not all(entries_match(a, b) for a, b in
+                       zip(reference.flip_log, candidate.flip_log))):
         n_ref, n_can = len(reference.flip_log), len(candidate.flip_log)
         detail = f"{n_ref} vs {n_can} entries"
         for i, (a, b) in enumerate(zip(reference.flip_log, candidate.flip_log)):
-            if a != b:
+            if not entries_match(a, b):
                 detail += f"; first divergence at {i}: {a} vs {b}"
                 break
         problems.append(f"flip_log: {detail}")

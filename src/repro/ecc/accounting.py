@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.ecc.base import DecodeStatus, EccCode, classify_against_truth
 from repro.sanitizer import runtime as sanit
+from repro.telemetry import physics as phys
 from repro.telemetry import runtime as telem
 
 
@@ -47,6 +48,10 @@ class EccEvaluation:
         self.outcomes[status] = self.outcomes.get(status, 0) + count
         if telem.metrics_on:
             telem.counter("ecc_words_total", status=status.value).inc(count)
+        if phys.physics_on:
+            # Per-word correct-vs-detect outcomes are high-volume, so
+            # they stay audit counts rather than individual events.
+            phys.get_collector().audit_count("ecc", status.value, count)
 
     @property
     def uncorrected_words(self) -> int:

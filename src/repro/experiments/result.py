@@ -64,6 +64,12 @@ class ExperimentResult:
     :meth:`~repro.telemetry.SpanProfiler.snapshot` of wall-clock spans
     when the job ran under the span profiler.
 
+    ``physics`` is the analogous
+    :meth:`~repro.telemetry.PhysicsCollector.snapshot` of the domain
+    observability layer — per-row heat, flip provenance aggregates,
+    and the mitigation audit trail — when the job ran with
+    ``collect_physics``.
+
     ``error`` is ``None`` for a successful run; a fault-tolerant batch
     (:meth:`~repro.experiments.runner.ExperimentRunner.run`) captures a
     raising job as a result with ``payload=None`` and ``error`` set to
@@ -86,6 +92,7 @@ class ExperimentResult:
     cache_hit: bool = False
     metrics: Optional[Dict[str, Any]] = None
     profile: Optional[Dict[str, Any]] = None
+    physics: Optional[Dict[str, Any]] = None
     error: Optional[str] = None
     run_id: Optional[str] = None
     job_id: Optional[str] = None
@@ -129,6 +136,7 @@ class ExperimentResult:
             "cache_hit": self.cache_hit,
             "metrics": self.metrics,
             "profile": self.profile,
+            "physics": self.physics,
             "error": self.error,
             "run_id": self.run_id,
             "job_id": self.job_id,
@@ -148,6 +156,7 @@ class ExperimentResult:
             "cache_hit": bool(record.get("cache_hit", False)),
             "metrics": record.get("metrics"),
             "profile": record.get("profile"),
+            "physics": record.get("physics"),
             "error": record.get("error"),
             "run_id": record.get("run_id"),
             "job_id": record.get("job_id"),

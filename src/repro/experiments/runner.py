@@ -72,8 +72,15 @@ from typing import (
 from repro.experiments import registry
 from repro.experiments.checkpoint import SweepCheckpoint, job_key
 from repro.experiments.result import ExperimentResult, to_jsonable
-from repro.telemetry import MetricsRegistry, RunLedger, SpanProfile, SpanProfiler
+from repro.telemetry import (
+    MetricsRegistry,
+    PhysicsCollector,
+    RunLedger,
+    SpanProfile,
+    SpanProfiler,
+)
 from repro.telemetry import default_ledger
+from repro.telemetry import physics as phys
 from repro.telemetry import events as stream_events
 from repro.telemetry import ids
 from repro.telemetry import runtime as telem
@@ -217,7 +224,8 @@ def _peak_rss_kb() -> int:
 def execute_job(name: str, params: Optional[Mapping[str, Any]] = None,
                 seed: Optional[int] = 0,
                 collect_metrics: bool = False,
-                collect_profile: bool = False) -> ExperimentResult:
+                collect_profile: bool = False,
+                collect_physics: bool = False) -> ExperimentResult:
     """Run one experiment in-process and return its structured result.
 
     This is the single run-one-experiment path shared by the CLI's
@@ -231,7 +239,10 @@ def execute_job(name: str, params: Optional[Mapping[str, Any]] = None,
     shipped across process boundaries and merged in the parent.
     ``collect_profile`` does the same with a fresh span profiler: the
     whole job runs under a root ``job{name=...}`` span and the profile
-    snapshot rides in ``result.profile``.
+    snapshot rides in ``result.profile``.  ``collect_physics`` does the
+    same with a fresh :class:`~repro.telemetry.PhysicsCollector`
+    (per-row heat, flip provenance, mitigation audit) riding in
+    ``result.physics``.
 
     Exceptions raised inside the experiment propagate (the batch-level
     fault tolerance lives in :meth:`ExperimentRunner.run`); the
@@ -263,10 +274,15 @@ def execute_job(name: str, params: Optional[Mapping[str, Any]] = None,
         prev_profiler = telem.swap_profiler(SpanProfiler())
         prev_spans_on = telem.spans_on
         telem.enable_profiling()
+    if collect_physics:
+        prev_collector = phys.swap_collector(phys.PhysicsCollector())
+        prev_physics_on = phys.physics_on
+        phys.enable_physics()
     if telem.trace_on:
         telem.trace("job_start", name=spec.name, seed=seed)
     snapshot: Optional[Dict[str, Any]] = None
     profile: Optional[Dict[str, Any]] = None
+    physics: Optional[Dict[str, Any]] = None
     ok = True
     error: Optional[str] = None
     start = time.perf_counter()
@@ -291,6 +307,11 @@ def execute_job(name: str, params: Optional[Mapping[str, Any]] = None,
             telem.swap_profiler(prev_profiler)
             if not prev_spans_on:
                 telem.disable_profiling()
+        if collect_physics:
+            physics = phys.get_collector().snapshot()
+            phys.swap_collector(prev_collector)
+            if not prev_physics_on:
+                phys.disable_physics()
         if collect_metrics:
             snapshot = telem.get_registry().snapshot()
             telem.swap_registry(prev_registry)
@@ -306,6 +327,7 @@ def execute_job(name: str, params: Optional[Mapping[str, Any]] = None,
         version=repro.__version__,
         metrics=snapshot,
         profile=profile,
+        physics=physics,
         run_id=run_id,
         job_id=jid,
     )
@@ -314,7 +336,8 @@ def execute_job(name: str, params: Optional[Mapping[str, Any]] = None,
 def execute_job_safe(name: str, params: Optional[Mapping[str, Any]] = None,
                      seed: Optional[int] = 0,
                      collect_metrics: bool = False,
-                     collect_profile: bool = False) -> ExperimentResult:
+                     collect_profile: bool = False,
+                     collect_physics: bool = False) -> ExperimentResult:
     """:func:`execute_job`, but a raising experiment becomes an errored
     :class:`ExperimentResult` (``payload=None``, ``error`` set) instead
     of propagating — the unit of the batch runner's fault tolerance.
@@ -358,7 +381,8 @@ def execute_job_safe(name: str, params: Optional[Mapping[str, Any]] = None,
             chaos.on_job_start(spec.name, seed)
         result = execute_job(name, params=params, seed=seed,
                              collect_metrics=collect_metrics,
-                             collect_profile=collect_profile)
+                             collect_profile=collect_profile,
+                             collect_physics=collect_physics)
         return result
     except (Exception, SystemExit) as exc:
         detail = str(exc)
@@ -392,17 +416,19 @@ def execute_job_safe(name: str, params: Optional[Mapping[str, Any]] = None,
                 result.duration_s if result is not None else None)
 
 
-def _pool_worker(job: Tuple[str, Dict[str, Any], Optional[int], bool, bool]) -> ExperimentResult:
+def _pool_worker(job: Tuple[str, Dict[str, Any], Optional[int], bool, bool, bool]
+                 ) -> ExperimentResult:
     # Re-import inside the worker so spawn-based pools (macOS/Windows)
     # repopulate the registry; under fork this is a no-op.
     import repro.experiments  # noqa: F401
 
-    name, params, seed, collect_metrics, collect_profile = job
+    name, params, seed, collect_metrics, collect_profile, collect_physics = job
     # The safe variant keeps one raising job from poisoning the pool
     # and aborting its completed siblings.
     return execute_job_safe(name, params=params, seed=seed,
                             collect_metrics=collect_metrics,
-                            collect_profile=collect_profile)
+                            collect_profile=collect_profile,
+                            collect_physics=collect_physics)
 
 
 #: Temp files this much older than "now" are crash leftovers, not
@@ -538,7 +564,9 @@ class ExperimentRunner:
     hits included — their stored snapshots are re-absorbed, so a fully
     cached re-run still reports what the hardware did).
     ``collect_profile=True`` does the same for span profiles into
-    :attr:`profile`.
+    :attr:`profile`, and ``collect_physics=True`` for the domain
+    observability layer (per-row heat maps, flip provenance, the
+    mitigation audit trail) into :attr:`physics`.
 
     Batches are **fault tolerant**: a job that raises becomes an
     errored result (``error`` set, ``payload=None``) instead of
@@ -592,6 +620,7 @@ class ExperimentRunner:
                  max_workers: Optional[int] = None,
                  collect_metrics: bool = False,
                  collect_profile: bool = False,
+                 collect_physics: bool = False,
                  ledger: Union[None, bool, RunLedger] = None,
                  timeout_s: Optional[float] = None,
                  retries: int = 0,
@@ -626,6 +655,7 @@ class ExperimentRunner:
         self.on_progress = on_progress
         self.collect_metrics = collect_metrics
         self.collect_profile = collect_profile
+        self.collect_physics = collect_physics
         self.timeout_s = timeout_s
         self.retries = max(0, int(retries))
         self.backoff_s = backoff_s
@@ -642,6 +672,9 @@ class ExperimentRunner:
         )
         self.profile: Optional[SpanProfile] = (
             SpanProfile() if collect_profile else None
+        )
+        self.physics: Optional[PhysicsCollector] = (
+            PhysicsCollector() if collect_physics else None
         )
         if ledger is None or ledger is True:
             self.ledger = default_ledger()
@@ -729,6 +762,8 @@ class ExperimentRunner:
                 ).inc()
         if self.profile is not None and result.profile:
             self.profile.merge(result.profile)
+        if self.physics is not None and result.physics:
+            self.physics.merge(result.physics)
         if self.ledger is not None:
             self.ledger.record(result)
 
@@ -773,7 +808,8 @@ class ExperimentRunner:
                     return hit
             result = execute_job(name, params=params, seed=seed,
                                  collect_metrics=self.collect_metrics,
-                                 collect_profile=self.collect_profile)
+                                 collect_profile=self.collect_profile,
+                                 collect_physics=self.collect_physics)
             if self.cache is not None:
                 self.cache.put(result)
             self._absorb(result)
@@ -933,7 +969,8 @@ class ExperimentRunner:
                     lambda: execute_job_safe(
                         p.job.name, params=p.job.params, seed=p.job.seed,
                         collect_metrics=self.collect_metrics,
-                        collect_profile=self.collect_profile),
+                        collect_profile=self.collect_profile,
+                        collect_physics=self.collect_physics),
                     timeout_s)
             except JobTimeout:
                 # The alarm fired outside the guarded job body.
@@ -952,7 +989,8 @@ class ExperimentRunner:
     def _submit(self, pool: ProcessPoolExecutor, p: _Pending):
         fut = pool.submit(_pool_worker, (p.job.name, dict(p.job.params),
                                          p.job.seed, self.collect_metrics,
-                                         self.collect_profile))
+                                         self.collect_profile,
+                                         self.collect_physics))
         timeout_s = self._job_timeout(p.job)
         p.started_at = time.monotonic()
         p.deadline = (p.started_at + timeout_s) if timeout_s else None

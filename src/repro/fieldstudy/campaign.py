@@ -170,7 +170,7 @@ def scan_module_rows(
         stream.settle()
         before = len(dev.stats.flip_log)
         dev.execute(stream)
-        errors += sum(1 for row, _bit, _t in dev.stats.flip_log[before:]
+        errors += sum(1 for row, *_rest in dev.stats.flip_log[before:]
                       if row == victim)
     cells = len(victims) * module.geometry.row_bits
     return _result(module, errors, cells, budget)

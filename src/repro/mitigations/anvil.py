@@ -21,6 +21,7 @@ from __future__ import annotations
 from collections import Counter
 from typing import Tuple
 
+from repro.telemetry import physics as phys
 from repro.utils.validation import check_positive
 
 
@@ -63,11 +64,18 @@ class AnvilMitigation:
 
     def _sample(self, controller) -> None:
         self.samples += 1
+        if phys.physics_on:
+            phys.get_collector().audit_count("anvil", "sample")
         controller.time_ns += self.sample_cost_ns
         visible = self._counts.most_common(self.top_k)
         for (bank, row), count in visible:
             if count >= self.rate_threshold:
                 self.detections += 1
+                if phys.physics_on:
+                    phys.get_collector().audit(
+                        "anvil", "detect", self._window_start, bank=bank,
+                        aggressor=row, count=count,
+                        threshold=self.rate_threshold)
                 self._extra_refreshes += controller.refresh_neighbors(bank, row, 1)
         self._counts.clear()
         self._window_start += self.sample_interval_ns

@@ -20,6 +20,7 @@ from __future__ import annotations
 import math
 from typing import Dict, Optional, Tuple
 
+from repro.telemetry import physics as phys
 from repro.utils.validation import check_positive
 
 
@@ -60,6 +61,8 @@ class CounterBasedMitigation:
         if time_ns - self._window_start >= self.window_ns:
             self._counts.clear()
             self._window_start += self.window_ns * math.floor((time_ns - self._window_start) / self.window_ns)
+            if phys.physics_on:
+                phys.get_collector().audit_count("cra", "window_reset")
         key = (bank, logical_row)
         count = self._counts.get(key, 0) + 1
         if key not in self._counts and self.table_entries is not None and len(self._counts) >= self.table_entries:
@@ -67,9 +70,16 @@ class CounterBasedMitigation:
             coldest = min(self._counts, key=self._counts.get)
             del self._counts[coldest]
             self.evictions += 1
+            if phys.physics_on:
+                phys.get_collector().audit_count("cra", "evict")
         self._counts[key] = count
         if count >= self.threshold:
             self.detections += 1
+            if phys.physics_on:
+                phys.get_collector().audit(
+                    "cra", "detect", time_ns, bank=bank,
+                    aggressor=logical_row, count=count,
+                    threshold=self.threshold)
             self._extra_refreshes += controller.refresh_neighbors(bank, logical_row, 1)
             self._counts[key] = 0
 

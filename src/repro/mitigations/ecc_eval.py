@@ -39,7 +39,7 @@ def hammer_flip_positions(
     stream.settle()
     dev_bank = module.bank(bank)
     dev_bank.execute(stream)
-    return [bit for _row, bit, _t in dev_bank.stats.flip_log]
+    return [bit for _row, bit, *_prov in dev_bank.stats.flip_log]
 
 
 def flip_histogram_from_hammer(
@@ -67,7 +67,7 @@ def flip_histogram_from_hammer(
     dev_bank.execute(stream)
     row_bits = module.geometry.row_bits
     all_bits = [row * row_bits + bit
-                for row, bit, _t in dev_bank.stats.flip_log[before:]]
+                for row, bit, *_prov in dev_bank.stats.flip_log[before:]]
     return flips_per_word(all_bits, word_bits)
 
 

@@ -20,6 +20,7 @@ import math
 
 import numpy as np
 
+from repro.telemetry import physics as phys
 from repro.telemetry import runtime as telem
 from repro.utils.rng import derive_rng
 from repro.utils.units import SECONDS_PER_YEAR
@@ -46,12 +47,20 @@ class Para:
 
     def on_activate(self, controller, bank: int, logical_row: int, time_ns: float) -> None:
         """With probability ``p``, refresh the aggressor's neighbors."""
+        if phys.physics_on:
+            # Draws are one-per-activation, so they stay an audit count;
+            # the (rare) trigger below gets a full typed event.
+            phys.get_collector().audit_count("para", "draw")
         if self._rng.random() < self.p:
             self.triggers += 1
             if telem.metrics_on:
                 telem.counter("para_triggers_total").inc()
             if telem.trace_on:
                 telem.trace("para_refresh", t=time_ns, bank=bank, aggressor=logical_row)
+            if phys.physics_on:
+                phys.get_collector().audit(
+                    "para", "refresh", time_ns, bank=bank,
+                    aggressor=logical_row, distance=self.distance)
             self._extra_refreshes += controller.refresh_neighbors(bank, logical_row, self.distance)
 
     def extra_refresh_ops(self) -> int:

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.dram.timing import TimingParams
+from repro.telemetry import physics as phys
 from repro.utils.validation import check_positive
 
 
@@ -55,12 +56,18 @@ class RefreshCost:
 def refresh_cost(timing: TimingParams, multiplier: float) -> RefreshCost:
     """Compute the cost/protection point at ``multiplier``."""
     check_positive("multiplier", multiplier)
-    return RefreshCost(
+    cost = RefreshCost(
         multiplier=multiplier,
         bandwidth_overhead=timing.tRFC / (timing.tREFI / multiplier),
         refresh_energy_factor=multiplier,
         budget=attack_budget(timing, multiplier),
     )
+    if phys.physics_on:
+        phys.get_collector().audit(
+            "refresh_scaling", "epoch", multiplier=cost.multiplier,
+            bandwidth_overhead=cost.bandwidth_overhead,
+            budget=cost.budget)
+    return cost
 
 
 def sweep_costs(timing: TimingParams, multipliers: Sequence[float] = (1, 2, 3, 4, 5, 6, 7, 8)) -> list:

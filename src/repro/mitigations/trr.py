@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Dict, Tuple
 
+from repro.telemetry import physics as phys
 from repro.utils.validation import check_positive
 
 
@@ -45,6 +46,8 @@ class TrrMitigation:
         """Track the (physical) aggressor; fire targeted refresh periodically."""
         physical = controller.module.remapper.to_physical(logical_row)
         tracker = self._trackers.setdefault(bank, {})
+        if phys.physics_on:
+            phys.get_collector().audit_count("trr", "sample")
         if physical in tracker:
             tracker[physical] += 1
         elif len(tracker) < self.tracker_entries:
@@ -56,6 +59,10 @@ class TrrMitigation:
                 del tracker[coldest]
                 tracker[physical] = 1
                 self.evictions += 1
+                if phys.physics_on:
+                    phys.get_collector().audit(
+                        "trr", "evict", time_ns, bank=bank,
+                        evicted=coldest, inserted=physical)
             else:
                 tracker[coldest] -= 1
         acts = self._acts_since_refresh.get(bank, 0) + 1
@@ -69,13 +76,18 @@ class TrrMitigation:
             return
         hottest = max(tracker, key=tracker.get)
         module = controller.module
-        for victim in module.remapper.physical_neighbors(hottest, 1):
+        victims = list(module.remapper.physical_neighbors(hottest, 1))
+        for victim in victims:
             module.refresh_physical_row(bank, victim, controller.time_ns)
             controller.time_ns += module.timing.tRC
             controller.energy.record("refresh_row")
             self._extra_refreshes += 1
         tracker[hottest] = 0
         self.targeted_refreshes += 1
+        if phys.physics_on:
+            phys.get_collector().audit(
+                "trr", "targeted_refresh", controller.time_ns, bank=bank,
+                aggressor=hottest, victims=victims)
 
     def extra_refresh_ops(self) -> int:
         """Victim refreshes injected so far."""

@@ -1,0 +1,345 @@
+"""Self-contained experiment report artifacts.
+
+``repro report`` caps the observability stack: it runs (or fetches
+from cache) a set of experiments with the full telemetry suite on —
+metrics, span profile, and the physics layer — and renders one
+artifact a reviewer can read without the repo checked out:
+
+* environment fingerprint (:func:`repro.telemetry.ids.environment_fingerprint`)
+  so apples-vs-oranges comparisons are visible at a glance;
+* a results table with per-job provenance and payload summaries;
+* the **per-row disturbance heat map** (hottest rows first);
+* the **flip provenance** table — flips by (bank, victim, dominant
+  aggressor, data pattern) with hammer peaks and refresh-epoch windows;
+* the **mitigation decision audit** — decision counts plus the most
+  recent typed events;
+* the span tree (where wall-clock went) and the merged metric table.
+
+Both output formats are self-contained single files: markdown uses
+only pipe tables and fenced blocks; HTML inlines its own CSS and uses
+no external assets, so the file can be archived as a CI artifact and
+opened anywhere.
+
+:func:`check_report` is the integrity gate CI runs before uploading:
+the physics layer's flip totals must agree with themselves (heat map
+vs. provenance aggregates) and with the hardware metric
+``dram_bit_flips_total`` — three independently accumulated paths to
+the same number.
+"""
+
+from __future__ import annotations
+
+import html as _html
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.experiments.result import ExperimentResult, to_jsonable
+from repro.telemetry import MetricsRegistry, PhysicsCollector, SpanProfile
+from repro.telemetry.ids import environment_fingerprint
+
+__all__ = [
+    "render_report",
+    "check_report",
+    "DEFAULT_ROW_LIMIT",
+    "DEFAULT_EVENT_LIMIT",
+]
+
+#: How many heat-map / provenance rows the artifact shows (totals
+#: always cover everything; the limit only bounds the tables).
+DEFAULT_ROW_LIMIT = 25
+
+#: How many typed audit events the artifact shows (counts are complete).
+DEFAULT_EVENT_LIMIT = 25
+
+
+# ----------------------------------------------------------------------
+# Intermediate document model: sections of simple blocks, rendered to
+# either markdown or HTML.  Blocks are ("para", text), ("pre", text),
+# ("kv", [(key, value)...]), or ("table", headers, rows).
+# ----------------------------------------------------------------------
+_Block = Tuple[Any, ...]
+_Section = Tuple[str, List[_Block]]
+
+
+def _fmt_cell(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)
+
+
+def _payload_summary(payload: Any, limit: int = 6) -> str:
+    """One-line scalar digest of a payload for the results table."""
+    jsonable = to_jsonable(payload)
+    if not isinstance(jsonable, dict):
+        text = str(jsonable)
+        return text if len(text) <= 60 else text[:57] + "..."
+    parts = []
+    for key, value in jsonable.items():
+        if isinstance(value, (int, float, str, bool)) or value is None:
+            parts.append(f"{key}={_fmt_cell(value)}")
+        if len(parts) >= limit:
+            break
+    return " ".join(parts) if parts else f"{len(jsonable)} keys"
+
+
+def _build_sections(results: Sequence[ExperimentResult],
+                    physics: Optional[PhysicsCollector],
+                    metrics: Optional[MetricsRegistry],
+                    profile: Optional[SpanProfile],
+                    fingerprint: Optional[Mapping[str, Any]],
+                    row_limit: int,
+                    event_limit: int) -> List[_Section]:
+    sections: List[_Section] = []
+
+    fp = dict(fingerprint) if fingerprint is not None else environment_fingerprint()
+    run_ids = sorted({r.run_id for r in results if r.run_id})
+    if run_ids:
+        fp["run_id"] = ", ".join(run_ids)
+    sections.append(("Environment", [("kv", sorted(fp.items()))]))
+
+    rows = [[r.name,
+             "-" if r.seed is None else r.seed,
+             r.outcome,
+             f"{r.duration_s:.3f}",
+             "yes" if r.cache_hit else "no",
+             r.error if r.error else _payload_summary(r.payload)]
+            for r in results]
+    sections.append(("Results", [
+        ("para", f"{len(results)} job(s); "
+                 f"{sum(1 for r in results if r.error)} errored; "
+                 f"{sum(1 for r in results if r.cache_hit)} cache hit(s)."),
+        ("table",
+         ["experiment", "seed", "outcome", "duration (s)", "cached", "payload"],
+         rows),
+    ]))
+
+    if physics is not None and physics:
+        heat = physics.heat_rows()
+        disturbed = sum(1 for row in heat if row[4])
+        blocks: List[_Block] = [
+            ("para",
+             f"{physics.total_flips()} flips over {disturbed} disturbed "
+             f"row(s); {physics.total_activations()} activations over "
+             f"{len(heat)} touched row(s). Showing the "
+             f"{min(row_limit, len(heat))} hottest of {len(heat)}."),
+            ("table",
+             ["bank", "row", "activations", "peak pressure", "flips"],
+             [list(row) for row in heat[:row_limit]]),
+        ]
+        sections.append(("Row heat map", blocks))
+
+        prov = physics.provenance_rows()
+        blocks = [
+            ("para",
+             f"{physics.total_provenance_flips()} flips across "
+             f"{len(prov)} (bank, victim, aggressor, pattern) group(s). "
+             f"Aggressor -1 means no dominant aggressor was tracked. "
+             f"Showing the heaviest {min(row_limit, len(prov))}."),
+            ("table",
+             ["bank", "victim", "aggressor", "pattern", "flips",
+              "max hammer", "epochs"],
+             [[bank, victim, agg, pattern or "-", flips, f"{hammer:g}",
+               f"{first}" if first == last else f"{first}..{last}"]
+              for bank, victim, agg, pattern, flips, hammer, first, last
+              in prov[:row_limit]]),
+        ]
+        sections.append(("Flip provenance", blocks))
+
+        counts = physics.audit_counts()
+        events = physics.audit_events()
+        blocks = []
+        if counts:
+            blocks.append(("para",
+                           f"{sum(counts.values())} decision(s) across "
+                           f"{len(counts)} (mitigation, decision) class(es)."))
+            blocks.append(("table",
+                           ["mitigation", "decision", "count"],
+                           [[mit, dec, n]
+                            for (mit, dec), n in sorted(counts.items())]))
+        else:
+            blocks.append(("para", "No mitigation decisions were recorded "
+                                   "(no mitigation in the loop)."))
+        if events:
+            shown = events[-event_limit:]
+            lines = []
+            for event in shown:
+                at = "" if event.time_ns is None else f" @ t={event.time_ns:g}ns"
+                detail = " ".join(f"{k}={v}" for k, v in sorted(event.detail.items()))
+                lines.append(f"{event.mitigation}.{event.decision}{at}"
+                             + (f"  {detail}" if detail else ""))
+            blocks.append(("para",
+                           f"Last {len(shown)} of {len(events)} typed event(s)"
+                           + (f" ({physics.audit_dropped} dropped past the cap)"
+                              if physics.audit_dropped else "") + ":"))
+            blocks.append(("pre", "\n".join(lines)))
+        sections.append(("Mitigation audit", blocks))
+
+    if profile is not None and len(profile):
+        sections.append(("Span tree", [("pre", profile.render_tree())]))
+
+    if metrics is not None and len(metrics):
+        sections.append(("Metrics", [("pre", metrics.render_table())]))
+
+    return sections
+
+
+# ----------------------------------------------------------------------
+# Renderers
+# ----------------------------------------------------------------------
+def _render_markdown(title: str, sections: List[_Section]) -> str:
+    lines: List[str] = [f"# {title}", ""]
+    for heading, blocks in sections:
+        lines.append(f"## {heading}")
+        lines.append("")
+        for block in blocks:
+            kind = block[0]
+            if kind == "para":
+                lines.append(block[1])
+                lines.append("")
+            elif kind == "pre":
+                lines.append("```")
+                lines.append(block[1])
+                lines.append("```")
+                lines.append("")
+            elif kind == "kv":
+                for key, value in block[1]:
+                    lines.append(f"- **{key}**: {_fmt_cell(value)}")
+                lines.append("")
+            elif kind == "table":
+                headers, rows = block[1], block[2]
+                lines.append("| " + " | ".join(headers) + " |")
+                lines.append("|" + "|".join(" --- " for _ in headers) + "|")
+                for row in rows:
+                    lines.append("| " + " | ".join(_fmt_cell(c) for c in row) + " |")
+                lines.append("")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+_HTML_CSS = """
+body { font-family: system-ui, sans-serif; margin: 2rem auto; max-width: 60rem;
+       color: #1a1a2e; line-height: 1.45; }
+h1 { border-bottom: 2px solid #1a1a2e; padding-bottom: .3rem; }
+h2 { margin-top: 2rem; border-bottom: 1px solid #ccc; padding-bottom: .2rem; }
+table { border-collapse: collapse; margin: .5rem 0 1rem; }
+th, td { border: 1px solid #bbb; padding: .25rem .6rem; text-align: left;
+         font-variant-numeric: tabular-nums; }
+th { background: #eef; }
+pre { background: #f6f6f8; border: 1px solid #ddd; padding: .6rem;
+      overflow-x: auto; }
+dl { display: grid; grid-template-columns: max-content auto; gap: .2rem 1rem; }
+dt { font-weight: 600; }
+dd { margin: 0; }
+""".strip()
+
+
+def _render_html(title: str, sections: List[_Section]) -> str:
+    esc = _html.escape
+    parts: List[str] = [
+        "<!DOCTYPE html>",
+        '<html lang="en"><head><meta charset="utf-8">',
+        f"<title>{esc(title)}</title>",
+        f"<style>{_HTML_CSS}</style>",
+        "</head><body>",
+        f"<h1>{esc(title)}</h1>",
+    ]
+    for heading, blocks in sections:
+        parts.append(f"<h2>{esc(heading)}</h2>")
+        for block in blocks:
+            kind = block[0]
+            if kind == "para":
+                parts.append(f"<p>{esc(block[1])}</p>")
+            elif kind == "pre":
+                parts.append(f"<pre>{esc(block[1])}</pre>")
+            elif kind == "kv":
+                parts.append("<dl>")
+                for key, value in block[1]:
+                    parts.append(f"<dt>{esc(str(key))}</dt>"
+                                 f"<dd>{esc(_fmt_cell(value))}</dd>")
+                parts.append("</dl>")
+            elif kind == "table":
+                headers, rows = block[1], block[2]
+                parts.append("<table><thead><tr>"
+                             + "".join(f"<th>{esc(h)}</th>" for h in headers)
+                             + "</tr></thead><tbody>")
+                for row in rows:
+                    parts.append("<tr>" + "".join(
+                        f"<td>{esc(_fmt_cell(c))}</td>" for c in row) + "</tr>")
+                parts.append("</tbody></table>")
+    parts.append("</body></html>")
+    return "\n".join(parts) + "\n"
+
+
+def render_report(results: Sequence[ExperimentResult],
+                  physics: Optional[PhysicsCollector] = None,
+                  metrics: Optional[MetricsRegistry] = None,
+                  profile: Optional[SpanProfile] = None,
+                  title: str = "repro experiment report",
+                  fmt: str = "markdown",
+                  fingerprint: Optional[Mapping[str, Any]] = None,
+                  row_limit: int = DEFAULT_ROW_LIMIT,
+                  event_limit: int = DEFAULT_EVENT_LIMIT) -> str:
+    """Render one self-contained report artifact.
+
+    ``fmt`` is ``"markdown"`` or ``"html"``.  ``fingerprint`` defaults
+    to the live :func:`environment_fingerprint` — tests pass a fixed
+    one for deterministic artifacts.
+    """
+    if fmt not in ("markdown", "html"):
+        raise ValueError(f"unknown report format {fmt!r}")
+    sections = _build_sections(results, physics, metrics, profile,
+                               fingerprint, row_limit, event_limit)
+    if fmt == "html":
+        return _render_html(title, sections)
+    return _render_markdown(title, sections)
+
+
+# ----------------------------------------------------------------------
+# Integrity check (the CI gate)
+# ----------------------------------------------------------------------
+def _metric_flip_total(metrics: MetricsRegistry) -> Optional[int]:
+    """Sum of ``dram_bit_flips_total`` across label sets, or ``None``
+    when the family was never emitted."""
+    total = 0
+    seen = False
+    for metric in metrics:
+        if metric.name == "dram_bit_flips_total":
+            seen = True
+            total += int(metric.value)
+    return total if seen else None
+
+
+def check_report(results: Sequence[ExperimentResult],
+                 physics: Optional[PhysicsCollector],
+                 metrics: Optional[MetricsRegistry] = None) -> List[str]:
+    """Cross-check the artifact's numbers; return problems (empty = ok).
+
+    Three independently accumulated flip totals must agree: the heat
+    map's per-row sums, the provenance aggregates' sums, and the
+    hardware counter ``dram_bit_flips_total``.  An empty physics layer
+    for a run that should have produced one is also a failure — an
+    artifact silently missing its core sections must not ship.
+    """
+    problems: List[str] = []
+    if not results:
+        problems.append("no results: the report would be empty")
+        return problems
+    errored = [r for r in results if r.error]
+    if errored:
+        problems.append(
+            f"{len(errored)} job(s) errored: "
+            + ", ".join(f"{r.name}(seed {r.seed})" for r in errored[:5]))
+    if physics is None or not physics:
+        problems.append("physics layer is empty: no heat map, provenance, "
+                        "or audit data was collected")
+        return problems
+    heat_total = physics.total_flips()
+    prov_total = physics.total_provenance_flips()
+    if heat_total != prov_total:
+        problems.append(f"flip totals disagree inside the physics layer: "
+                        f"heat map {heat_total} vs provenance {prov_total}")
+    if metrics is not None:
+        metric_total = _metric_flip_total(metrics)
+        if metric_total is not None and metric_total != heat_total:
+            problems.append(
+                f"physics flip total {heat_total} disagrees with the "
+                f"hardware counter dram_bit_flips_total {metric_total}")
+    return problems

@@ -39,6 +39,14 @@ from repro.telemetry.ids import (
     run_scope,
 )
 from repro.telemetry.ledger import RunLedger, build_record, default_ledger
+from repro.telemetry.physics import (
+    AuditEvent,
+    PhysicsCollector,
+    disable_physics,
+    enable_physics,
+    get_collector,
+    swap_collector,
+)
 from repro.telemetry.runtime import (
     counter,
     disable_all,
@@ -73,6 +81,12 @@ __all__ = [
     "TraceRecorder",
     "SpanProfile",
     "SpanProfiler",
+    "AuditEvent",
+    "PhysicsCollector",
+    "enable_physics",
+    "disable_physics",
+    "get_collector",
+    "swap_collector",
     "RunLedger",
     "build_record",
     "default_ledger",

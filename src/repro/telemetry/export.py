@@ -62,6 +62,12 @@ METRIC_HELP: Dict[str, str] = {
     "repro_sweep_eta_seconds": "Estimated seconds until the sweep completes.",
     "repro_sweep_stale_heartbeats": "Stale-heartbeat warnings raised during the sweep.",
     "repro_worker_heartbeat_age_seconds": "Seconds since each pool worker's last event.",
+    "physics_row_activations_total": "Activations recorded by the per-row heat map, per bank.",
+    "physics_flips_total": "Bit flips recorded by the per-row heat map, per bank.",
+    "physics_rows_disturbed": "Rows with at least one recorded flip, per bank.",
+    "physics_row_peak_pressure": "Highest per-row hammer pressure observed at a flip, per bank.",
+    "physics_audit_events_total": "Mitigation audit decisions, by mitigation and decision.",
+    "physics_audit_dropped_total": "Typed audit events dropped by the bounded event list.",
 }
 
 

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import Any, Optional, Sequence
 
+from repro.telemetry import physics as _physics
 from repro.telemetry.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.telemetry.spans import SpanProfiler, span_name
 from repro.telemetry.trace import TraceRecorder
@@ -128,6 +129,7 @@ def disable_all() -> None:
     disable_metrics()
     disable_tracing()
     disable_profiling()
+    _physics.disable_physics()
 
 
 # ----------------------------------------------------------------------

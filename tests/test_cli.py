@@ -109,16 +109,16 @@ class TestReportCommand:
         assert main(["report", "c5", "--output", str(output)]) == 0
         text = output.read_text()
         assert text.startswith("# repro experiment report")
-        assert "## para_reliability" in text
-        assert "seed - · " in text  # provenance line (seedless experiment)
+        assert "## Environment" in text and "## Results" in text
+        assert "| para_reliability | - | ok |" in text  # seedless experiment
 
     def test_report_many_experiments_round_trip(self, tmp_path, capsys):
         output = tmp_path / "report.md"
         assert main(["report", "c12", "sidedness", "--seed", "2",
                      "--output", str(output)]) == 0
         text = output.read_text()
-        assert "## twostep_study" in text and "## sidedness_ablation" in text
-        assert "seed 2" in text
+        assert "twostep_study" in text and "sidedness_ablation" in text
+        assert "| sidedness_ablation | 2 | ok |" in text
 
     def test_report_propagates_inner_errors(self, tmp_path, capsys):
         # Regression: the old _write_report swallowed TypeError and
@@ -139,7 +139,7 @@ class TestReportCommand:
         captured = capsys.readouterr()
         assert "TypeError: inner failure" in captured.err
         assert "1/1 jobs failed" in captured.err
-        assert "error: TypeError: inner failure" in (tmp_path / "r.md").read_text()
+        assert "TypeError: inner failure" in (tmp_path / "r.md").read_text()
 
 
 class TestSweepCommand:

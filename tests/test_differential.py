@@ -161,6 +161,70 @@ class TestOracleDetectsDivergence:
         assert any("row_data" in p for p in diff_observations(a, b))
 
 
+class TestProvenance:
+    """The oracle compares flip *provenance*, not just flip positions:
+    tampering with any provenance field of one engine's log must be
+    caught, while float-rounding-sized hammer differences must not."""
+
+    def _pair(self):
+        stream = random_stream(1)
+        a = replay_stream(stream, "reference", seed=1, pattern="rowstripe",
+                          profile=DEFAULT_PROFILES[1])
+        b = replay_stream(stream, "columnar", seed=1, pattern="rowstripe",
+                          profile=DEFAULT_PROFILES[1])
+        assert not diff_observations(a, b)
+        assert b.flip_log, "stream must flip for these controls to bite"
+        return a, b
+
+    @staticmethod
+    def _with_field(entry, index, value):
+        fields = list(entry)
+        fields[index] = value
+        return tuple(fields)
+
+    def test_log_carries_full_provenance(self):
+        _, b = self._pair()
+        row, bit, time, aggressor, hammer, pattern, epoch = b.flip_log[0]
+        assert pattern == "rowstripe"
+        assert epoch >= 0
+        assert hammer > 0.0
+        assert any(entry[3] >= 0 for entry in b.flip_log), \
+            "hammered victims must name a dominant aggressor"
+
+    def test_tampered_aggressor_is_caught(self):
+        a, b = self._pair()
+        b.flip_log[0] = self._with_field(b.flip_log[0], 3,
+                                         b.flip_log[0][3] + 1)
+        assert any("flip_log" in p for p in diff_observations(a, b))
+
+    def test_tampered_pattern_is_caught(self):
+        a, b = self._pair()
+        b.flip_log[0] = self._with_field(b.flip_log[0], 5, "solid1")
+        assert any("flip_log" in p for p in diff_observations(a, b))
+
+    def test_tampered_epoch_is_caught(self):
+        a, b = self._pair()
+        b.flip_log[0] = self._with_field(b.flip_log[0], 6,
+                                         b.flip_log[0][6] + 1)
+        assert any("flip_log" in p for p in diff_observations(a, b))
+
+    def test_hammer_beyond_tolerance_is_caught(self):
+        a, b = self._pair()
+        b.flip_log[0] = self._with_field(b.flip_log[0], 4,
+                                         b.flip_log[0][4] * 1.01)
+        assert any("flip_log" in p for p in diff_observations(a, b))
+
+    def test_hammer_within_tolerance_passes(self):
+        # Columnar reassociates float sums, so hammer pressure is
+        # compared with the same isclose tolerance as the pressure
+        # observations — an ulp-sized wiggle must not fail the oracle.
+        a, b = self._pair()
+        hammer = b.flip_log[0][4]
+        b.flip_log[0] = self._with_field(b.flip_log[0], 4,
+                                         hammer * (1.0 + 1e-12))
+        assert not diff_observations(a, b)
+
+
 class TestOracleUnderSanitizer:
     """The contract holds with the sanitizer shadow machinery live —
     digests are then part of the compared observation."""

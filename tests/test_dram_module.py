@@ -30,8 +30,8 @@ class TestModule:
         b.bank(0).bulk_activate(50, 100_000)
         a.settle()
         b.settle()
-        flips_a = [(r, b_) for r, b_, _ in a.bank(0).stats.flip_log]
-        flips_b = [(r, b_) for r, b_, _ in b.bank(0).stats.flip_log]
+        flips_a = [(r, b_) for r, b_, *_ in a.bank(0).stats.flip_log]
+        flips_b = [(r, b_) for r, b_, *_ in b.bank(0).stats.flip_log]
         assert flips_a != flips_b
 
     def test_from_vintage_profile(self):
