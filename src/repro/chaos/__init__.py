@@ -22,6 +22,7 @@ from repro.chaos.plan import (
     on_job_start,
     reset,
     tear_cache_write,
+    tear_journal_append,
 )
 from repro.chaos.state import INJECTORS, StateInjector, maybe_corrupt_state
 
@@ -44,4 +45,5 @@ __all__ = [
     "on_job_start",
     "reset",
     "tear_cache_write",
+    "tear_journal_append",
 ]

@@ -16,9 +16,16 @@ schedule every run.  ``repro chaos`` on the CLI runs it end to end.
 
 from __future__ import annotations
 
+import json
 import os
 import shutil
+import signal
+import subprocess
+import sys
 import tempfile
+import time
+import urllib.error
+import urllib.request
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple
@@ -382,6 +389,390 @@ def _jobs_metric_total(runner: ExperimentRunner, name: str) -> float:
     return _metrics(runner).value(name)
 
 
+# ----------------------------------------------------------------------
+# Service-layer scenarios (the ``repro serve`` daemon)
+# ----------------------------------------------------------------------
+
+#: How long the harness waits for a spawned daemon to publish its
+#: endpoint and answer ``/healthz``.
+SERVICE_READY_S = 30.0
+
+
+def _daemon_env(arena: _Arena, chaos_spec: Optional[str] = None) -> Dict[str, str]:
+    """A clean environment for a spawned daemon: this package importable,
+    the arena's chaos schedule (and only it) armed."""
+    import repro
+
+    env = dict(os.environ)
+    src = str(Path(repro.__file__).resolve().parents[1])
+    prior = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src + (os.pathsep + prior if prior else "")
+    env.pop(chaos.ENV_CHAOS, None)
+    env.pop(chaos.ENV_CHAOS_STATE, None)
+    if chaos_spec is not None:
+        env[chaos.ENV_CHAOS] = chaos_spec
+        env[chaos.ENV_CHAOS_STATE] = str(arena.state_dir)
+    return env
+
+
+def _spawn_daemon(arena: _Arena, workers: int,
+                  chaos_spec: Optional[str] = None) -> subprocess.Popen:
+    """Start ``repro serve`` on the arena's service state dir.
+
+    ``start_new_session`` puts the daemon and its pool workers in their
+    own process group, so a scenario's SIGKILL takes down the whole
+    tree — exactly what an OOM-kill or node loss does in production.
+    """
+    log = open(arena.root / "serve.log", "ab")
+    try:
+        return subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0",
+             "--state-dir", str(arena.root / "svc"),
+             "--workers", str(workers)],
+            stdout=log, stderr=log, env=_daemon_env(arena, chaos_spec),
+            start_new_session=True)
+    finally:
+        log.close()
+
+
+def _await_client(arena: _Arena, proc: subprocess.Popen,
+                  timeout_s: float = SERVICE_READY_S):
+    """A client for the spawned daemon, once it answers ``/healthz``."""
+    from repro.service import ServiceClient
+    from repro.service.daemon import read_endpoint
+
+    deadline = time.monotonic() + timeout_s
+    state_dir = arena.root / "svc"
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            raise RuntimeError(
+                f"daemon exited before becoming ready (rc {proc.returncode}; "
+                f"see {arena.root / 'serve.log'})")
+        record = read_endpoint(state_dir)
+        if record is not None and record.get("pid") == proc.pid:
+            client = ServiceClient(
+                f"http://{record.get('host', '127.0.0.1')}:{record['port']}",
+                retries=2, backoff_s=0.1)
+            try:
+                client.health()
+                return client
+            except Exception:
+                pass
+        time.sleep(0.05)
+    raise RuntimeError(f"daemon never became ready within {timeout_s:g}s")
+
+
+def _poll(predicate: Callable[[], bool], timeout_s: float,
+          interval_s: float = 0.05) -> bool:
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval_s)
+    return False
+
+
+def _raw_post(base_url: str, payload: dict, timeout_s: float = 5.0):
+    """One un-retried POST /jobs: ``(status, retry_after, body)`` —
+    scenarios asserting shed responses must see the raw status, not a
+    client that retried past it."""
+    request = urllib.request.Request(
+        f"{base_url}/jobs", data=json.dumps(payload).encode("utf-8"),
+        method="POST", headers={"Content-Type": "application/json"})
+    try:
+        with urllib.request.urlopen(request, timeout=timeout_s) as response:
+            return (response.status, response.headers.get("Retry-After"),
+                    json.loads(response.read() or b"{}"))
+    except urllib.error.HTTPError as exc:
+        blob = exc.read()
+        try:
+            body = json.loads(blob)
+        except ValueError:
+            body = {}
+        return exc.code, exc.headers.get("Retry-After"), body
+
+
+def _fresh_ledger_counts(path: Path) -> Dict[str, int]:
+    """Fresh (non-cache-hit) successful executions per job_id — the
+    exactly-once evidence."""
+    counts: Dict[str, int] = {}
+    for record in RunLedger(path).scan():
+        if record.get("ok") and not record.get("cache_hit") \
+                and record.get("job_id"):
+            jid = record["job_id"]
+            counts[jid] = counts.get(jid, 0) + 1
+    return counts
+
+
+def _kill_group(proc: subprocess.Popen) -> None:
+    try:
+        os.killpg(proc.pid, signal.SIGKILL)
+    except ProcessLookupError:
+        pass
+
+
+def scenario_service_kill(arena: _Arena, jobs: int, workers: int) -> ScenarioOutcome:
+    """The acceptance scenario: a 16-job sweep submitted to the daemon,
+    the daemon SIGKILLed mid-flight, restarted on the same state dir →
+    the sweep completes with every job accounted for exactly once
+    (journal, ledger, and checkpoint agree; no completed job re-runs)."""
+    out = ScenarioOutcome("service_kill")
+    jobs = max(jobs, 16)
+    # Daemon workers=2 → chunks of 4; the hang pins job index 8, so
+    # chunks 1–2 complete and the kill lands mid-chunk-3, always.
+    victim = derive_seed(0, 8)
+    svc_dir = arena.root / "svc"
+    sid = None
+    proc = _spawn_daemon(arena, workers=2,
+                         chaos_spec=f"hang:seed={victim}:secs=60")
+    try:
+        client = _await_client(arena, proc)
+        response = client.submit({"name": PROBE_EXPERIMENT, "seeds": jobs})
+        sid = response["sid"]
+        ckpt = SweepCheckpoint(svc_dir / "checkpoints" / f"{sid}.jsonl")
+        # Two chunks checkpointed AND the chunk-3 victim already inside
+        # its injected hang (the marker file is claimed before the
+        # sleep) — the kill must land on a daemon with work in flight.
+        reached = _poll(lambda: (len(ckpt.keys()) >= 8
+                                 and arena.injected().get("hang", 0) >= 1),
+                        30.0)
+        out.expect("daemon checkpointed two chunks before the kill",
+                   reached, f"checkpoint holds {len(ckpt.keys())} of {jobs}, "
+                            f"injected {arena.injected()}")
+        _kill_group(proc)
+        rc = proc.wait(timeout=10)
+        out.expect_eq("daemon died by SIGKILL", rc, -signal.SIGKILL)
+    finally:
+        _kill_group(proc)
+        proc.wait(timeout=10)
+    out.expect_eq("one hang injected before the kill",
+                  arena.injected().get("hang", 0), 1)
+
+    # Restart on the same state dir, chaos disarmed: the journal replays
+    # the pending submission; the checkpoint restores completed jobs.
+    proc2 = _spawn_daemon(arena, workers=2)
+    try:
+        client2 = _await_client(arena, proc2)
+        record = client2.wait(sid, timeout_s=90.0)
+        out.expect_eq("sweep completes after restart",
+                      record.get("state"), "done")
+        summary = record.get("summary") or {}
+        out.expect_eq("all jobs in the final summary",
+                      summary.get("jobs"), jobs)
+        out.expect_eq("no errors after recovery", summary.get("errors"), 0)
+        proc2.send_signal(signal.SIGTERM)
+        rc2 = proc2.wait(timeout=30)
+        out.expect_eq("restarted daemon drains to exit 0", rc2, 0)
+    finally:
+        _kill_group(proc2)
+        proc2.wait(timeout=10)
+
+    # Exactly-once accounting: checkpoint, ledger, and journal agree.
+    from repro.service import JobJournal
+
+    keys = SweepCheckpoint(svc_dir / "checkpoints" / f"{sid}.jsonl").keys()
+    out.expect_eq("checkpoint holds every job exactly once",
+                  len(keys), jobs)
+    ckpt_ids = {job_id_from_key(k) for k in keys}
+    fresh = _fresh_ledger_counts(svc_dir / "ledger.jsonl")
+    out.expect("no job fresh-executed more than once",
+               all(count == 1 for count in fresh.values()),
+               f"duplicated: {[j for j, c in fresh.items() if c > 1]}")
+    out.expect("every fresh execution is checkpointed",
+               set(fresh).issubset(ckpt_ids),
+               f"unaccounted: {sorted(set(fresh) - ckpt_ids)}")
+    ledger_ids = {r["job_id"] for r in RunLedger(svc_dir / "ledger.jsonl").scan()
+                  if r.get("job_id")}
+    out.expect_eq("ledger covers every checkpointed job",
+                  ledger_ids, ckpt_ids)
+    replayed = JobJournal(svc_dir / "jobs.jsonl").replay()
+    out.expect_eq("journal holds exactly one submission",
+                  len(replayed.submits), 1)
+    done = replayed.done.get(sid) or {}
+    out.expect_eq("journal done record agrees on the job set",
+                  set(done.get("job_ids") or []), ckpt_ids)
+    return out
+
+
+def scenario_service_drain(arena: _Arena, jobs: int, workers: int) -> ScenarioOutcome:
+    """SIGTERM under load → admission stops (503 + Retry-After), the
+    in-flight chunk checkpoints, the daemon exits 0, and a restart
+    finishes the remaining work without re-running the drained chunk."""
+    out = ScenarioOutcome("service_drain")
+    jobs = max(jobs, 16)
+    # The hang pins a job in the *first* chunk and is finite (3 s): the
+    # drain window is the remainder of that chunk.
+    victim = derive_seed(0, 2)
+    svc_dir = arena.root / "svc"
+    sid = None
+    proc = _spawn_daemon(arena, workers=2,
+                         chaos_spec=f"hang:seed={victim}:secs=3")
+    try:
+        client = _await_client(arena, proc)
+        response = client.submit({"name": PROBE_EXPERIMENT, "seeds": jobs})
+        sid = response["sid"]
+        ckpt = SweepCheckpoint(svc_dir / "checkpoints" / f"{sid}.jsonl")
+        in_flight = _poll(lambda: len(ckpt.keys()) >= 1, 20.0)
+        out.expect("first chunk in flight before SIGTERM", in_flight,
+                   f"checkpoint holds {len(ckpt.keys())}")
+        proc.send_signal(signal.SIGTERM)
+        # Signal delivery is asynchronous: wait for the daemon to flip
+        # to draining before probing admission (the 3 s hang holds the
+        # drain window open far longer than delivery takes).
+        _poll(lambda: client.health().get("status") == "draining", 10.0)
+        health = client.health()
+        out.expect_eq("health reports draining during drain",
+                      health.get("status"), "draining")
+        status, retry_after, _body = _raw_post(
+            client.base_url, {"name": PROBE_EXPERIMENT, "seeds": 2,
+                              "base_seed": 9999})
+        out.expect_eq("submission during drain shed with 503", status, 503)
+        out.expect("drain rejection carries Retry-After",
+                   retry_after is not None and float(retry_after) >= 1,
+                   f"Retry-After {retry_after!r}")
+        rc = proc.wait(timeout=30)
+        out.expect_eq("daemon drains to exit 0 under load", rc, 0)
+    finally:
+        _kill_group(proc)
+        proc.wait(timeout=10)
+    keys_after_drain = SweepCheckpoint(
+        svc_dir / "checkpoints" / f"{sid}.jsonl").keys()
+    out.expect_eq("exactly the in-flight chunk was checkpointed",
+                  len(keys_after_drain), 4)
+    from repro.service import JobJournal
+
+    out.expect_eq("journal keeps the drained job pending",
+                  JobJournal(svc_dir / "jobs.jsonl").replay().pending(),
+                  [sid])
+
+    proc2 = _spawn_daemon(arena, workers=2)
+    try:
+        client2 = _await_client(arena, proc2)
+        record = client2.wait(sid, timeout_s=90.0)
+        out.expect_eq("drained sweep completes after restart",
+                      record.get("state"), "done")
+        out.expect_eq("no errors after resume",
+                      (record.get("summary") or {}).get("errors"), 0)
+        proc2.send_signal(signal.SIGTERM)
+        rc2 = proc2.wait(timeout=30)
+        out.expect_eq("idle daemon drains to exit 0", rc2, 0)
+    finally:
+        _kill_group(proc2)
+        proc2.wait(timeout=10)
+    fresh = _fresh_ledger_counts(svc_dir / "ledger.jsonl")
+    out.expect_eq("every job fresh-executed exactly once",
+                  sorted(fresh.values()), [1] * jobs)
+    out.expect_eq("checkpoint holds every job",
+                  len(SweepCheckpoint(
+                      svc_dir / "checkpoints" / f"{sid}.jsonl").keys()), jobs)
+    return out
+
+
+def scenario_service_torn(arena: _Arena, jobs: int, workers: int) -> ScenarioOutcome:
+    """A torn journal append on the completion record → restart replay
+    skips the torn tail, re-enqueues the job, and completes it from the
+    cache instead of re-executing."""
+    from repro.service import ExperimentService, JobJournal, ServiceClient
+
+    out = ScenarioOutcome("service_torn")
+    jobs = max(jobs, 2)
+    svc_dir = arena.root / "svc"
+    arena.arm("torn_journal:name=done")
+    service = ExperimentService(svc_dir, port=0, workers=1).start()
+    try:
+        client = ServiceClient(service.url, retries=2, backoff_s=0.1)
+        sid = client.submit({"name": PROBE_EXPERIMENT, "seeds": jobs})["sid"]
+        record = client.wait(sid, timeout_s=60.0)
+        out.expect_eq("job completes in the first incarnation",
+                      record.get("state"), "done")
+    finally:
+        service.stop()
+    out.expect_eq("one torn journal append injected",
+                  arena.injected().get("torn_journal", 0), 1)
+    raw = (svc_dir / "jobs.jsonl").read_bytes()
+    out.expect("journal tail is torn (no trailing newline)",
+               bool(raw) and not raw.endswith(b"\n"),
+               f"last byte {raw[-1:]!r}")
+    arena.disarm()
+
+    service2 = ExperimentService(svc_dir, port=0, workers=1).start()
+    try:
+        out.expect_eq("replay counted the torn line",
+                      service2.metrics.value("service_journal_corrupt_lines"), 1)
+        out.expect_eq("replay re-enqueued the unfinished job",
+                      service2.metrics.value("service_jobs_recovered_total"), 1)
+        client2 = ServiceClient(service2.url, retries=2, backoff_s=0.1)
+        record2 = client2.wait(sid, timeout_s=60.0)
+        out.expect_eq("job completes after torn-tail replay",
+                      record2.get("state"), "done")
+        out.expect_eq("completed from cache, not re-executed",
+                      (record2.get("summary") or {}).get("cache_hits"), jobs)
+    finally:
+        service2.stop()
+    replayed = JobJournal(svc_dir / "jobs.jsonl").replay()
+    out.expect_eq("second incarnation journaled the completion",
+                  (replayed.done.get(sid) or {}).get("outcome"), "ok")
+    out.expect_eq("post-torn appends parse (one corrupt line only)",
+                  replayed.corrupt_lines, 1)
+    return out
+
+
+def scenario_service_shed(arena: _Arena, jobs: int, workers: int) -> ScenarioOutcome:
+    """Queue overflow sheds with 429 + Retry-After; duplicates map onto
+    the existing job; a retrying client eventually lands the shed
+    submission; nothing runs twice."""
+    from repro.service import ExperimentService, ServiceClient
+
+    out = ScenarioOutcome("service_shed")
+    svc_dir = arena.root / "svc"
+    # The first job hangs 3 s in the (single) worker, pinning the queue
+    # at its bound while the shed/duplicate probes run.
+    arena.arm("hang:seed=11:secs=3")
+    service = ExperimentService(svc_dir, port=0, workers=1,
+                                max_queue=1).start()
+    try:
+        client = ServiceClient(service.url, retries=0)
+        first = client.submit({"name": PROBE_EXPERIMENT, "seed": 11})
+        running = _poll(
+            lambda: client.job(first["sid"]).get("state") == "running", 10.0)
+        out.expect("first job running (hung in the worker)", running)
+        second = client.submit({"name": PROBE_EXPERIMENT, "seed": 22})
+        out.expect_eq("second submission queued", second.get("state"),
+                      "queued")
+        status, retry_after, body = _raw_post(
+            service.url, {"name": PROBE_EXPERIMENT, "seed": 33})
+        out.expect_eq("overflow shed with 429", status, 429)
+        out.expect("shed response carries Retry-After >= 1s",
+                   retry_after is not None and float(retry_after) >= 1,
+                   f"Retry-After {retry_after!r}")
+        out.expect("shed body names the bound",
+                   body.get("error") == "queue full", repr(body))
+        duplicate = client.submit({"name": PROBE_EXPERIMENT, "seed": 22})
+        out.expect("duplicate submission flagged, not re-queued",
+                   duplicate.get("duplicate") is True
+                   and duplicate.get("sid") == second.get("sid"),
+                   repr(duplicate))
+        patient = ServiceClient(service.url, retries=8, backoff_s=0.25)
+        third = patient.submit({"name": PROBE_EXPERIMENT, "seed": 33})
+        out.expect("shed submission admitted once the queue drains",
+                   third.get("state") in ("queued", "running", "done"),
+                   repr(third.get("state")))
+        for sid in (first["sid"], second["sid"], third["sid"]):
+            record = patient.wait(sid, timeout_s=60.0)
+            out.expect_eq(f"job {sid} completes", record.get("state"), "done")
+        out.expect("overflow rejections counted",
+                   service.metrics.value("service_rejections_total",
+                                         reason="overflow") >= 1)
+        out.expect_eq("duplicate counted",
+                      service.metrics.value("service_duplicates_total"), 1)
+    finally:
+        service.stop()
+    fresh = _fresh_ledger_counts(svc_dir / "ledger.jsonl")
+    out.expect_eq("each job fresh-executed exactly once",
+                  sorted(fresh.values()), [1, 1, 1])
+    return out
+
+
 #: name → (scenario fn, default job count)
 SCENARIOS: Dict[str, Tuple[Callable[[_Arena, int, int], ScenarioOutcome], int]] = {
     "kill": (scenario_kill, 8),
@@ -391,6 +782,10 @@ SCENARIOS: Dict[str, Tuple[Callable[[_Arena, int, int], ScenarioOutcome], int]] 
     "ledger": (scenario_ledger, 4),
     "sanitizer": (scenario_sanitizer, 6),
     "combined": (scenario_combined, 16),
+    "service_kill": (scenario_service_kill, 16),
+    "service_drain": (scenario_service_drain, 16),
+    "service_torn": (scenario_service_torn, 2),
+    "service_shed": (scenario_service_shed, 3),
 }
 
 

@@ -25,6 +25,12 @@ survive:
 ``ledger``
     Fail one run-ledger append with an injected ``OSError``.
     Exercises the ledger's best-effort contract.
+``torn_journal``
+    Tear a service job-journal append (the record goes down truncated,
+    with no trailing newline, as if the daemon was SIGKILLed
+    mid-write).  ``name=`` filters on the journal *event* being
+    appended (``submit``/``start``/``done``/``cancel``).  Exercises
+    torn-tail-tolerant replay on daemon restart.
 ``corrupt``
     Mutate live *simulator state* — flip a stored DRAM cell bit,
     alias two FTL mapping entries, skew a refresh cursor — at a
@@ -86,12 +92,14 @@ __all__ = [
     "on_job_start",
     "reset",
     "tear_cache_write",
+    "tear_journal_append",
 ]
 
 ENV_CHAOS = "REPRO_CHAOS"
 ENV_CHAOS_STATE = "REPRO_CHAOS_STATE"
 
-FAULT_KINDS = ("kill", "hang", "exc", "torn", "ledger", "corrupt")
+FAULT_KINDS = ("kill", "hang", "exc", "torn", "ledger", "corrupt",
+               "torn_journal")
 
 #: Default sleep for ``hang`` faults — long enough to trip any
 #: reasonable per-job timeout, short enough that a runaway test dies
@@ -353,6 +361,24 @@ def tear_cache_write(name: str, seed: Optional[int]) -> bool:
     if spec is None:
         return False
     plan.note("torn")
+    return True
+
+
+def tear_journal_append(event: Optional[str] = None) -> bool:
+    """Should this service-journal append be torn?  (Consumes the fault.)
+
+    ``event`` is the journal record's event name; a ``torn_journal``
+    entry with ``name=done`` tears only the completion record, leaving
+    the submission journaled — the restart-replay case the service
+    must survive.
+    """
+    plan = current_plan()
+    if plan is None:
+        return False
+    spec = plan.pick("torn_journal", event, None)
+    if spec is None:
+        return False
+    plan.note("torn_journal")
     return True
 
 

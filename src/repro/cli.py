@@ -16,6 +16,9 @@ Usage::
     python -m repro sweep rowhammer_basic --seeds 16 --sanitize full
     python -m repro replay .repro-failures/rowhammer_basic-7-ab12cd34ef567890.json
     python -m repro chaos
+    python -m repro serve --state-dir .repro-service
+    python -m repro submit fig1_error_rates --seeds 16 --wait
+    python -m repro jobs
 
 Experiments resolve by registry name *or* legacy alias (``f1``,
 ``c2``…) through :mod:`repro.experiments`.  Results print as text
@@ -68,6 +71,13 @@ error, 130 interrupted (completed results flushed to cache/checkpoint).
 ``chaos`` runs the fault-injection scenario suite
 (:mod:`repro.chaos.harness`) proving those recovery paths.
 
+Experiment service: ``serve`` runs the crash-tolerant daemon
+(:mod:`repro.service`) — journaled HTTP job submission, graceful
+SIGTERM/SIGINT drain (exit 0), SIGKILL-and-restart resume on the same
+``--state-dir``; ``submit``/``jobs`` are its client verbs.  CLI sweeps
+get the same drain contract: SIGTERM checkpoints completed jobs and
+exits 143 with a resume hint (SIGINT stays 130).
+
 Sanitizer: ``run``/``sweep`` take ``--sanitize {off,cheap,full}``
 (runtime invariant checks, see :mod:`repro.sanitizer`) and
 ``--capture-dir`` (where failed jobs leave replayable failure bundles);
@@ -109,6 +119,9 @@ DEFAULT_METRICS_PATH = ".repro-metrics.json"
 
 #: Default physics-snapshot file shared by ``run --physics`` and ``stats``.
 DEFAULT_PHYSICS_PATH = ".repro-physics.json"
+
+#: Default state directory shared by ``serve``/``submit``/``jobs``.
+DEFAULT_STATE_DIR = ".repro-service"
 
 
 def _render_text(result: Any, indent: int = 0) -> List[str]:
@@ -367,6 +380,76 @@ def build_parser() -> argparse.ArgumentParser:
     chaos_cmd.add_argument("--json", action="store_true",
                            help="emit scenario outcomes as JSON")
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the crash-tolerant experiment service daemon "
+             "(journaled jobs, graceful drain, /metrics)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=None, metavar="PORT",
+                       help="listen port (default: 9465; 0 = ephemeral, "
+                            "the bound port lands in service.json)")
+    serve.add_argument("--state-dir", default=DEFAULT_STATE_DIR, metavar="DIR",
+                       help="journal/ledger/cache/checkpoint root "
+                            f"(default: {DEFAULT_STATE_DIR}); restart on the "
+                            "same dir to resume interrupted work")
+    serve.add_argument("--workers", type=int, default=2, metavar="N",
+                       help="runner pool width per job (default 2)")
+    serve.add_argument("--max-queue", type=int, default=64, metavar="N",
+                       help="queued-job bound before submissions shed "
+                            "with 429 (default 64)")
+    serve.add_argument("--timeout", type=float, default=None, metavar="SECS",
+                       help="default per-job wall-clock deadline")
+    serve.add_argument("--retries", type=int, default=0, metavar="N",
+                       help="default retry budget for transient failures")
+
+    submit = sub.add_parser(
+        "submit", help="submit an experiment or seed sweep to a running "
+                       "service")
+    submit.add_argument("name", choices=invocable)
+    submit.add_argument("--seed", type=int, default=0,
+                        help="seed for a single-experiment job")
+    submit.add_argument("--seeds", type=int, default=None, metavar="N",
+                        help="submit a sweep over N derived seeds instead")
+    submit.add_argument("--base-seed", type=int, default=0,
+                        help="root of the sweep's seed derivation")
+    submit.add_argument("--param", action="append", default=[],
+                        metavar="KEY=VALUE",
+                        help="experiment parameter (JSON value or string; "
+                             "repeatable)")
+    submit.add_argument("--timeout", type=float, default=None, metavar="SECS",
+                        help="per-job deadline for this submission")
+    submit.add_argument("--retries", type=int, default=0, metavar="N",
+                        help="retry budget for this submission")
+    submit.add_argument("--url", default=None,
+                        help="service URL (default: read from the "
+                             "--state-dir's service.json)")
+    submit.add_argument("--state-dir", default=DEFAULT_STATE_DIR, metavar="DIR",
+                        help="state dir whose daemon to target "
+                             f"(default: {DEFAULT_STATE_DIR})")
+    submit.add_argument("--wait", action="store_true",
+                        help="poll until the job settles; exit 0 iff done")
+    submit.add_argument("--wait-timeout", type=float, default=300.0,
+                        metavar="SECS", help="--wait deadline (default 300)")
+    submit.add_argument("--json", action="store_true",
+                        help="emit the service's response as JSON")
+
+    jobs_cmd = sub.add_parser(
+        "jobs", help="list, inspect, or cancel jobs on a running service")
+    jobs_cmd.add_argument("sid", nargs="?", default=None,
+                          help="job ID to inspect (default: list all)")
+    jobs_cmd.add_argument("--cancel", action="store_true",
+                          help="cancel the given job (cooperative)")
+    jobs_cmd.add_argument("--url", default=None,
+                          help="service URL (default: read from the "
+                               "--state-dir's service.json)")
+    jobs_cmd.add_argument("--state-dir", default=DEFAULT_STATE_DIR,
+                          metavar="DIR",
+                          help="state dir whose daemon to target "
+                               f"(default: {DEFAULT_STATE_DIR})")
+    jobs_cmd.add_argument("--json", action="store_true",
+                          help="emit records as JSON")
+
     test_module = sub.add_parser(
         "test-module",
         help="memtest-style RowHammer test of one simulated module",
@@ -409,6 +492,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _bench(args)
     if args.command == "chaos":
         return _chaos(args)
+    if args.command == "serve":
+        return _serve(args)
+    if args.command == "submit":
+        return _submit(args)
+    if args.command == "jobs":
+        return _jobs(args)
     if args.command == "test-module":
         return _test_module(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
@@ -448,13 +537,25 @@ def _add_serve_metrics_arg(cmd: argparse.ArgumentParser) -> None:
 
 def _serve_metrics(args, runner: ExperimentRunner):
     """Start the live exporter when ``--serve-metrics`` was given;
-    returns the server (caller must ``stop()`` it) or ``None``."""
+    returns the server (caller must ``stop()`` it) or ``None``.
+
+    A busy (or otherwise unbindable) port degrades to a warning — the
+    exporter is observability, not the experiment; the run proceeds
+    without it.  ``--serve-metrics 0`` binds an ephemeral port; the
+    resolved port is what the startup line prints.
+    """
     if getattr(args, "serve_metrics", None) is None:
         return None
     from repro.telemetry.export import MetricsHTTPServer
 
-    server = MetricsHTTPServer(runner.live_exposition,
-                               port=args.serve_metrics).start()
+    try:
+        server = MetricsHTTPServer(runner.live_exposition,
+                                   port=args.serve_metrics).start()
+    except OSError as exc:
+        print(f"warning: cannot serve metrics on port {args.serve_metrics} "
+              f"({exc}); continuing without the live exporter",
+              file=sys.stderr)
+        return None
     print(f"serving metrics at {server.url}/metrics (run {runner.run_id})",
           file=sys.stderr)
     return server
@@ -686,6 +787,21 @@ def _sweep(args) -> int:
                           stream=stream, collect_profile=args.live,
                           on_progress=renderer.update if renderer else None)
     server = _serve_metrics(args, runner)
+    # SIGTERM drains exactly like Ctrl-C: the runner's interrupt path
+    # flushes completed results to cache/checkpoint, and we exit with
+    # the conventional 143 so a supervisor can tell drain from abort.
+    import signal
+    import threading
+
+    drained_by = {}
+
+    def _sigterm_drain(signum, frame):
+        drained_by["signal"] = "SIGTERM"
+        raise KeyboardInterrupt
+
+    prev_sigterm = None
+    if threading.current_thread() is threading.main_thread():
+        prev_sigterm = signal.signal(signal.SIGTERM, _sigterm_drain)
     try:
         results = runner.sweep(args.name, seeds=args.seeds, base_seed=args.base_seed)
     except ValueError as exc:
@@ -693,9 +809,13 @@ def _sweep(args) -> int:
         return 2
     except KeyboardInterrupt:
         where = f"; resume with --resume (checkpoint: {checkpoint})" if checkpoint else ""
-        print(f"interrupted; completed results were flushed{where}", file=sys.stderr)
-        return 130
+        label = ("terminated (graceful drain)" if drained_by
+                 else "interrupted")
+        print(f"{label}; completed results were flushed{where}", file=sys.stderr)
+        return 143 if drained_by else 130
     finally:
+        if prev_sigterm is not None:
+            signal.signal(signal.SIGTERM, prev_sigterm)
         if server is not None:
             server.stop()
     if renderer is not None:
@@ -729,6 +849,144 @@ def _sweep(args) -> int:
     if summary["errors"]:
         _print_batch_errors(summary)
         return 1
+    return 0
+
+
+def _serve(args) -> int:
+    """Run the experiment service daemon until a drain completes.
+
+    SIGTERM/SIGINT initiate a graceful drain: admission stops (503),
+    the in-flight chunk finishes and checkpoints, queued jobs stay
+    journaled for the next incarnation, and the process exits 0.
+    """
+    from repro.service import ExperimentService
+    from repro.service.daemon import DEFAULT_SERVICE_PORT
+
+    port = DEFAULT_SERVICE_PORT if args.port is None else args.port
+    service = ExperimentService(args.state_dir, host=args.host, port=port,
+                                workers=args.workers,
+                                max_queue=args.max_queue,
+                                timeout_s=args.timeout, retries=args.retries)
+    try:
+        service.start()
+    except OSError as exc:
+        print(f"error: cannot bind {args.host}:{port}: {exc}",
+              file=sys.stderr)
+        return 2
+    service.install_signal_handlers()
+    recovered = sum(1 for rec in service.jobs.values()
+                    if rec.state == "queued")
+    resumed = f", {recovered} journaled job(s) re-enqueued" if recovered else ""
+    print(f"repro service {service.service_id} listening on {service.url} "
+          f"(state: {service.state_dir}{resumed})", file=sys.stderr)
+    code = service.serve_forever()
+    print(f"repro service {service.service_id} drained; exiting",
+          file=sys.stderr)
+    return code
+
+
+def _service_client(args):
+    from repro.service import ServiceClient
+
+    if args.url:
+        return ServiceClient(args.url)
+    return ServiceClient.from_state_dir(args.state_dir)
+
+
+def _parse_params(pairs: List[str]) -> dict:
+    """``--param KEY=VALUE`` pairs; values parse as JSON, else strings."""
+    params = {}
+    for pair in pairs:
+        key, sep, raw = pair.partition("=")
+        if not sep or not key:
+            raise ValueError(f"--param wants KEY=VALUE, got {pair!r}")
+        try:
+            params[key] = json.loads(raw)
+        except ValueError:
+            params[key] = raw
+    return params
+
+
+def _submit(args) -> int:
+    from repro.service import ServiceError
+
+    payload: dict = {"name": args.name}
+    try:
+        params = _parse_params(args.param)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if params:
+        payload["params"] = params
+    if args.seeds is not None:
+        payload["seeds"] = args.seeds
+        payload["base_seed"] = args.base_seed
+    else:
+        payload["seed"] = args.seed
+    if args.timeout is not None:
+        payload["timeout_s"] = args.timeout
+    if args.retries:
+        payload["retries"] = args.retries
+    try:
+        client = _service_client(args)
+        response = client.submit(payload)
+        if args.wait:
+            response = client.wait(response["sid"],
+                                   timeout_s=args.wait_timeout)
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except TimeoutError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(response, indent=2, sort_keys=True))
+    else:
+        dup = " (duplicate: already submitted)" if response.get("duplicate") \
+            else ""
+        print(f"job {response['sid']} [{response.get('kind')}] "
+              f"{response.get('name')}: {response.get('state')}{dup}")
+        summary = response.get("summary")
+        if summary:
+            print(f"  {summary.get('jobs', 0)} job(s), "
+                  f"{summary.get('errors', 0)} error(s), "
+                  f"{summary.get('cache_hits', 0)} cache hit(s), "
+                  f"{summary.get('duration_s', 0.0):.3f} s")
+        if response.get("error"):
+            print(f"  error: {response['error']}")
+    if args.wait:
+        return 0 if response.get("state") == "done" else 1
+    return 0
+
+
+def _jobs(args) -> int:
+    from repro.service import ServiceError
+
+    try:
+        client = _service_client(args)
+        if args.sid is None:
+            if args.cancel:
+                print("error: --cancel needs a job ID", file=sys.stderr)
+                return 2
+            records = client.jobs()
+            if args.json:
+                print(json.dumps(records, indent=2, sort_keys=True))
+                return 0
+            if not records:
+                print("(no jobs)")
+                return 0
+            print(f"{'sid':<14}{'kind':<12}{'name':<28}{'state':<14}progress")
+            for rec in records:
+                print(f"{rec['sid']:<14}{rec.get('kind', '?'):<12}"
+                      f"{rec.get('name', '?'):<28}{rec.get('state'):<14}"
+                      f"{rec.get('completed', 0)}/{rec.get('jobs', '?')}")
+            return 0
+        record = (client.cancel(args.sid) if args.cancel
+                  else client.job(args.sid))
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(json.dumps(record, indent=2, sort_keys=True))
     return 0
 
 

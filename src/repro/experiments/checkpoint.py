@@ -20,13 +20,13 @@ from __future__ import annotations
 
 import hashlib
 import json
-import os
 import time
 from pathlib import Path
 from typing import Any, Dict, Optional, Set, Union
 
 from repro.experiments import registry
 from repro.experiments.result import ExperimentResult, canonical_json, to_jsonable
+from repro.utils.jsonl import append_record
 
 __all__ = ["CHECKPOINT_SCHEMA", "SweepCheckpoint", "job_key"]
 
@@ -131,19 +131,15 @@ class SweepCheckpoint:
             "result": result.to_json_dict(),
         }
         line = (json.dumps(record, sort_keys=True, default=repr) + "\n").encode("utf-8")
-        try:
-            self.path.parent.mkdir(parents=True, exist_ok=True)
-            fd = os.open(str(self.path),
-                         os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
-            try:
-                os.write(fd, line)
-                os.fsync(fd)
-            finally:
-                os.close(fd)
-        except OSError:
+        if not append_record(self.path, line):
             return False
         self._seen.add(key)
         return True
+
+    def keys(self) -> Set[str]:
+        """Job keys of all completed records — a cheap progress probe
+        (the service and the chaos harness poll this mid-sweep)."""
+        return set(self.load())
 
     def __len__(self) -> int:
         return len(self.load())

@@ -450,6 +450,8 @@ class ResultCache:
 
     def __init__(self, root: Union[str, Path]):
         self.root = Path(root)
+        self.write_errors = 0
+        self._write_warned = False
         self._sweep_stale_tmps()
 
     def _sweep_stale_tmps(self) -> None:
@@ -503,35 +505,53 @@ class ResultCache:
             self._quarantine(path)
             return None
 
-    def put(self, result: ExperimentResult) -> Path:
+    def put(self, result: ExperimentResult) -> Optional[Path]:
+        """Persist one result; returns its path, or ``None`` when the
+        write failed (``ENOSPC``, ``EACCES``, ...) and execution should
+        degrade to uncached — a full disk must fail the *cache*, never
+        the job.  Failures tally in :attr:`write_errors` and warn once.
+        """
         path = self.path(result.name, result.params, result.seed)
-        path.parent.mkdir(parents=True, exist_ok=True)
         record = result.to_json_dict()
         record["cache_hit"] = False
         text = json.dumps(record, indent=1, sort_keys=True)
 
         from repro import chaos
 
-        if chaos.enabled() and chaos.tear_cache_write(result.name, result.seed):
-            # Injected torn write: the final file holds truncated JSON,
-            # as if this process died mid-write without the tmp dance.
-            path.write_text(text[: max(1, len(text) // 2)])
-            return path
-
-        tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}.{os.urandom(4).hex()}")
+        tmp: Optional[Path] = None
         try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            if chaos.enabled() and chaos.tear_cache_write(result.name, result.seed):
+                # Injected torn write: the final file holds truncated JSON,
+                # as if this process died mid-write without the tmp dance.
+                path.write_text(text[: max(1, len(text) // 2)])
+                return path
+            tmp = path.with_name(
+                f"{path.name}.tmp.{os.getpid()}.{os.urandom(4).hex()}")
             with open(tmp, "w") as handle:
                 handle.write(text)
                 handle.flush()
                 os.fsync(handle.fileno())
             os.replace(tmp, path)
+        except OSError as exc:
+            self._note_write_failure(path, exc)
+            return None
         finally:
-            if tmp.exists():  # write or rename failed: don't litter
+            if tmp is not None and tmp.exists():  # write or rename failed
                 try:
                     tmp.unlink()
                 except OSError:  # pragma: no cover - raced removal
                     pass
         return path
+
+    def _note_write_failure(self, path: Path, exc: OSError) -> None:
+        self.write_errors += 1
+        if telem.metrics_on:
+            telem.counter("cache_write_errors_total").inc()
+        if not self._write_warned:
+            self._write_warned = True
+            print(f"warning: result cache write failed ({path}: {exc}); "
+                  f"continuing uncached", file=sys.stderr)
 
 
 class _Pending:
@@ -632,7 +652,8 @@ class ExperimentRunner:
                  stream: Union[None, bool, EventStream] = None,
                  heartbeat_s: float = stream_events.DEFAULT_HEARTBEAT_S,
                  stale_after_s: Optional[float] = None,
-                 on_progress: Optional[Any] = None):
+                 on_progress: Optional[Any] = None,
+                 ledger_command: str = "runner"):
         self.cache = ResultCache(cache_dir) if cache_dir is not None else None
         self.max_workers = max_workers
         self.run_id = run_id or ids.new_run_id()
@@ -667,6 +688,11 @@ class ExperimentRunner:
         self.resume = resume
         self.pool_rebuilds = 0
         self.retries_total = 0
+        #: True once the rebuild budget was spent and the batch fell
+        #: back to serial in-process execution (the service reports
+        #: this as the ``degraded`` health state).
+        self.degraded_to_serial = False
+        self.ledger_command = ledger_command
         self.metrics: Optional[MetricsRegistry] = (
             MetricsRegistry() if collect_metrics else None
         )
@@ -765,7 +791,7 @@ class ExperimentRunner:
         if self.physics is not None and result.physics:
             self.physics.merge(result.physics)
         if self.ledger is not None:
-            self.ledger.record(result)
+            self.ledger.record(result, command=self.ledger_command)
 
     def summary(self, results: Sequence[ExperimentResult]) -> Dict[str, Any]:
         """Aggregate view of one batch: counts by outcome plus the
@@ -810,8 +836,8 @@ class ExperimentRunner:
                                  collect_metrics=self.collect_metrics,
                                  collect_profile=self.collect_profile,
                                  collect_physics=self.collect_physics)
-            if self.cache is not None:
-                self.cache.put(result)
+            if self.cache is not None and self.cache.put(result) is None:
+                self._count_cache_write_error()
             self._absorb(result)
             return result
 
@@ -879,6 +905,12 @@ class ExperimentRunner:
         self._notify_progress()
         return [r for r in results if r is not None]
 
+    def _count_cache_write_error(self) -> None:
+        """Tally one degraded (failed) cache write in the batch metrics."""
+        with self._metrics_lock():
+            if self.metrics is not None:
+                self.metrics.counter("cache_write_errors_total").inc()
+
     def _job_timeout(self, job: Job) -> Optional[float]:
         return job.timeout_s if job.timeout_s is not None else self.timeout_s
 
@@ -907,7 +939,8 @@ class ExperimentRunner:
         """Commit one finished job: slot, cache, checkpoint, absorb."""
         results[p.index] = result
         if self.cache is not None and result.error is None:
-            self.cache.put(result)
+            if self.cache.put(result) is None:
+                self._count_cache_write_error()
         if self.checkpoint is not None:
             self.checkpoint.record(result)
         if self.progress is not None and p.job_id:
@@ -1141,6 +1174,7 @@ class ExperimentRunner:
                     if pool is None:
                         # Budget spent: the pool keeps dying.  Finish
                         # the batch serially in-process.
+                        self.degraded_to_serial = True
                         self._drain_serial(pending, results)
                         return
         except KeyboardInterrupt:

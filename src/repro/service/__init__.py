@@ -1,0 +1,37 @@
+"""The long-running experiment service: ``repro serve``.
+
+The paper's reliability argument is longitudinal — RowHammer,
+retention, and disturbance characterization happen continuously, at
+fleet scale, not inside one CLI process's lifetime.  This package is
+that deployment shape: a crash-tolerant daemon that accepts experiment
+and sweep jobs over HTTP/JSON, multiplexes them onto the hardened
+:class:`~repro.experiments.runner.ExperimentRunner`, journals every
+submission to a crash-safe append-only file, and is explicitly built
+to be SIGKILLed and restarted on the same ``--state-dir`` without
+losing or double-running work.
+
+Layout:
+
+* :mod:`repro.service.journal` — the append-only job journal and the
+  :class:`JobSpec` submission model (idempotent IDs from ``job_key``);
+* :mod:`repro.service.daemon` — :class:`ExperimentService`: HTTP
+  endpoints, admission control, graceful drain, journal replay;
+* :mod:`repro.service.client` — :class:`ServiceClient` with bounded
+  retry/backoff (honors ``Retry-After``), used by ``repro submit`` and
+  ``repro jobs``.
+"""
+
+from repro.service.client import ServiceClient, ServiceError, ServiceUnavailable
+from repro.service.daemon import DEFAULT_SERVICE_PORT, ExperimentService
+from repro.service.journal import JOURNAL_SCHEMA, JobJournal, JobSpec
+
+__all__ = [
+    "DEFAULT_SERVICE_PORT",
+    "JOURNAL_SCHEMA",
+    "ExperimentService",
+    "JobJournal",
+    "JobSpec",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceUnavailable",
+]

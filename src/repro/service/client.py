@@ -1,0 +1,174 @@
+"""HTTP client for the experiment service (``repro submit``/``repro jobs``).
+
+Stdlib-only (:mod:`urllib`).  The client is deliberately boring: JSON
+in, JSON out, with a bounded retry/backoff loop around the two failure
+shapes a long-running daemon actually presents — connection errors
+while it restarts, and 429/503 shedding while it is loaded or
+draining (honoring ``Retry-After``).  Retries are bounded; the caller
+always gets either a response or a typed exception, never a hang.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+__all__ = ["ServiceClient", "ServiceError", "ServiceUnavailable"]
+
+#: Ceiling on a single retry sleep, even if ``Retry-After`` asks for more.
+MAX_RETRY_SLEEP_S = 5.0
+
+
+class ServiceError(Exception):
+    """A definitive (non-retryable, or retries-exhausted) service error."""
+
+    def __init__(self, message: str, status: Optional[int] = None,
+                 body: Optional[Dict[str, Any]] = None):
+        super().__init__(message)
+        self.status = status
+        self.body = body or {}
+
+
+class ServiceUnavailable(ServiceError):
+    """The daemon could not be reached within the retry budget."""
+
+
+class ServiceClient:
+    """A small JSON/HTTP client bound to one daemon endpoint.
+
+    ``retries`` bounds how many times a request is re-sent after a
+    connection error or a 429/503; ``backoff_s`` seeds the exponential
+    sleep between attempts (``Retry-After``, when present, overrides
+    it, capped at :data:`MAX_RETRY_SLEEP_S`).
+    """
+
+    def __init__(self, base_url: str, timeout_s: float = 10.0,
+                 retries: int = 5, backoff_s: float = 0.25):
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = timeout_s
+        self.retries = max(0, int(retries))
+        self.backoff_s = backoff_s
+
+    @classmethod
+    def from_state_dir(cls, state_dir: Union[str, Path],
+                       **kwargs: Any) -> "ServiceClient":
+        """Connect to the daemon owning ``state_dir`` via its endpoint
+        record; raises :class:`ServiceUnavailable` if none exists."""
+        from repro.service.daemon import read_endpoint
+
+        record = read_endpoint(state_dir)
+        if record is None or "port" not in record:
+            raise ServiceUnavailable(
+                f"no running service found under {state_dir} "
+                f"(missing/unreadable service.json)")
+        return cls(f"http://{record.get('host', '127.0.0.1')}"
+                   f":{record['port']}", **kwargs)
+
+    # -- transport --------------------------------------------------------
+    def _sleep_for(self, attempt: int,
+                   retry_after: Optional[str] = None) -> None:
+        delay = self.backoff_s * (2 ** attempt)
+        if retry_after:
+            try:
+                delay = max(delay, float(retry_after))
+            except ValueError:
+                pass
+        time.sleep(min(delay, MAX_RETRY_SLEEP_S))
+
+    def request(self, method: str, path: str,
+                body: Optional[Dict[str, Any]] = None,
+                retry_shed: bool = True) -> Dict[str, Any]:
+        """One JSON round-trip with the bounded retry loop.
+
+        4xx responses other than 429 raise :class:`ServiceError`
+        immediately (retrying a 400 cannot help); 429/503 retry when
+        ``retry_shed``, honoring ``Retry-After``.
+        """
+        url = f"{self.base_url}{path}"
+        data = (json.dumps(body).encode("utf-8")
+                if body is not None else None)
+        last_error: Optional[ServiceError] = None
+        for attempt in range(self.retries + 1):
+            request = urllib.request.Request(
+                url, data=data, method=method,
+                headers={"Content-Type": "application/json"} if data else {})
+            try:
+                with urllib.request.urlopen(
+                        request, timeout=self.timeout_s) as response:
+                    return self._parse(response.read())
+            except urllib.error.HTTPError as exc:
+                payload = self._parse(exc.read())
+                if exc.code in (429, 503) and retry_shed:
+                    last_error = ServiceError(
+                        payload.get("error", f"HTTP {exc.code}"),
+                        status=exc.code, body=payload)
+                    if attempt < self.retries:
+                        self._sleep_for(
+                            attempt, exc.headers.get("Retry-After"))
+                    continue
+                raise ServiceError(payload.get("error", f"HTTP {exc.code}"),
+                                   status=exc.code, body=payload) from None
+            except (urllib.error.URLError, ConnectionError,
+                    socket.timeout, OSError) as exc:
+                last_error = ServiceUnavailable(
+                    f"cannot reach {url}: {exc}")
+                if attempt < self.retries:
+                    self._sleep_for(attempt)
+                continue
+        raise last_error if last_error is not None else ServiceUnavailable(
+            f"cannot reach {url}")
+
+    @staticmethod
+    def _parse(blob: bytes) -> Dict[str, Any]:
+        try:
+            parsed = json.loads(blob.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            return {}
+        return parsed if isinstance(parsed, dict) else {}
+
+    # -- API --------------------------------------------------------------
+    def health(self) -> Dict[str, Any]:
+        return self.request("GET", "/healthz")
+
+    def submit(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        return self.request("POST", "/jobs", body=payload)
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        return self.request("GET", "/jobs").get("jobs", [])
+
+    def job(self, sid: str) -> Dict[str, Any]:
+        return self.request("GET", f"/jobs/{sid}")
+
+    def cancel(self, sid: str) -> Dict[str, Any]:
+        return self.request("DELETE", f"/jobs/{sid}")
+
+    def metrics_text(self) -> str:
+        url = f"{self.base_url}/metrics"
+        try:
+            with urllib.request.urlopen(url, timeout=self.timeout_s) as resp:
+                return resp.read().decode("utf-8")
+        except (urllib.error.URLError, ConnectionError, OSError) as exc:
+            raise ServiceUnavailable(f"cannot reach {url}: {exc}") from None
+
+    def wait(self, sid: str, timeout_s: float = 60.0,
+             poll_s: float = 0.2) -> Dict[str, Any]:
+        """Poll until the job reaches a terminal state; the final record.
+
+        Raises ``TimeoutError`` if it does not settle in time — callers
+        like the CI smoke test need a hard bound, not an open poll.
+        """
+        deadline = time.monotonic() + timeout_s
+        while True:
+            record = self.job(sid)
+            if record.get("state") in ("done", "error", "cancelled"):
+                return record
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {sid} still {record.get('state')!r} after "
+                    f"{timeout_s:.0f}s")
+            time.sleep(poll_s)

@@ -54,6 +54,19 @@ METRIC_HELP: Dict[str, str] = {
     "runner_jobs_total": "Experiment jobs finished, by cache_hit and outcome.",
     "runner_retries_total": "Experiment job retry attempts.",
     "runner_stale_heartbeats_total": "Running jobs flagged for a stale heartbeat.",
+    "cache_write_errors_total": "Result-cache writes that failed and degraded to uncached execution.",
+    "service_queue_depth": "Jobs waiting in the experiment service's admission queue.",
+    "service_admissions_total": "Service job submissions accepted, by kind.",
+    "service_rejections_total": "Service job submissions rejected, by reason (overflow/draining/invalid).",
+    "service_duplicates_total": "Idempotent re-submissions answered from the journal.",
+    "service_jobs_total": "Service jobs finished, by outcome.",
+    "service_cancels_total": "Service jobs cancelled on client request.",
+    "service_drains_total": "Graceful drains the service has performed.",
+    "service_journal_replays_total": "Journal replays performed at service startup.",
+    "service_jobs_recovered_total": "Pending jobs re-enqueued from the journal after a restart.",
+    "service_journal_corrupt_lines": "Unparseable journal lines skipped by the latest replay.",
+    "service_draining": "1 while the service is draining, else 0.",
+    "service_degraded": "1 once any runner degraded to serial execution, else 0.",
     "sanitizer_violations_total": "Sanitizer invariant violations, by subsystem.",
     "ledger_corrupt_lines": "Unparseable lines skipped by the latest run-ledger scan.",
     "repro_sweep_jobs": "Sweep jobs by state (total/done/running/errored/cached/pending).",

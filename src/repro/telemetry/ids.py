@@ -48,10 +48,15 @@ JOB_ID_LEN = 12
 _run_id: Optional[str] = None
 
 
-def new_run_id() -> str:
-    """Mint a fresh run ID: readable timestamp + 3 random bytes."""
+def new_run_id(prefix: str = "r") -> str:
+    """Mint a fresh run ID: readable timestamp + 3 random bytes.
+
+    ``prefix`` distinguishes ID namespaces sharing the format — ``r``
+    for runs, ``s`` for experiment-service instances — so artifacts
+    stay greppable by origin.
+    """
     stamp = time.strftime("%Y%m%d-%H%M%S", time.localtime())
-    return f"r{stamp}-{os.urandom(3).hex()}"
+    return f"{prefix}{stamp}-{os.urandom(3).hex()}"
 
 
 def current_run_id() -> Optional[str]:

@@ -175,18 +175,10 @@ class RunLedger:
         if chaos.enabled() and chaos.fail_ledger_append(
                 record.get("name"), record.get("seed")):
             return False  # injected I/O failure: the best-effort contract
+        from repro.utils.jsonl import append_record
+
         line = (json.dumps(record, sort_keys=True, default=repr) + "\n").encode("utf-8")
-        try:
-            self.path.parent.mkdir(parents=True, exist_ok=True)
-            fd = os.open(str(self.path),
-                         os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
-            try:
-                os.write(fd, line)
-            finally:
-                os.close(fd)
-            return True
-        except OSError:
-            return False
+        return append_record(self.path, line, fsync=False)
 
     def record(self, result: Any, command: str = "runner") -> Dict[str, Any]:
         """Build and append a record for ``result``; returns the record."""
@@ -224,6 +216,11 @@ class RunLedger:
     def records(self) -> List[Dict[str, Any]]:
         """All parseable records, oldest first (torn lines are skipped)."""
         return self.scan()
+
+    def records_for_run(self, run_id: str) -> List[Dict[str, Any]]:
+        """Records stamped with ``run_id``, oldest first — the join the
+        service's job-status endpoint and the chaos accounting use."""
+        return [r for r in self.scan() if r.get("run_id") == run_id]
 
     def find(self, ref: str) -> Optional[Dict[str, Any]]:
         """Look a record up by 1-based index, negative index, or id prefix.

@@ -130,6 +130,16 @@ class TestScenarios:
     def test_hang_scenario(self, tmp_path):
         self._run("hang", tmp_path)
 
+    def test_service_torn_scenario(self, tmp_path):
+        """A torn journal ``done`` record: replay counts the tear,
+        re-enqueues the job, and the re-run is all cache hits."""
+        self._run("service_torn", tmp_path)
+
+    def test_service_shed_scenario(self, tmp_path):
+        """Queue overflow sheds with 429 + Retry-After; the patient
+        client eventually lands the job and nothing runs twice."""
+        self._run("service_shed", tmp_path)
+
     @fork_only
     def test_hang_produces_stale_heartbeat_before_timeout(
             self, tmp_path, monkeypatch):

@@ -364,3 +364,67 @@ class TestProfileCommand:
         assert main(["profile", "rowhammer_basic", "--folded", "-"]) == 0
         out = capsys.readouterr().out
         assert "job{name=rowhammer_basic};" in out
+
+
+class TestServeMetricsDegrade:
+    def test_busy_port_warns_and_run_continues(self, capsys):
+        """A busy exporter port must not kill the batch: warn once on
+        stderr and run without the live exporter."""
+        import socket
+
+        blocker = socket.socket()
+        blocker.bind(("127.0.0.1", 0))
+        blocker.listen(1)
+        port = blocker.getsockname()[1]
+        try:
+            assert main(["run", "c5", "--serve-metrics", str(port)]) == 0
+        finally:
+            blocker.close()
+        captured = capsys.readouterr()
+        assert f"warning: cannot serve metrics on port {port}" in captured.err
+        assert "continuing without the live exporter" in captured.err
+        assert "rows" in captured.out  # the experiment still ran
+
+    def test_port_zero_prints_resolved_ephemeral_port(self, capsys):
+        assert main(["run", "c5", "--serve-metrics", "0"]) == 0
+        err = capsys.readouterr().err
+        assert "serving metrics at http://127.0.0.1:" in err
+        assert ":0/metrics" not in err  # the *bound* port, not the request
+
+
+class TestServiceVerbs:
+    def test_serve_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.command == "serve"
+        assert args.port is None  # resolved to the default at dispatch
+        assert args.state_dir == ".repro-service"
+        assert args.workers == 2 and args.max_queue == 64
+
+    def test_submit_parser_flags(self):
+        args = build_parser().parse_args(
+            ["submit", "sidedness_ablation", "--seeds", "4", "--base-seed",
+             "7", "--param", "k=1", "--wait", "--state-dir", "sd"])
+        assert args.command == "submit"
+        assert args.name == "sidedness_ablation"
+        assert args.seeds == 4 and args.base_seed == 7
+        assert args.param == ["k=1"] and args.wait
+
+    def test_submit_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["submit", "nonexistent"])
+
+    def test_jobs_parser_flags(self):
+        args = build_parser().parse_args(["jobs", "abc123", "--cancel"])
+        assert args.command == "jobs"
+        assert args.sid == "abc123" and args.cancel
+
+    def test_submit_without_a_daemon_is_a_clean_error(self, tmp_path, capsys):
+        rc = main(["submit", "sidedness_ablation", "--seed", "1",
+                   "--state-dir", str(tmp_path / "nowhere")])
+        assert rc == 2
+        assert "no running service" in capsys.readouterr().err
+
+    def test_jobs_without_a_daemon_is_a_clean_error(self, tmp_path, capsys):
+        rc = main(["jobs", "--state-dir", str(tmp_path / "nowhere")])
+        assert rc == 2
+        assert "no running service" in capsys.readouterr().err

@@ -387,3 +387,78 @@ class TestSigintSurvivability:
                 )
         assert counts.get("true", 0) == 7  # restored, not re-executed
         assert counts.get("false", 0) == 1  # only the interrupted job re-ran
+
+
+class TestSigtermDrain:
+    def test_sigterm_drains_with_143_and_resume_hint(self, tmp_path):
+        """SIGTERM mid-sweep is a graceful drain, not an abort: completed
+        jobs are flushed, the exit code is the conventional 143 (so a
+        supervisor can tell drain from crash), and stderr points at the
+        resume path."""
+        env = dict(os.environ)
+        env.update({
+            "PYTHONPATH": str((
+                __import__("pathlib").Path(__file__).resolve().parent.parent / "src"
+            )),
+            "REPRO_LEDGER": "off",
+            "REPRO_CHAOS": "hang:secs=120",
+            "REPRO_CHAOS_STATE": str(tmp_path / "state"),
+        })
+        cache = tmp_path / "cache"
+        argv = [sys.executable, "-m", "repro", "sweep", "sidedness_ablation",
+                "--seeds", "8", "--parallel", "2", "--cache-dir", str(cache)]
+        proc = subprocess.Popen(argv, env=env, start_new_session=True,
+                                stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+                                text=True)
+        deadline = time.monotonic() + 30
+        checkpoint = cache / "checkpoint.jsonl"
+        while time.monotonic() < deadline:
+            if checkpoint.is_file() and len(checkpoint.read_text().splitlines()) >= 7:
+                break
+            time.sleep(0.1)
+        os.kill(proc.pid, signal.SIGTERM)
+        _, stderr = proc.communicate(timeout=30)
+        assert proc.returncode == 143, stderr
+        assert "terminated (graceful drain)" in stderr
+        assert "resume with --resume" in stderr
+        assert len(checkpoint.read_text().splitlines()) == 7
+
+        env.pop("REPRO_CHAOS")
+        resumed = subprocess.run(argv + ["--resume"], env=env,
+                                 capture_output=True, text=True, timeout=60)
+        assert resumed.returncode == 0, resumed.stderr
+        assert len(checkpoint.read_text().splitlines()) == 8
+
+
+class TestCacheWriteDegrade:
+    def test_put_failure_returns_none_and_warns_once(self, tmp_path, capsys,
+                                                     monkeypatch):
+        """ENOSPC/EACCES on a cache write degrades to uncached: put()
+        reports None, tallies, warns exactly once, and leaves no
+        half-written staging file behind."""
+        cache = ResultCache(tmp_path / "cache")
+        result = ExperimentRunner(ledger=False).run_one(
+            "sidedness_ablation", seed=0)
+
+        def enospc(src, dst):
+            raise OSError(28, "No space left on device")
+
+        monkeypatch.setattr(os, "replace", enospc)
+        assert cache.put(result) is None
+        assert cache.put(result) is None
+        assert cache.write_errors == 2
+        monkeypatch.undo()
+        err = capsys.readouterr().err
+        assert err.count("continuing uncached") == 1
+        assert not list((tmp_path / "cache").glob("**/*.tmp*"))
+
+    def test_runner_completes_and_counts_cache_write_failures(self, tmp_path,
+                                                              monkeypatch):
+        runner = ExperimentRunner(cache_dir=tmp_path / "cache",
+                                  max_workers=1, collect_metrics=True,
+                                  ledger=False)
+        monkeypatch.setattr(runner.cache, "put", lambda result: None)
+        results = runner.run(
+            [Job("sidedness_ablation", {}, seed=s) for s in range(3)])
+        assert all(r.error is None for r in results)
+        assert runner.metrics.value("cache_write_errors_total") == 3

@@ -1,0 +1,378 @@
+"""The experiment service: submission model, journal, HTTP daemon,
+client, and the two acceptance chaos scenarios (SIGKILL-and-resume,
+SIGTERM drain under load)."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.chaos import harness
+from repro.service import (
+    ExperimentService,
+    JobJournal,
+    JobSpec,
+    ServiceClient,
+    ServiceError,
+    ServiceUnavailable,
+)
+from repro.service.daemon import read_endpoint
+from repro.telemetry import RunLedger
+
+PROBE = "sidedness_ablation"
+
+
+# ----------------------------------------------------------------------
+# JobSpec: validation + idempotent IDs
+# ----------------------------------------------------------------------
+
+class TestJobSpec:
+    def test_sid_is_stable_and_process_independent(self):
+        a = JobSpec.from_payload({"name": PROBE, "seed": 7})
+        b = JobSpec.from_payload({"name": PROBE, "seed": 7})
+        assert a.sid == b.sid
+        assert len(a.sid) == 12
+
+    def test_sid_distinguishes_seed_and_params(self):
+        base = JobSpec.from_payload({"name": PROBE, "seed": 7})
+        other_seed = JobSpec.from_payload({"name": PROBE, "seed": 8})
+        assert base.sid != other_seed.sid
+
+    def test_sweep_sid_never_collides_with_member_job(self):
+        """A sweep folds its shape into the key, so the sweep's sid and
+        any member job's sid are distinct even for seeds=1."""
+        sweep = JobSpec.from_payload({"name": PROBE, "seeds": 1,
+                                      "base_seed": 0})
+        from repro.experiments.runner import derive_seed
+
+        member = JobSpec.from_payload({"name": PROBE,
+                                       "seed": derive_seed(0, 0)})
+        assert sweep.sid != member.sid
+
+    def test_kind_inferred_from_seeds(self):
+        assert JobSpec.from_payload({"name": PROBE}).kind == "experiment"
+        assert JobSpec.from_payload({"name": PROBE,
+                                     "seeds": 4}).kind == "sweep"
+
+    def test_expand_matches_cli_sweep_derivation(self):
+        from repro.experiments.runner import derive_seed
+
+        spec = JobSpec.from_payload({"name": PROBE, "seeds": 4,
+                                     "base_seed": 3})
+        assert [j.seed for j in spec.expand()] == [
+            derive_seed(3, i) for i in range(4)]
+        assert spec.job_count == 4
+
+    @pytest.mark.parametrize("payload, fragment", [
+        ("not a dict", "JSON object"),
+        ({"name": "no_such_experiment"}, "unknown experiment"),
+        ({}, "missing experiment 'name'"),
+        ({"name": PROBE, "bogus_field": 1}, "unknown field"),
+        ({"name": PROBE, "params": [1]}, "'params' must be an object"),
+        ({"name": PROBE, "kind": "cron"}, "unknown job kind"),
+        ({"name": PROBE, "kind": "sweep"}, "needs 'seeds'"),
+        ({"name": "para_reliability", "seeds": 4}, "takes no seed"),
+        ({"name": PROBE, "timeout_s": 0}, "must be positive"),
+        ({"name": PROBE, "retries": -1}, "must be >= 0"),
+        ({"name": PROBE, "params": {"not_a_param": 1}}, "bad params"),
+    ])
+    def test_bad_payloads_rejected_with_client_message(self, payload,
+                                                       fragment):
+        with pytest.raises(ValueError, match=fragment):
+            JobSpec.from_payload(payload)
+
+    def test_round_trips_through_json(self):
+        spec = JobSpec.from_payload({"name": PROBE, "seeds": 4,
+                                     "base_seed": 9, "timeout_s": 2.5,
+                                     "retries": 1})
+        again = JobSpec.from_payload(spec.to_json_dict())
+        assert again == spec
+        assert again.sid == spec.sid
+
+
+# ----------------------------------------------------------------------
+# JobJournal: replay semantics
+# ----------------------------------------------------------------------
+
+class TestJobJournal:
+    def test_lifecycle_round_trip(self, tmp_path):
+        journal = JobJournal(tmp_path / "jobs.jsonl")
+        spec = JobSpec.from_payload({"name": PROBE, "seeds": 2})
+        assert journal.submit(spec)
+        assert journal.start(spec.sid, "r1")
+        assert journal.done(spec.sid, "ok", jobs=2, errors=0)
+        state = journal.replay()
+        assert list(state.submits) == [spec.sid]
+        assert state.starts[spec.sid]["run_id"] == "r1"
+        assert state.done[spec.sid]["outcome"] == "ok"
+        assert state.pending() == []
+        assert state.corrupt_lines == 0
+
+    def test_submission_without_done_is_pending(self, tmp_path):
+        journal = JobJournal(tmp_path / "jobs.jsonl")
+        first = JobSpec.from_payload({"name": PROBE, "seed": 1})
+        second = JobSpec.from_payload({"name": PROBE, "seed": 2})
+        journal.submit(first)
+        journal.submit(second)
+        journal.done(first.sid, "ok")
+        assert journal.replay().pending() == [second.sid]
+
+    def test_cancel_is_terminal_for_replay(self, tmp_path):
+        journal = JobJournal(tmp_path / "jobs.jsonl")
+        spec = JobSpec.from_payload({"name": PROBE, "seed": 3})
+        journal.submit(spec)
+        journal.cancel(spec.sid)
+        state = journal.replay()
+        assert spec.sid in state.cancelled
+        assert state.pending() == []
+
+    def test_duplicate_submits_collapse_first_wins(self, tmp_path):
+        journal = JobJournal(tmp_path / "jobs.jsonl")
+        spec = JobSpec.from_payload({"name": PROBE, "seed": 4})
+        journal.submit(spec)
+        journal.submit(spec)
+        state = journal.replay()
+        assert state.order == [spec.sid]
+
+    def test_torn_tail_is_skipped_not_raised(self, tmp_path):
+        path = tmp_path / "jobs.jsonl"
+        journal = JobJournal(path)
+        spec = JobSpec.from_payload({"name": PROBE, "seed": 5})
+        journal.submit(spec)
+        blob = path.read_bytes()
+        # Tear the (only) record in half, exactly like a mid-write kill.
+        path.write_bytes(blob[: len(blob) // 2])
+        state = journal.replay()
+        assert state.corrupt_lines == 1
+        assert state.order == []
+
+    def test_append_after_torn_tail_is_isolated(self, tmp_path):
+        """A post-crash append must not merge into the torn line: the
+        shared appender prefixes a newline when the tail is torn."""
+        path = tmp_path / "jobs.jsonl"
+        journal = JobJournal(path)
+        first = JobSpec.from_payload({"name": PROBE, "seed": 6})
+        second = JobSpec.from_payload({"name": PROBE, "seed": 7})
+        journal.submit(first)
+        path.write_bytes(path.read_bytes()[:-10])  # torn, no newline
+        journal.submit(second)
+        state = journal.replay()
+        assert state.order == [second.sid]
+        assert state.corrupt_lines == 1
+
+
+# ----------------------------------------------------------------------
+# The daemon over real HTTP (in-process instance, ephemeral port)
+# ----------------------------------------------------------------------
+
+def _raw_post(base_url, payload, timeout_s=5.0):
+    request = urllib.request.Request(
+        f"{base_url}/jobs", data=json.dumps(payload).encode("utf-8"),
+        method="POST", headers={"Content-Type": "application/json"})
+    try:
+        with urllib.request.urlopen(request, timeout=timeout_s) as response:
+            return (response.status, response.headers.get("Retry-After"),
+                    json.loads(response.read()))
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.headers.get("Retry-After"), json.loads(exc.read())
+
+
+@pytest.fixture
+def parked_service(tmp_path):
+    """A service whose worker never starts: queue state is fully
+    deterministic (nothing drains while a test inspects it)."""
+    service = ExperimentService(tmp_path / "svc", port=0, workers=1,
+                                max_queue=1, start_worker=False).start()
+    yield service
+    service.stop()
+
+
+@pytest.fixture
+def live_service(tmp_path):
+    service = ExperimentService(tmp_path / "svc", port=0, workers=1).start()
+    yield service
+    service.stop()
+
+
+class TestServiceHTTP:
+    def test_healthz_live_and_endpoint_file(self, parked_service):
+        client = ServiceClient(parked_service.url, retries=0)
+        health = client.health()
+        assert health["status"] == "live"
+        assert health["service_id"] == parked_service.service_id
+        record = read_endpoint(parked_service.state_dir)
+        assert record["port"] == parked_service.port
+        assert record["service_id"] == parked_service.service_id
+
+    def test_submit_is_journaled_before_the_response(self, parked_service):
+        client = ServiceClient(parked_service.url, retries=0)
+        body = client.submit({"name": PROBE, "seed": 1})
+        assert body["state"] == "queued"
+        state = JobJournal(parked_service.state_dir / "jobs.jsonl").replay()
+        assert body["sid"] in state.submits
+
+    def test_invalid_submission_is_400(self, parked_service):
+        status, _retry, body = _raw_post(parked_service.url,
+                                         {"name": "no_such_experiment"})
+        assert status == 400
+        assert "unknown experiment" in body["error"]
+        with pytest.raises(ServiceError) as info:
+            ServiceClient(parked_service.url, retries=0).submit(
+                {"name": PROBE, "params": {"junk": 1}})
+        assert info.value.status == 400
+
+    def test_duplicate_submission_maps_onto_existing_job(self, parked_service):
+        client = ServiceClient(parked_service.url, retries=0)
+        first = client.submit({"name": PROBE, "seed": 2})
+        again = client.submit({"name": PROBE, "seed": 2})
+        assert again["duplicate"] is True
+        assert again["sid"] == first["sid"]
+        assert parked_service.metrics.value("service_duplicates_total") == 1
+
+    def test_queue_overflow_sheds_with_429_and_retry_after(self, parked_service):
+        client = ServiceClient(parked_service.url, retries=0)
+        client.submit({"name": PROBE, "seed": 3})  # fills max_queue=1
+        status, retry_after, body = _raw_post(parked_service.url,
+                                              {"name": PROBE, "seed": 4})
+        assert status == 429
+        assert float(retry_after) >= 1
+        assert body["error"] == "queue full"
+        assert parked_service.metrics.value(
+            "service_rejections_total", reason="overflow") == 1
+
+    def test_draining_rejects_with_503_and_retry_after(self, parked_service):
+        parked_service.initiate_drain("test")
+        assert ServiceClient(parked_service.url,
+                             retries=0).health()["status"] == "draining"
+        status, retry_after, _body = _raw_post(parked_service.url,
+                                               {"name": PROBE, "seed": 5})
+        assert status == 503
+        assert float(retry_after) >= 1
+
+    def test_cancel_queued_job(self, parked_service):
+        client = ServiceClient(parked_service.url, retries=0)
+        sid = client.submit({"name": PROBE, "seed": 6})["sid"]
+        cancelled = client.cancel(sid)
+        assert cancelled["state"] == "cancelled"
+        assert client.job(sid)["state"] == "cancelled"
+        # Terminal: a second cancel is a conflict.
+        with pytest.raises(ServiceError) as info:
+            client.cancel(sid)
+        assert info.value.status == 409
+        # And the journal agrees, so a restart will not resurrect it.
+        state = JobJournal(parked_service.state_dir / "jobs.jsonl").replay()
+        assert sid in state.cancelled
+
+    def test_unknown_routes_and_jobs_are_404(self, parked_service):
+        client = ServiceClient(parked_service.url, retries=0)
+        for method, path in (("GET", "/jobs/ffffffffffff"),
+                             ("GET", "/nope"), ("DELETE", "/jobs/feedface")):
+            with pytest.raises(ServiceError) as info:
+                client.request(method, path)
+            assert info.value.status == 404
+
+    def test_metrics_exposition_has_service_families(self, parked_service):
+        ServiceClient(parked_service.url, retries=0).submit(
+            {"name": PROBE, "seed": 7})
+        text = ServiceClient(parked_service.url, retries=0).metrics_text()
+        assert "service_admissions_total" in text
+        assert "service_queue_depth 1" in text
+        assert "# HELP service_queue_depth" in text
+
+
+class TestServiceExecution:
+    def test_experiment_job_runs_to_done_with_result(self, live_service):
+        client = ServiceClient(live_service.url, retries=1)
+        sid = client.submit({"name": PROBE, "seed": 0})["sid"]
+        record = client.wait(sid, timeout_s=60.0)
+        assert record["state"] == "done"
+        assert record["result"]["name"] == PROBE
+        assert record["summary"]["errors"] == 0
+
+    def test_sweep_runs_through_checkpoint_and_ledger(self, live_service):
+        client = ServiceClient(live_service.url, retries=1)
+        sid = client.submit({"name": PROBE, "seeds": 3})["sid"]
+        record = client.wait(sid, timeout_s=60.0)
+        assert record["state"] == "done"
+        assert record["summary"]["jobs"] == 3
+        checkpoint = live_service.state_dir / "checkpoints" / f"{sid}.jsonl"
+        assert len(checkpoint.read_text().splitlines()) == 3
+        ledger = RunLedger(live_service.state_dir / "ledger.jsonl")
+        records = ledger.scan()
+        assert len(records) == 3
+        assert {r["command"] for r in records} == {"service"}
+        assert len({r["job_id"] for r in records}) == 3
+
+    def test_restart_preserves_done_state_without_rerun(self, tmp_path):
+        state_dir = tmp_path / "svc"
+        service = ExperimentService(state_dir, port=0, workers=1).start()
+        try:
+            client = ServiceClient(service.url, retries=1)
+            sid = client.submit({"name": PROBE, "seeds": 2})["sid"]
+            client.wait(sid, timeout_s=60.0)
+        finally:
+            service.stop()
+        second = ExperimentService(state_dir, port=0, workers=1).start()
+        try:
+            assert second.jobs[sid].state == "done"
+            assert second.metrics.value("service_journal_replays_total") == 1
+            assert second.metrics.value("service_jobs_recovered_total") == 0
+            # The finished job is not re-enqueued, so the ledger stays
+            # at the original record count.
+            assert len(RunLedger(state_dir / "ledger.jsonl").scan()) == 2
+        finally:
+            second.stop()
+
+
+class TestServiceClient:
+    def test_unreachable_daemon_raises_after_bounded_retries(self):
+        client = ServiceClient("http://127.0.0.1:9", retries=1,
+                               backoff_s=0.01)
+        with pytest.raises(ServiceUnavailable):
+            client.health()
+
+    def test_missing_endpoint_file_is_a_clear_error(self, tmp_path):
+        with pytest.raises(ServiceUnavailable, match="service.json"):
+            ServiceClient.from_state_dir(tmp_path / "nowhere")
+
+    def test_shed_submission_retries_until_exhausted(self, parked_service):
+        ServiceClient(parked_service.url, retries=0).submit(
+            {"name": PROBE, "seed": 8})
+        client = ServiceClient(parked_service.url, retries=1, backoff_s=0.01)
+        with pytest.raises(ServiceError) as info:
+            client.submit({"name": PROBE, "seed": 9})
+        assert info.value.status == 429
+        # Both attempts were shed and counted.
+        assert parked_service.metrics.value(
+            "service_rejections_total", reason="overflow") == 2
+
+    def test_4xx_other_than_shed_never_retries(self, parked_service):
+        client = ServiceClient(parked_service.url, retries=3, backoff_s=0.01)
+        with pytest.raises(ServiceError):
+            client.submit({"name": "no_such_experiment"})
+        assert parked_service.metrics.value(
+            "service_rejections_total", reason="invalid") == 1
+
+
+# ----------------------------------------------------------------------
+# Acceptance: the deterministic service chaos proof (ISSUE 9)
+# ----------------------------------------------------------------------
+
+class TestServiceChaosAcceptance:
+    """The two scenarios the issue pins: a 16-job sweep SIGKILLed
+    mid-flight resumes on restart with every job accounted exactly
+    once, and SIGTERM under load drains to exit 0."""
+
+    def _run(self, name, tmp_path):
+        outcome = harness.run_scenario(name, tmp_path)
+        failed = [f"{c.label}: {c.observed}"
+                  for c in outcome.checks if not c.ok]
+        assert outcome.passed, failed
+        return outcome
+
+    def test_sigkill_mid_sweep_then_restart_and_resume(self, tmp_path):
+        self._run("service_kill", tmp_path)
+
+    def test_sigterm_drain_under_load_exits_zero(self, tmp_path):
+        self._run("service_drain", tmp_path)
