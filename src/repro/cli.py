@@ -402,6 +402,17 @@ def build_parser() -> argparse.ArgumentParser:
                        help="default per-job wall-clock deadline")
     serve.add_argument("--retries", type=int, default=0, metavar="N",
                        help="default retry budget for transient failures")
+    serve.add_argument("--max-concurrent", type=int, default=1, metavar="N",
+                       help="submissions executing at once, round-robin by "
+                            "chunk, each its own fault domain (default 1: "
+                            "serialized)")
+    serve.add_argument("--lock-stale", type=float, default=None,
+                       metavar="SECS",
+                       help="takeover bound for a dead sibling daemon's "
+                            "submission locks (default 10)")
+    serve.add_argument("--rescan", type=float, default=None, metavar="SECS",
+                       help="journal rescan cadence for discovering sibling "
+                            "daemons' submissions (default 2; 0 disables)")
 
     submit = sub.add_parser(
         "submit", help="submit an experiment or seed sweep to a running "
@@ -860,13 +871,19 @@ def _serve(args) -> int:
     journaled for the next incarnation, and the process exits 0.
     """
     from repro.service import ExperimentService
-    from repro.service.daemon import DEFAULT_SERVICE_PORT
+    from repro.service.daemon import DEFAULT_RESCAN_S, DEFAULT_SERVICE_PORT
+    from repro.utils.locks import DEFAULT_STALE_AFTER_S
 
     port = DEFAULT_SERVICE_PORT if args.port is None else args.port
-    service = ExperimentService(args.state_dir, host=args.host, port=port,
-                                workers=args.workers,
-                                max_queue=args.max_queue,
-                                timeout_s=args.timeout, retries=args.retries)
+    service = ExperimentService(
+        args.state_dir, host=args.host, port=port,
+        workers=args.workers,
+        max_queue=args.max_queue,
+        timeout_s=args.timeout, retries=args.retries,
+        max_concurrent=args.max_concurrent,
+        lock_stale_s=(DEFAULT_STALE_AFTER_S if args.lock_stale is None
+                      else args.lock_stale),
+        rescan_s=DEFAULT_RESCAN_S if args.rescan is None else args.rescan)
     try:
         service.start()
     except OSError as exc:
@@ -908,7 +925,7 @@ def _parse_params(pairs: List[str]) -> dict:
 
 
 def _submit(args) -> int:
-    from repro.service import ServiceError
+    from repro.service import ServiceError, ServiceTimeout
 
     payload: dict = {"name": args.name}
     try:
@@ -933,12 +950,12 @@ def _submit(args) -> int:
         if args.wait:
             response = client.wait(response["sid"],
                                    timeout_s=args.wait_timeout)
+    except (ServiceTimeout, TimeoutError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     except ServiceError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    except TimeoutError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 1
     if args.json:
         print(json.dumps(response, indent=2, sort_keys=True))
     else:

@@ -21,7 +21,12 @@ Layout:
   ``repro jobs``.
 """
 
-from repro.service.client import ServiceClient, ServiceError, ServiceUnavailable
+from repro.service.client import (
+    ServiceClient,
+    ServiceError,
+    ServiceTimeout,
+    ServiceUnavailable,
+)
 from repro.service.daemon import DEFAULT_SERVICE_PORT, ExperimentService
 from repro.service.journal import JOURNAL_SCHEMA, JobJournal, JobSpec
 
@@ -33,5 +38,6 @@ __all__ = [
     "JobSpec",
     "ServiceClient",
     "ServiceError",
+    "ServiceTimeout",
     "ServiceUnavailable",
 ]

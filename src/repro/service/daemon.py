@@ -8,6 +8,7 @@ One :class:`ExperimentService` owns a state directory::
       ledger.jsonl        # run ledger of every executed job (command=service)
       cache/              # shared result cache (idempotent re-runs hit it)
       checkpoints/<sid>.jsonl   # per-sweep checkpoints (resume after SIGKILL)
+      locks/<sid>.lock    # per-submission advisory locks (+ .fence tokens)
 
 Design decisions that make it kill-tolerant:
 
@@ -21,12 +22,40 @@ Design decisions that make it kill-tolerant:
   every chunk records into the sweep's checkpoint — so a SIGKILL loses
   at most the chunk in flight, and a restart resumes from the
   checkpoint + cache instead of re-executing.
-* **Graceful drain.**  SIGTERM/SIGINT stop admission (503), let the
-  current chunk finish (its results are checkpointed), leave queued
-  jobs journaled for the next incarnation, and exit 0.
+* **Fair concurrent scheduling.**  Up to ``max_concurrent`` submissions
+  execute at once, each in its own fault domain.  Chunk workers pull
+  submissions round-robin from a runnable ring — after each chunk a
+  submission goes to the back of the ring — so a 10k-job sweep cannot
+  starve a co-scheduled 1-job run.  A *poisoned* submission (invariant
+  violation, timeout-exhausted job, runner-level collapse) fails fast
+  to a structured ``failed`` state without touching its co-scheduled
+  neighbours; plain job errors keep the legacy run-to-completion →
+  ``error`` behaviour.
+* **Multi-daemon shared state.**  Every submission is guarded by a
+  heartbeated, fenced advisory lock (:mod:`repro.utils.locks`) under
+  ``locks/``, so N daemons — or a daemon plus CLI sweeps — can share
+  one state dir.  A scheduler thread heartbeats held locks, retries
+  contended ones, and periodically rescans the journal to discover
+  submissions admitted by sibling daemons and to fold in their
+  completions.  If a sibling SIGKILLs mid-submission, its lock goes
+  stale within ``lock_stale_s`` and a survivor takes over, resuming
+  from the shared checkpoint/cache (exactly-once via the job key).  A
+  holder that lost its lock sees the newer fence token and abandons
+  its journal write rather than corrupt shared files.
+* **Graceful drain.**  SIGTERM/SIGINT stop admission (503), let
+  in-flight chunks finish (their results are checkpointed), release
+  the locks, leave queued jobs journaled for the next incarnation, and
+  exit 0.
 * **Bounded queue.**  Past ``max_queue`` waiting jobs, submissions are
   shed with 429 + ``Retry-After`` (estimated from observed job
   durations) instead of growing without limit.
+
+Known imprecision under ``max_concurrent > 1``: run-id propagation into
+pool workers rides an environment variable set by ``ids.run_scope``, so
+two runners forking pools at the same instant can stamp each other's
+run id on *in-result* metadata.  The journal's ``start`` records and
+all checkpoint/ledger records use each runner's explicit run id, so
+correlation via ``/jobs`` and exactly-once accounting are unaffected.
 """
 
 from __future__ import annotations
@@ -45,6 +74,7 @@ from repro.experiments.runner import ExperimentRunner
 from repro.service.journal import JobJournal, JobSpec
 from repro.telemetry import MetricsRegistry, RunLedger
 from repro.telemetry import export, ids
+from repro.utils.locks import DEFAULT_STALE_AFTER_S, FileLock, LockLost
 
 __all__ = ["DEFAULT_SERVICE_PORT", "ENDPOINT_FILE", "ExperimentService",
            "read_endpoint"]
@@ -58,8 +88,16 @@ ENDPOINT_FILE = "service.json"
 #: ``Retry-After`` seconds sent while draining (a restart is expected).
 DRAINING_RETRY_AFTER_S = 10
 
+#: How often (seconds) the scheduler rescans the journal for foreign
+#: submissions / completions by sibling daemons sharing the state dir.
+DEFAULT_RESCAN_S = 2.0
+
 #: Terminal in-memory job states (no further transitions).
-_TERMINAL = ("done", "error", "cancelled")
+_TERMINAL = ("done", "error", "cancelled", "failed")
+
+#: Journal ``done`` outcome → in-memory state (unknown outcomes are
+#: conservative errors).
+_OUTCOME_STATE = {"ok": "done", "cancelled": "cancelled", "failed": "failed"}
 
 
 def read_endpoint(state_dir: Union[str, Path]) -> Optional[Dict[str, Any]]:
@@ -77,7 +115,7 @@ class _JobRecord:
 
     __slots__ = ("sid", "spec", "state", "submitted_ts", "started_ts",
                  "finished_ts", "run_id", "completed", "summary", "result",
-                 "error")
+                 "error", "wall_s", "peak_rss_kb", "inflight")
 
     def __init__(self, sid: str, spec: JobSpec, state: str = "queued"):
         self.sid = sid
@@ -91,6 +129,9 @@ class _JobRecord:
         self.summary: Optional[Dict[str, Any]] = None
         self.result: Optional[Dict[str, Any]] = None
         self.error: Optional[str] = None
+        self.wall_s = 0.0          # cumulative chunk wall time
+        self.peak_rss_kb = 0       # max per-job RSS observed so far
+        self.inflight = 0          # jobs in the chunk currently executing
 
     def brief(self) -> Dict[str, Any]:
         return {
@@ -100,6 +141,9 @@ class _JobRecord:
             "state": self.state,
             "jobs": self.spec.job_count,
             "completed": self.completed,
+            "inflight": self.inflight,
+            "wall_s": round(self.wall_s, 6),
+            "peak_rss_kb": self.peak_rss_kb,
             "submitted_ts": self.submitted_ts,
             "started_ts": self.started_ts,
             "finished_ts": self.finished_ts,
@@ -118,13 +162,35 @@ class _JobRecord:
         return body
 
 
+class _Execution:
+    """One activated submission: its runner, cursor, and lock."""
+
+    __slots__ = ("rec", "runner", "jobs", "next_index", "results", "lock",
+                 "chunk_size", "poison")
+
+    def __init__(self, rec: _JobRecord, runner: ExperimentRunner,
+                 jobs: List[Any], lock: FileLock, chunk_size: int):
+        self.rec = rec
+        self.runner = runner
+        self.jobs = jobs
+        self.next_index = 0
+        self.results: List[Any] = []
+        self.lock = lock
+        self.chunk_size = chunk_size
+        self.poison: Optional[str] = None  # reason, once poisoned
+
+
 class ExperimentService:
     """A crash-tolerant daemon multiplexing jobs onto the hardened runner.
 
-    ``workers`` is the runner pool width per job; the service executes
-    one submission at a time (parallelism lives inside the runner), so
-    resource usage is bounded and job metrics stay attributable.
-    ``start_worker=False`` leaves the execution thread unstarted —
+    ``workers`` is the runner pool width per submission;
+    ``max_concurrent`` is how many submissions execute at once (each in
+    its own fault domain, scheduled round-robin by chunk).  The default
+    of 1 preserves the serialized PR 9 behaviour.  ``lock_stale_s``
+    bounds how long a SIGKILLed sibling daemon's submission lock
+    survives before a survivor takes it over; ``rescan_s`` is the
+    journal rescan cadence for discovering sibling daemons' work.
+    ``start_worker=False`` leaves the execution threads unstarted —
     deterministic queue-state tests use it; production never does.
     """
 
@@ -135,6 +201,9 @@ class ExperimentService:
                  max_queue: int = 64,
                  timeout_s: Optional[float] = None,
                  retries: int = 0,
+                 max_concurrent: int = 1,
+                 lock_stale_s: float = DEFAULT_STALE_AFTER_S,
+                 rescan_s: float = DEFAULT_RESCAN_S,
                  start_worker: bool = True):
         self.state_dir = Path(state_dir).expanduser()
         self.host = host
@@ -143,6 +212,9 @@ class ExperimentService:
         self.max_queue = max(0, int(max_queue))
         self.timeout_s = timeout_s
         self.retries = max(0, int(retries))
+        self.max_concurrent = max(1, int(max_concurrent))
+        self.lock_stale_s = max(0.05, float(lock_stale_s))
+        self.rescan_s = max(0.0, float(rescan_s))
         self.service_id = ids.new_run_id(prefix="s")
         self.started_mono = time.monotonic()
 
@@ -150,6 +222,7 @@ class ExperimentService:
         self.ledger = RunLedger(self.state_dir / "ledger.jsonl")
         self.cache_dir = self.state_dir / "cache"
         self.checkpoint_dir = self.state_dir / "checkpoints"
+        self.lock_dir = self.state_dir / "locks"
 
         self._lock = threading.Lock()
         self._cond = threading.Condition(self._lock)
@@ -161,17 +234,22 @@ class ExperimentService:
         self.degraded = False
         self.metrics = MetricsRegistry()
         self._avg_job_s = 1.0  # EWMA of per-runner-job wall seconds
-        self._current_runner: Optional[ExperimentRunner] = None
+        self._executions: Dict[str, _Execution] = {}
+        self._rr: Deque[str] = deque()        # runnable ring (round-robin)
+        self._lock_retry_at: Dict[str, float] = {}
+        self._lock_takeovers = 0
+        self._locks_lost = 0
         self._drained = threading.Event()
         self._start_worker = start_worker
         self._worker: Optional[threading.Thread] = None
+        self._chunk_threads: List[threading.Thread] = []
         self._httpd: Optional[ThreadingHTTPServer] = None
         self._http_thread: Optional[threading.Thread] = None
         self.port: Optional[int] = None
 
     # -- lifecycle --------------------------------------------------------
     def start(self) -> "ExperimentService":
-        """Replay the journal, bind the HTTP server, start the worker."""
+        """Replay the journal, bind the HTTP server, start the scheduler."""
         self.state_dir.mkdir(parents=True, exist_ok=True)
         self._replay_journal()
         self._httpd = ThreadingHTTPServer((self.host, self.requested_port),
@@ -183,8 +261,14 @@ class ExperimentService:
             name="repro-service-http", daemon=True)
         self._http_thread.start()
         if self._start_worker:
+            for index in range(self.max_concurrent):
+                thread = threading.Thread(
+                    target=self._chunk_worker,
+                    name=f"repro-service-chunk-{index}", daemon=True)
+                thread.start()
+                self._chunk_threads.append(thread)
             self._worker = threading.Thread(
-                target=self._worker_loop, name="repro-service-worker",
+                target=self._scheduler_loop, name="repro-service-scheduler",
                 daemon=True)
             self._worker.start()
         self._write_endpoint()
@@ -224,18 +308,7 @@ class ExperimentService:
                 rec.run_id = start_rec.get("run_id")
             done = state.done.get(sid)
             if done is not None:
-                outcome = done.get("outcome", "ok")
-                rec.state = {"ok": "done", "cancelled": "cancelled"}.get(
-                    outcome, "error")
-                rec.completed = int(done.get("jobs") or done.get("completed")
-                                    or 0)
-                rec.finished_ts = done.get("ts")
-                rec.run_id = done.get("run_id") or rec.run_id
-                rec.summary = {k: done[k] for k in
-                               ("jobs", "errors", "timeouts", "cache_hits",
-                                "duration_s", "job_ids") if k in done}
-                if done.get("error"):
-                    rec.error = done["error"]
+                self._fold_done(rec, done)
             elif sid in state.cancelled:
                 rec.state = "cancelled"
             else:
@@ -252,6 +325,20 @@ class ExperimentService:
                 self.metrics.counter("service_jobs_recovered_total").inc(
                     recovered)
 
+    @staticmethod
+    def _fold_done(rec: _JobRecord, done: Dict[str, Any]) -> None:
+        """Apply a journal ``done`` record to an in-memory job record."""
+        outcome = done.get("outcome", "ok")
+        rec.state = _OUTCOME_STATE.get(outcome, "error")
+        rec.completed = int(done.get("jobs") or done.get("completed") or 0)
+        rec.finished_ts = done.get("ts")
+        rec.run_id = done.get("run_id") or rec.run_id
+        rec.summary = {k: done[k] for k in
+                       ("jobs", "errors", "timeouts", "cache_hits",
+                        "duration_s", "job_ids") if k in done}
+        if done.get("error"):
+            rec.error = done["error"]
+
     def install_signal_handlers(self) -> None:
         """SIGTERM/SIGINT → graceful drain (main thread only)."""
         def _drain_signal(signum, frame):
@@ -261,7 +348,7 @@ class ExperimentService:
             signal.signal(sig, _drain_signal)
 
     def initiate_drain(self, reason: str = "request") -> None:
-        """Stop admitting; let the in-flight chunk finish; then exit."""
+        """Stop admitting; let in-flight chunks finish; then exit."""
         with self._cond:
             if self.draining:
                 return
@@ -294,76 +381,254 @@ class ExperimentService:
             self._httpd.server_close()
             self._httpd = None
 
-    # -- worker -----------------------------------------------------------
-    def _worker_loop(self) -> None:
+    # -- scheduler --------------------------------------------------------
+    def _tick_s(self) -> float:
+        """Scheduler cadence: fast enough to heartbeat well inside the
+        stale bound (holders beat at ≤ a quarter of it)."""
+        return max(0.02, min(0.2, self.lock_stale_s / 4.0))
+
+    def _scheduler_loop(self) -> None:
+        next_rescan = time.monotonic() + self.rescan_s
         while True:
             with self._cond:
-                while not self.queue and not self.draining:
-                    self._cond.wait(timeout=0.2)
                 if self.draining:
-                    # Queued jobs stay journaled as pending: the next
-                    # incarnation picks them up.
                     break
-                sid = self.queue.popleft()
-                rec = self.jobs[sid]
-                rec.state = "running"
-                rec.started_ts = time.time()
-                rec.run_id = ids.new_run_id()
-            self._run_job(rec)
-            if self.draining:
-                break
+                self._activate_locked()
+                self._cond.wait(timeout=self._tick_s())
+                draining = self.draining
+            self._heartbeat_locks()
+            if not draining and self.rescan_s > 0 \
+                    and time.monotonic() >= next_rescan:
+                self._rescan_journal()
+                next_rescan = time.monotonic() + self.rescan_s
+        for thread in self._chunk_threads:
+            thread.join()
+        self._finalize_drain()
         self._drained.set()
 
-    def _run_job(self, rec: _JobRecord) -> None:
-        sid = rec.sid
-        self.journal.start(sid, rec.run_id or "")
-        spec = rec.spec
-        checkpoint = (self.checkpoint_dir / f"{sid}.jsonl"
-                      if spec.kind == "sweep" else None)
-        runner = ExperimentRunner(
-            cache_dir=self.cache_dir,
-            max_workers=self.workers,
-            collect_metrics=True,
-            ledger=self.ledger,
-            ledger_command="service",
-            timeout_s=spec.timeout_s if spec.timeout_s is not None
-            else self.timeout_s,
-            retries=spec.retries or self.retries,
-            checkpoint=checkpoint,
-            resume=True,
-            run_id=rec.run_id,
-        )
-        with self._lock:
-            self._current_runner = runner
-        jobs = spec.expand()
-        chunk_size = max(1, self.workers) * 2
-        results = []
-        cancelled = False
-        interrupted = False
-        started_mono = time.monotonic()
-        try:
-            for lo in range(0, len(jobs), chunk_size):
-                with self._lock:
-                    cancelled = sid in self.cancel_requests
-                    interrupted = self.draining
-                if cancelled or interrupted:
-                    break
-                results.extend(runner.run(jobs[lo:lo + chunk_size]))
-                with self._lock:
-                    rec.completed = len(results)
-        except Exception as exc:  # runner-level failure: job errors out
-            rec.error = f"{type(exc).__name__}: {exc}"
-        finally:
-            with self._lock:
-                self._current_runner = None
-        self._finish_job(rec, runner, results, cancelled=cancelled,
-                         interrupted=interrupted,
-                         wall_s=time.monotonic() - started_mono)
+    def _activate_locked(self) -> None:
+        """Admit queued submissions into execution slots (lock held).
 
-    def _finish_job(self, rec: _JobRecord, runner: ExperimentRunner,
-                    results, cancelled: bool, interrupted: bool,
-                    wall_s: float) -> None:
+        Contended locks (a sibling daemon owns the submission) park the
+        sid with a retry timestamp instead of blocking the scheduler;
+        the sid stays queued so ``queue_depth`` and 429 shedding keep
+        their meaning.
+        """
+        if self.draining:
+            return
+        now = time.monotonic()
+        for sid in list(self.queue):
+            if len(self._executions) >= self.max_concurrent:
+                break
+            if self._lock_retry_at.get(sid, 0.0) > now:
+                continue
+            rec = self.jobs[sid]
+            lock = FileLock(self.lock_dir / f"{sid}.lock",
+                            owner=self.service_id,
+                            stale_after_s=self.lock_stale_s)
+            contended = sid in self._lock_retry_at
+            if not lock.try_acquire():
+                self._lock_retry_at[sid] = now + max(
+                    0.05, min(0.5, self.lock_stale_s / 4.0))
+                continue
+            if contended:
+                # The sibling that held this lock may have finished the
+                # submission; re-check the journal before re-executing.
+                done = self.journal.replay().done.get(sid)
+                if done is not None:
+                    self._fold_done(rec, done)
+                    self.queue.remove(sid)
+                    self._lock_retry_at.pop(sid, None)
+                    lock.release()
+                    continue
+            self.queue.remove(sid)
+            self._lock_retry_at.pop(sid, None)
+            self.metrics.counter("service_lock_acquires_total").inc()
+            if lock.takeovers:
+                self._lock_takeovers += lock.takeovers
+                self.metrics.counter("service_lock_takeovers_total").inc(
+                    lock.takeovers)
+            rec.state = "running"
+            rec.started_ts = time.time()
+            rec.run_id = ids.new_run_id()
+            self.journal.start(sid, rec.run_id)
+            spec = rec.spec
+            checkpoint = (self.checkpoint_dir / f"{sid}.jsonl"
+                          if spec.kind == "sweep" else None)
+            runner = ExperimentRunner(
+                cache_dir=self.cache_dir,
+                max_workers=self.workers,
+                collect_metrics=True,
+                ledger=self.ledger,
+                ledger_command="service",
+                timeout_s=spec.timeout_s if spec.timeout_s is not None
+                else self.timeout_s,
+                retries=spec.retries or self.retries,
+                checkpoint=checkpoint,
+                resume=True,
+                run_id=rec.run_id,
+            )
+            execution = _Execution(rec, runner, spec.expand(), lock,
+                                   chunk_size=max(1, self.workers) * 2)
+            self._executions[sid] = execution
+            self._rr.append(sid)
+            self._cond.notify_all()
+
+    def _heartbeat_locks(self) -> None:
+        with self._lock:
+            executions = list(self._executions.values())
+        for execution in executions:
+            execution.lock.heartbeat()
+
+    def _rescan_journal(self) -> None:
+        """Fold sibling daemons' journal records into local state.
+
+        Discovers submissions admitted by other daemons sharing the
+        state dir (they become locally queued; the lock decides who
+        executes) and applies their ``done`` records to submissions we
+        are not executing ourselves.
+        """
+        state = self.journal.replay()
+        discovered = 0
+        with self._cond:
+            self.metrics.gauge("service_journal_corrupt_lines").set(
+                state.corrupt_lines)
+            for sid in state.order:
+                rec = self.jobs.get(sid)
+                done = state.done.get(sid)
+                if rec is None:
+                    try:
+                        spec = JobSpec.from_payload(
+                            state.submits[sid].get("spec"))
+                    except ValueError:
+                        continue
+                    rec = _JobRecord(sid, spec)
+                    start_rec = state.starts.get(sid)
+                    if start_rec is not None:
+                        rec.run_id = start_rec.get("run_id")
+                    if done is not None:
+                        self._fold_done(rec, done)
+                    elif sid in state.cancelled:
+                        rec.state = "cancelled"
+                    else:
+                        self.queue.append(sid)
+                        discovered += 1
+                    self.jobs[sid] = rec
+                    self.order.append(sid)
+                    continue
+                if done is not None and rec.state not in _TERMINAL \
+                        and sid not in self._executions:
+                    # A sibling finished a submission we were holding as
+                    # queued/checkpointed — fold its completion in.
+                    self._fold_done(rec, done)
+                    try:
+                        self.queue.remove(sid)
+                    except ValueError:
+                        pass
+                    self._lock_retry_at.pop(sid, None)
+            if discovered:
+                self.metrics.counter("service_jobs_discovered_total").inc(
+                    discovered)
+                self._cond.notify_all()
+
+    # -- chunk workers ----------------------------------------------------
+    def _chunk_worker(self) -> None:
+        while True:
+            with self._cond:
+                while not self._rr and not self.draining:
+                    self._cond.wait(timeout=0.2)
+                if self.draining:
+                    break
+                sid = self._rr.popleft()
+                execution = self._executions.get(sid)
+            if execution is not None:
+                self._run_chunk(execution)
+
+    def _run_chunk(self, execution: _Execution) -> None:
+        rec = execution.rec
         sid = rec.sid
+        with self._lock:
+            cancelled = sid in self.cancel_requests
+        if cancelled:
+            self._finalize(execution, cancelled=True)
+            return
+        if not execution.lock.still_mine():
+            self._abandon(execution, "before chunk")
+            return
+        chunk = execution.jobs[execution.next_index:
+                               execution.next_index + execution.chunk_size]
+        if not chunk:
+            self._finalize(execution)
+            return
+        with self._lock:
+            rec.inflight = len(chunk)
+        started = time.monotonic()
+        failure: Optional[str] = None
+        results: List[Any] = []
+        try:
+            results = execution.runner.run(chunk)
+        except Exception as exc:  # runner-level collapse poisons the domain
+            failure = f"{type(exc).__name__}: {exc}"
+        wall = time.monotonic() - started
+        with self._lock:
+            rec.inflight = 0
+            rec.wall_s += wall
+            execution.results.extend(results)
+            execution.next_index += len(chunk)
+            rec.completed = len(execution.results)
+            for result in results:
+                rss = getattr(result, "peak_rss_kb", 0) or 0
+                if rss > rec.peak_rss_kb:
+                    rec.peak_rss_kb = rss
+            if results:
+                self._avg_job_s = 0.5 * self._avg_job_s \
+                    + 0.5 * (wall / len(results))
+            self.metrics.counter("service_chunks_total").inc()
+        poison = failure
+        if poison is None:
+            for result in results:
+                outcome = getattr(result, "outcome", "ok")
+                if outcome in ("timeout", "invariant"):
+                    poison = (f"poisoned by job "
+                              f"{getattr(result, 'job_id', '?')}: "
+                              f"outcome={outcome}")
+                    break
+        if poison is not None:
+            execution.poison = poison
+            self._finalize(execution, poisoned=True)
+            return
+        if execution.next_index >= len(execution.jobs):
+            self._finalize(execution)
+            return
+        with self._cond:
+            if not self.draining:
+                self._rr.append(sid)        # back of the ring: round-robin
+                self._cond.notify_all()
+            # On drain the execution stays registered; the scheduler
+            # finalizes it as ``checkpointed`` once workers exit.
+
+    def _abandon(self, execution: _Execution, where: str) -> None:
+        """This daemon's claim was superseded: a sibling holds a newer
+        fence token.  Stop touching the submission — the new owner
+        executes it and writes its journal records; our rescan folds
+        the completion in later."""
+        rec = execution.rec
+        with self._cond:
+            self._locks_lost += 1
+            self.metrics.counter("service_lock_lost_total").inc()
+            self._executions.pop(rec.sid, None)
+            rec.state = "checkpointed"
+            rec.inflight = 0
+            rec.error = f"lock superseded {where}; ceded to new owner"
+            self._cond.notify_all()
+        execution.lock.release()  # no-op unless still ours
+
+    def _finalize(self, execution: _Execution, cancelled: bool = False,
+                  poisoned: bool = False, interrupted: bool = False) -> None:
+        rec = execution.rec
+        sid = rec.sid
+        runner = execution.runner
+        results = execution.results
         summary = runner.summary(results)
         job_ids = [r.job_id for r in results if r.job_id][:1024]
         with self._lock:
@@ -371,10 +636,8 @@ class ExperimentService:
                 self.metrics.merge(runner.metrics.snapshot())
             if runner.degraded_to_serial:
                 self.degraded = True
-            if results:
-                per_job = wall_s / len(results)
-                self._avg_job_s = 0.5 * self._avg_job_s + 0.5 * per_job
             rec.completed = len(results)
+            rec.inflight = 0
             rec.summary = {
                 "jobs": summary["jobs"],
                 "errors": summary["errors"],
@@ -386,17 +649,19 @@ class ExperimentService:
             if cancelled:
                 rec.state = "cancelled"
                 self.cancel_requests.discard(sid)
+            elif poisoned:
+                rec.state = "failed"
+                rec.error = execution.poison or "poisoned"
             elif interrupted:
                 # No ``done`` record: the journal keeps this submission
                 # pending and the next incarnation resumes it from the
                 # checkpoint/cache.
                 rec.state = "checkpointed"
-            elif rec.error is not None or summary["errors"]:
+            elif summary["errors"]:
                 rec.state = "error"
-                if rec.error is None:
-                    first = summary["errored"][0]
-                    rec.error = f"{summary['errors']} job(s) failed " \
-                                f"(first: {first['error']})"
+                first = summary["errored"][0]
+                rec.error = f"{summary['errors']} job(s) failed " \
+                            f"(first: {first['error']})"
             else:
                 rec.state = "done"
                 if rec.spec.kind == "experiment" and results:
@@ -405,23 +670,47 @@ class ExperimentService:
                 rec.finished_ts = time.time()
                 self.metrics.counter("service_jobs_total",
                                      outcome=rec.state).inc()
-        if rec.state == "cancelled":
-            self.journal.done(sid, "cancelled", completed=len(results),
-                              run_id=rec.run_id)
-        elif rec.state in ("done", "error"):
-            self.journal.done(
-                sid, "ok" if rec.state == "done" else "error",
-                jobs=summary["jobs"], errors=summary["errors"],
-                timeouts=summary["timeouts"],
-                cache_hits=summary["cache_hits"],
-                duration_s=round(summary["duration_s"], 6),
-                run_id=rec.run_id, job_ids=job_ids,
-                **({"error": rec.error} if rec.error else {}))
+        try:
+            if rec.state == "cancelled":
+                execution.lock.ensure()
+                self.journal.done(sid, "cancelled", completed=len(results),
+                                  run_id=rec.run_id)
+            elif rec.state in ("done", "error", "failed"):
+                # Fencing check: if a sibling took the lock over while we
+                # were stalled, the submission is theirs now — writing a
+                # ``done`` record would race their execution.
+                execution.lock.ensure()
+                outcome = {"done": "ok", "failed": "failed"}.get(
+                    rec.state, "error")
+                self.journal.done(
+                    sid, outcome,
+                    jobs=summary["jobs"], errors=summary["errors"],
+                    timeouts=summary["timeouts"],
+                    cache_hits=summary["cache_hits"],
+                    duration_s=round(summary["duration_s"], 6),
+                    run_id=rec.run_id, job_ids=job_ids,
+                    **({"error": rec.error} if rec.error else {}))
+        except LockLost:
+            self._abandon(execution, "at completion")
+            return
+        execution.lock.release()
+        with self._cond:
+            self._executions.pop(sid, None)
+            self._cond.notify_all()   # a slot freed: scheduler may activate
+
+    def _finalize_drain(self) -> None:
+        """After the chunk workers exit on drain, park every live
+        execution as ``checkpointed`` and release its lock."""
+        with self._lock:
+            executions = list(self._executions.values())
+        for execution in executions:
+            self._finalize(execution, interrupted=True)
 
     # -- admission --------------------------------------------------------
     def _retry_after_s(self) -> int:
         depth = len(self.queue)
-        estimate = self._avg_job_s * (depth + 1) / max(1, self.workers)
+        width = max(1, self.workers * self.max_concurrent)
+        estimate = self._avg_job_s * (depth + 1) / width
         return max(1, min(60, int(round(estimate))))
 
     def submit(self, payload: Any):
@@ -508,8 +797,17 @@ class ExperimentService:
                 "pid": os.getpid(),
                 "uptime_s": round(time.monotonic() - self.started_mono, 3),
                 "queue_depth": len(self.queue),
+                "in_flight": len(self._executions),
+                "max_concurrent": self.max_concurrent,
                 "draining": self.draining,
                 "degraded": self.degraded,
+                "locks": {
+                    "held": sum(1 for e in self._executions.values()
+                                if e.lock.held),
+                    "takeovers": self._lock_takeovers,
+                    "lost": self._locks_lost,
+                    "stale_after_s": self.lock_stale_s,
+                },
                 "jobs": counts,
             }
 
@@ -521,8 +819,15 @@ class ExperimentService:
             registry.gauge("service_queue_depth").set(len(self.queue))
             registry.gauge("service_draining").set(int(self.draining))
             registry.gauge("service_degraded").set(int(self.degraded))
-            runner = self._current_runner
-        if runner is not None:
+            registry.gauge("service_active_submissions").set(
+                len(self._executions))
+            registry.gauge("service_inflight_jobs").set(
+                sum(e.rec.inflight for e in self._executions.values()))
+            registry.gauge("service_locks_held").set(
+                sum(1 for e in self._executions.values() if e.lock.held))
+            registry.gauge("service_max_concurrent").set(self.max_concurrent)
+            runners = [e.runner for e in self._executions.values()]
+        for runner in runners:
             try:
                 registry.merge(runner.live_metrics().snapshot())
             except Exception:  # a finishing runner must not fail a scrape

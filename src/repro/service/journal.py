@@ -18,6 +18,12 @@ Submissions are **idempotent**: a :class:`JobSpec`'s service ID
 checkpoint use, so a client retrying a ``POST /jobs`` it never saw the
 response to maps onto the already-journaled job instead of
 double-running it.
+
+The journal is also the **coordination bus** between daemons sharing
+one state directory: each daemon journals its own admissions and
+periodically rescans the file to discover the others' (whole-record
+``O_APPEND`` writes make concurrent appenders safe), while per-sid
+advisory locks (:mod:`repro.utils.locks`) decide who executes what.
 """
 
 from __future__ import annotations
@@ -35,13 +41,20 @@ from repro.experiments.runner import Job, derive_seed
 from repro.telemetry import ids
 from repro.utils.jsonl import append_record
 
-__all__ = ["JOURNAL_SCHEMA", "JOURNAL_EVENTS", "JobJournal", "JobSpec",
-           "ReplayState"]
+__all__ = ["DONE_OUTCOMES", "JOURNAL_SCHEMA", "JOURNAL_EVENTS", "JobJournal",
+           "JobSpec", "ReplayState"]
 
 JOURNAL_SCHEMA = 1
 
 #: The journal's event vocabulary, in lifecycle order.
 JOURNAL_EVENTS = ("submit", "start", "done", "cancel")
+
+#: ``done`` record outcomes: ``ok`` (all jobs succeeded), ``error``
+#: (individual jobs errored but the submission ran to completion),
+#: ``failed`` (the submission's fault domain was poisoned — invariant
+#: violation, timeout-exhausted job, or runner collapse — and execution
+#: stopped early), ``cancelled``.  Unknown outcomes replay as ``error``.
+DONE_OUTCOMES = ("ok", "error", "failed", "cancelled")
 
 
 @dataclass(frozen=True)

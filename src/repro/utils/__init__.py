@@ -1,5 +1,7 @@
-"""Shared utilities: seeded RNG management, unit constants, validation."""
+"""Shared utilities: seeded RNG management, unit constants, validation,
+crash-safe file primitives (JSONL appends, advisory locks)."""
 
+from repro.utils.locks import FileLock, LockLost
 from repro.utils.rng import derive_rng, derive_seed, spawn_rngs
 from repro.utils.units import (
     KILO,
@@ -20,6 +22,8 @@ from repro.utils.validation import (
 )
 
 __all__ = [
+    "FileLock",
+    "LockLost",
     "derive_rng",
     "derive_seed",
     "spawn_rngs",

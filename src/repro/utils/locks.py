@@ -1,0 +1,277 @@
+"""Crash-safe advisory file locks with heartbeats, stale takeover, and
+monotonic fencing tokens — stdlib only.
+
+The experiment service shares one state directory (result cache, run
+ledger, job journal, sweep checkpoints) between daemons and CLI sweeps.
+The appenders themselves are already whole-record-atomic
+(:mod:`repro.utils.jsonl`), so the remaining hazard is *ownership*: two
+daemons must not execute the same submission concurrently, and a
+process that lost its claim must never keep writing as if it still held
+it.  :class:`FileLock` provides exactly that, with the three properties
+crash-tolerant distributed locking actually needs:
+
+**Liveness (stale takeover).**  A lock holder that is SIGKILLed leaves
+its lock file behind.  Holders therefore *heartbeat* (bump the lock
+file's mtime) while alive; a contender that observes a lock whose mtime
+is older than ``stale_after_s`` may take it over.  Takeover is
+race-free: the contender first atomically ``rename``\\ s the stale lock
+aside (only one contender can win the rename), then recreates the lock
+with ``O_CREAT | O_EXCL`` (only one creator can win the create).
+
+**Safety (fencing tokens).**  Every successful acquisition increments a
+monotonic *fence token* persisted in ``<lock>.fence`` next to the lock.
+The token is written into the lock record, and a holder can cheaply ask
+:meth:`FileLock.still_mine` whether the on-disk lock still carries its
+token.  A paused/stalled holder whose lock was taken over sees a newer
+token and must abandon its write instead of corrupting shared state —
+the classic fencing discipline, without needing a lock service.
+
+**Crash-safe bookkeeping.**  The fence bump is serialized by lock
+ownership (only the unique winner of the ``O_EXCL`` create performs
+it), staged through a temp file, and ``os.replace``\\ d into place, so a
+crash mid-bump can never make tokens go backwards.
+
+The locks are *advisory*: writers must check them.  They guard
+correctness of ownership, not byte-level atomicity — that remains the
+appenders' job.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import time
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+__all__ = ["DEFAULT_STALE_AFTER_S", "FileLock", "LockLost", "read_fence"]
+
+#: Without a heartbeat for this long, a lock is presumed abandoned and
+#: may be taken over.  Holders heartbeat at a quarter of this bound.
+DEFAULT_STALE_AFTER_S = 10.0
+
+
+class LockLost(RuntimeError):
+    """This process's claim on a lock has been superseded.
+
+    Raised by :meth:`FileLock.ensure` when the on-disk lock no longer
+    carries this holder's fence token (a contender took the lock over,
+    or the lock file vanished).  The only correct reaction is to
+    abandon the guarded write.
+    """
+
+
+def read_fence(lock_path: Union[str, Path]) -> int:
+    """The last fence token issued for ``lock_path`` (0 if none yet)."""
+    path = Path(lock_path)
+    try:
+        return int(path.with_name(path.name + ".fence").read_text().strip())
+    except (OSError, ValueError):
+        return 0
+
+
+class FileLock:
+    """One advisory lock file with heartbeat, takeover, and fencing.
+
+    ``owner`` names the holder in the lock record (diagnostics only —
+    the fence token, unique per acquisition, is what :meth:`still_mine`
+    compares).  ``stale_after_s`` is the takeover bound: a lock whose
+    mtime is older is presumed abandoned.
+
+    Usage::
+
+        lock = FileLock(state_dir / "locks" / f"{sid}.lock", owner=me)
+        if lock.try_acquire():
+            try:
+                ...                      # do guarded work
+                lock.heartbeat()         # periodically, while working
+                lock.ensure()            # before any critical write
+            finally:
+                lock.release()
+    """
+
+    def __init__(self, path: Union[str, Path], owner: str = "",
+                 stale_after_s: float = DEFAULT_STALE_AFTER_S):
+        self.path = Path(path).expanduser()
+        self.fence_path = self.path.with_name(self.path.name + ".fence")
+        self.owner = owner or f"pid-{os.getpid()}"
+        self.stale_after_s = max(0.05, float(stale_after_s))
+        self.fence = 0          # token of the current acquisition (0 = none)
+        self.held = False
+        self.takeovers = 0      # stale takeovers this object performed
+
+    # -- introspection ----------------------------------------------------
+    def read_holder(self) -> Optional[Dict[str, Any]]:
+        """The on-disk lock record; ``None`` if absent, ``{}`` if the
+        file exists but is unparseable (mid-write by another acquirer)."""
+        try:
+            record = json.loads(self.path.read_text())
+        except OSError:
+            return None
+        except ValueError:
+            return {}
+        return record if isinstance(record, dict) else {}
+
+    def holder_age_s(self) -> Optional[float]:
+        """Seconds since the holder's last heartbeat; ``None`` if free."""
+        try:
+            return max(0.0, time.time() - self.path.stat().st_mtime)
+        except OSError:
+            return None
+
+    def is_stale(self) -> bool:
+        """Held, but past the takeover bound with no heartbeat?"""
+        age = self.holder_age_s()
+        return age is not None and age > self.stale_after_s
+
+    # -- acquisition ------------------------------------------------------
+    def try_acquire(self) -> bool:
+        """One non-blocking acquisition attempt; True on success.
+
+        A fresh (heartbeating) holder blocks the attempt; a stale one is
+        taken over.  On success :attr:`fence` holds the newly issued
+        token and :attr:`held` is True.
+        """
+        if self.held and self.still_mine():
+            return True
+        self.held = False
+        for _ in range(2):  # second pass: retry the create after a takeover
+            if self._create():
+                return True
+            if not self.is_stale():
+                return False
+            if not self._steal_stale():
+                # Lost the takeover race; the winner is recreating the
+                # lock right now — one immediate retry settles it.
+                continue
+        return False
+
+    def acquire(self, timeout_s: float = 0.0, poll_s: float = 0.05) -> bool:
+        """Blocking acquisition with a deadline; True on success."""
+        deadline = time.monotonic() + max(0.0, timeout_s)
+        while True:
+            if self.try_acquire():
+                return True
+            if time.monotonic() >= deadline:
+                return False
+            time.sleep(poll_s)
+
+    def _create(self) -> bool:
+        """Win the lock via ``O_CREAT | O_EXCL``; bump + record the fence."""
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            fd = os.open(str(self.path),
+                         os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
+        except FileExistsError:
+            return False
+        except OSError:
+            return False
+        try:
+            # Serialized by ownership: only the unique O_EXCL winner
+            # ever bumps, so the token is monotonic across processes.
+            self.fence = self._bump_fence()
+            record = {
+                "owner": self.owner,
+                "pid": os.getpid(),
+                "host": socket.gethostname(),
+                "fence": self.fence,
+                "acquired_ts": time.time(),
+            }
+            blob = (json.dumps(record, sort_keys=True) + "\n").encode("utf-8")
+            os.write(fd, blob)
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        self.held = True
+        return True
+
+    def _steal_stale(self) -> bool:
+        """Atomically claim a stale lock by renaming it aside.
+
+        Only one contender's rename can succeed; the loser sees
+        ``FileNotFoundError`` and retries the create (which the winner
+        may or may not have completed yet).
+        """
+        aside = self.path.with_name(
+            f"{self.path.name}.stale.{os.getpid()}.{os.urandom(3).hex()}")
+        try:
+            os.rename(self.path, aside)
+        except OSError:
+            return False
+        self.takeovers += 1
+        try:
+            aside.unlink()
+        except OSError:  # pragma: no cover - raced cleanup is fine
+            pass
+        return True
+
+    def _bump_fence(self) -> int:
+        token = read_fence(self.path) + 1
+        tmp = self.fence_path.with_name(
+            f"{self.fence_path.name}.tmp.{os.getpid()}")
+        with open(tmp, "w") as handle:
+            handle.write(f"{token}\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self.fence_path)
+        return token
+
+    # -- holding ----------------------------------------------------------
+    def heartbeat(self) -> bool:
+        """Refresh the lock's mtime; False (and ``held=False``) if the
+        lock is no longer this holder's to refresh."""
+        if not self.held or not self.still_mine():
+            self.held = False
+            return False
+        try:
+            os.utime(self.path, None)
+        except OSError:
+            self.held = False
+            return False
+        return True
+
+    def still_mine(self) -> bool:
+        """Does the on-disk lock still carry this acquisition's token?"""
+        if self.fence <= 0:
+            return False
+        record = self.read_holder()
+        return bool(record) and record.get("fence") == self.fence
+
+    def ensure(self) -> None:
+        """Raise :class:`LockLost` unless the lock is still this
+        holder's — call immediately before any guarded write."""
+        if not self.still_mine():
+            self.held = False
+            holder = self.read_holder()
+            newer = holder.get("fence") if holder else None
+            raise LockLost(
+                f"lock {self.path.name} superseded: held fence "
+                f"{self.fence}, on-disk fence {newer!r}")
+
+    def release(self) -> None:
+        """Drop the lock if (and only if) it is still this holder's.
+
+        Releasing a lock another process took over must not unlink
+        *their* claim, so a superseded release is a silent no-op.
+        """
+        if self.held and self.still_mine():
+            try:
+                self.path.unlink()
+            except OSError:  # pragma: no cover - raced removal
+                pass
+        self.held = False
+
+    # -- context manager --------------------------------------------------
+    def __enter__(self) -> "FileLock":
+        if not self.try_acquire():
+            raise LockLost(f"could not acquire {self.path.name}: "
+                           f"held by {self.read_holder()!r}")
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.release()
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics only
+        state = "held" if self.held else "free"
+        return f"FileLock({self.path.name}, {state}, fence={self.fence})"

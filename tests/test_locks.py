@@ -1,0 +1,197 @@
+"""Advisory file locks: heartbeats, stale takeover, and fencing.
+
+These are the ownership guarantees the multi-daemon service leans on:
+a fresh holder excludes contenders, a SIGKILLed holder's lock is taken
+over within the stale bound, and a superseded holder detects the newer
+fence token and abandons its write instead of corrupting shared state.
+"""
+
+import json
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro.utils.locks import (
+    DEFAULT_STALE_AFTER_S,
+    FileLock,
+    LockLost,
+    read_fence,
+)
+
+
+def _backdate(lock, seconds):
+    """Fake a holder that stopped heartbeating ``seconds`` ago."""
+    past = time.time() - seconds
+    os.utime(lock.path, (past, past))
+
+
+class TestAcquireRelease:
+    def test_acquire_writes_an_inspectable_record(self, tmp_path):
+        lock = FileLock(tmp_path / "a.lock", owner="svc-1")
+        assert lock.try_acquire()
+        assert lock.held
+        holder = lock.read_holder()
+        assert holder["owner"] == "svc-1"
+        assert holder["pid"] == os.getpid()
+        assert holder["fence"] == lock.fence == 1
+        lock.release()
+        assert not lock.held
+        assert lock.read_holder() is None
+
+    def test_fresh_holder_excludes_contender(self, tmp_path):
+        a = FileLock(tmp_path / "a.lock", owner="a")
+        b = FileLock(tmp_path / "a.lock", owner="b")
+        assert a.try_acquire()
+        assert not b.try_acquire()
+        assert not b.acquire(timeout_s=0.15, poll_s=0.02)
+        a.release()
+        assert b.try_acquire()
+
+    def test_reacquire_while_held_is_idempotent(self, tmp_path):
+        lock = FileLock(tmp_path / "a.lock")
+        assert lock.try_acquire()
+        fence = lock.fence
+        assert lock.try_acquire()
+        assert lock.fence == fence  # no spurious re-issue
+
+    def test_context_manager_raises_when_contended(self, tmp_path):
+        holder = FileLock(tmp_path / "a.lock", owner="holder")
+        assert holder.try_acquire()
+        with pytest.raises(LockLost):
+            with FileLock(tmp_path / "a.lock", owner="late"):
+                pass  # pragma: no cover
+        holder.release()
+        with FileLock(tmp_path / "a.lock", owner="late") as lock:
+            assert lock.held
+
+    def test_default_stale_bound(self, tmp_path):
+        assert FileLock(tmp_path / "a.lock").stale_after_s == \
+            DEFAULT_STALE_AFTER_S
+
+
+class TestFencing:
+    def test_fence_tokens_are_monotonic_across_acquisitions(self, tmp_path):
+        path = tmp_path / "a.lock"
+        tokens = []
+        for _ in range(4):
+            lock = FileLock(path)
+            assert lock.try_acquire()
+            tokens.append(lock.fence)
+            lock.release()
+        assert tokens == [1, 2, 3, 4]
+        assert read_fence(path) == 4  # release never rolls the fence back
+
+    def test_read_fence_defaults_to_zero(self, tmp_path):
+        assert read_fence(tmp_path / "never.lock") == 0
+
+    def test_superseded_holder_sees_lock_lost(self, tmp_path):
+        victim = FileLock(tmp_path / "a.lock", owner="victim",
+                          stale_after_s=0.2)
+        assert victim.try_acquire()
+        _backdate(victim, 5.0)  # victim "stops heartbeating"
+        thief = FileLock(tmp_path / "a.lock", owner="thief",
+                         stale_after_s=0.2)
+        assert thief.try_acquire()
+        assert thief.takeovers == 1
+        assert thief.fence > victim.fence
+        assert not victim.still_mine()
+        with pytest.raises(LockLost) as info:
+            victim.ensure()
+        assert str(thief.fence) in str(info.value)
+        assert not victim.held
+
+    def test_superseded_release_is_a_noop(self, tmp_path):
+        victim = FileLock(tmp_path / "a.lock", stale_after_s=0.2)
+        assert victim.try_acquire()
+        _backdate(victim, 5.0)
+        thief = FileLock(tmp_path / "a.lock", stale_after_s=0.2)
+        assert thief.try_acquire()
+        victim.release()  # must NOT unlink the thief's claim
+        assert thief.still_mine()
+
+    def test_ensure_passes_while_mine(self, tmp_path):
+        lock = FileLock(tmp_path / "a.lock")
+        assert lock.try_acquire()
+        lock.ensure()  # no raise
+
+
+class TestHeartbeatAndTakeover:
+    def test_heartbeat_prevents_takeover(self, tmp_path):
+        holder = FileLock(tmp_path / "a.lock", stale_after_s=0.3)
+        assert holder.try_acquire()
+        contender = FileLock(tmp_path / "a.lock", stale_after_s=0.3)
+        for _ in range(4):
+            time.sleep(0.1)
+            assert holder.heartbeat()
+            assert not contender.try_acquire()
+        assert holder.still_mine()
+
+    def test_stale_lock_taken_over_within_bound(self, tmp_path):
+        holder = FileLock(tmp_path / "a.lock", stale_after_s=0.2)
+        assert holder.try_acquire()
+        _backdate(holder, 1.0)  # the "crash": heartbeats stop
+        contender = FileLock(tmp_path / "a.lock", stale_after_s=0.2)
+        started = time.monotonic()
+        assert contender.acquire(timeout_s=2.0, poll_s=0.02)
+        assert time.monotonic() - started < 1.0
+        assert contender.takeovers == 1
+
+    def test_heartbeat_after_takeover_reports_loss(self, tmp_path):
+        victim = FileLock(tmp_path / "a.lock", stale_after_s=0.2)
+        assert victim.try_acquire()
+        _backdate(victim, 5.0)
+        thief = FileLock(tmp_path / "a.lock", stale_after_s=0.2)
+        assert thief.try_acquire()
+        assert not victim.heartbeat()
+        assert not victim.held
+        assert thief.heartbeat()  # the new owner's heartbeat still works
+
+    def test_unparseable_lock_is_not_mine(self, tmp_path):
+        lock = FileLock(tmp_path / "a.lock")
+        assert lock.try_acquire()
+        lock.path.write_text("garbage{{{")  # torn by a hostile write
+        assert lock.read_holder() == {}
+        assert not lock.still_mine()
+
+    def test_holder_age_and_staleness(self, tmp_path):
+        lock = FileLock(tmp_path / "a.lock", stale_after_s=0.5)
+        assert lock.holder_age_s() is None
+        assert not lock.is_stale()
+        assert lock.try_acquire()
+        assert lock.holder_age_s() < 5.0
+        _backdate(lock, 2.0)
+        assert lock.is_stale()
+
+
+def _race_for_lock(path, slot, results):
+    """One contender process: try once, report the fence it won (or 0)."""
+    lock = FileLock(path, owner=f"proc-{slot}", stale_after_s=30.0)
+    won = lock.try_acquire()
+    results[slot] = lock.fence if won else 0
+    # Winners keep holding until the parent inspects the result.
+    if won:
+        time.sleep(0.5)
+        lock.release()
+
+
+class TestMultiprocessRace:
+    def test_exactly_one_winner_among_racing_processes(self, tmp_path):
+        path = tmp_path / "race.lock"
+        procs = 6
+        with multiprocessing.Manager() as manager:
+            results = manager.list([None] * procs)
+            workers = [multiprocessing.Process(
+                target=_race_for_lock, args=(path, i, results))
+                for i in range(procs)]
+            for worker in workers:
+                worker.start()
+            for worker in workers:
+                worker.join(10.0)
+            fences = list(results)
+        winners = [f for f in fences if f]
+        assert len(winners) == 1, fences
+        assert winners[0] == 1
+        record = json.loads(path.read_text()) if path.exists() else None
+        assert record is None  # winner released on its way out

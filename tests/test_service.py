@@ -1,8 +1,10 @@
 """The experiment service: submission model, journal, HTTP daemon,
-client, and the two acceptance chaos scenarios (SIGKILL-and-resume,
-SIGTERM drain under load)."""
+client, concurrent fair scheduling, and the acceptance chaos scenarios
+(SIGKILL-and-resume, SIGTERM drain under load)."""
 
 import json
+import socket
+import threading
 import urllib.error
 import urllib.request
 
@@ -15,8 +17,10 @@ from repro.service import (
     JobSpec,
     ServiceClient,
     ServiceError,
+    ServiceTimeout,
     ServiceUnavailable,
 )
+from repro.service.client import retry_delay_s
 from repro.service.daemon import read_endpoint
 from repro.telemetry import RunLedger
 
@@ -353,6 +357,182 @@ class TestServiceClient:
             client.submit({"name": "no_such_experiment"})
         assert parked_service.metrics.value(
             "service_rejections_total", reason="invalid") == 1
+
+
+# ----------------------------------------------------------------------
+# Concurrent fair scheduling + fault isolation
+# ----------------------------------------------------------------------
+
+class TestConcurrentScheduling:
+    def test_small_job_not_starved_by_big_sweep(self, tmp_path):
+        """Round-robin by chunk: a 1-job submission co-scheduled with a
+        12-job sweep finishes first even though it was submitted
+        second — the sweep cannot monopolize the service."""
+        service = ExperimentService(tmp_path / "svc", port=0, workers=1,
+                                    max_concurrent=2).start()
+        try:
+            client = ServiceClient(service.url, retries=1)
+            sweep_sid = client.submit({"name": PROBE, "seeds": 12})["sid"]
+            one_sid = client.submit({"name": PROBE, "seed": 9991})["sid"]
+            one = client.wait(one_sid, timeout_s=60.0)
+            sweep = client.wait(sweep_sid, timeout_s=120.0)
+            assert one["state"] == "done"
+            assert sweep["state"] == "done"
+            assert one["finished_ts"] < sweep["finished_ts"]
+        finally:
+            service.stop()
+
+    def test_jobs_expose_resource_accounting(self, tmp_path):
+        service = ExperimentService(tmp_path / "svc", port=0,
+                                    workers=1).start()
+        try:
+            client = ServiceClient(service.url, retries=1)
+            sid = client.submit({"name": PROBE, "seeds": 2})["sid"]
+            record = client.wait(sid, timeout_s=60.0)
+            assert record["wall_s"] > 0
+            assert record["peak_rss_kb"] > 0
+            assert record["inflight"] == 0  # settled: nothing in flight
+        finally:
+            service.stop()
+
+    def test_failed_outcome_replays_as_failed(self, tmp_path):
+        """A journaled ``failed`` completion is terminal on restart —
+        the poison is not re-enqueued and re-run."""
+        state_dir = tmp_path / "svc"
+        journal = JobJournal(state_dir / "jobs.jsonl")
+        spec = JobSpec.from_payload({"name": PROBE, "seeds": 2})
+        journal.submit(spec)
+        journal.start(spec.sid, "r1")
+        journal.done(spec.sid, "failed", jobs=2, errors=1, timeouts=1,
+                     error="poisoned by job x: outcome=timeout")
+        service = ExperimentService(state_dir, port=0, workers=1,
+                                    start_worker=False).start()
+        try:
+            rec = service.jobs[spec.sid]
+            assert rec.state == "failed"
+            assert "timeout" in rec.error
+            assert len(service.queue) == 0
+        finally:
+            service.stop()
+
+    def test_healthz_reports_scheduling_and_lock_state(self, parked_service):
+        client = ServiceClient(parked_service.url, retries=0)
+        client.submit({"name": PROBE, "seed": 31})
+        health = client.health()
+        assert health["queue_depth"] == 1
+        assert health["in_flight"] == 0
+        assert health["max_concurrent"] == 1
+        locks = health["locks"]
+        assert locks["held"] == 0
+        assert locks["takeovers"] == 0
+        assert locks["stale_after_s"] > 0
+
+    def test_metrics_expose_scheduler_gauges(self, parked_service):
+        text = ServiceClient(parked_service.url, retries=0).metrics_text()
+        assert "service_active_submissions" in text
+        assert "service_locks_held" in text
+        assert "service_max_concurrent 1" in text
+
+
+# ----------------------------------------------------------------------
+# Client: deterministic retry jitter + typed wait deadline
+# ----------------------------------------------------------------------
+
+class TestClientRetryJitter:
+    def test_schedule_is_deterministic_per_seed(self):
+        first = [retry_delay_s(0.25, a, seed=7) for a in range(5)]
+        again = [retry_delay_s(0.25, a, seed=7) for a in range(5)]
+        assert first == again
+
+    def test_different_seeds_produce_different_schedules(self):
+        a = [retry_delay_s(0.25, n, seed=1) for n in range(5)]
+        b = [retry_delay_s(0.25, n, seed=2) for n in range(5)]
+        assert a != b
+
+    def test_jitter_is_bounded_around_the_exponential(self):
+        for attempt in range(6):
+            for seed in range(20):
+                delay = retry_delay_s(0.25, attempt, seed=seed, cap_s=1e9)
+                base = 0.25 * (2 ** attempt)
+                assert 0.5 * base <= delay < 1.5 * base
+
+    def test_retry_after_floor_and_cap(self):
+        assert retry_delay_s(0.25, 0, retry_after="3", seed=0) >= 3.0
+        assert retry_delay_s(0.25, 10, seed=0, cap_s=5.0) == 5.0
+        # A malformed header falls back to the jittered exponential.
+        assert retry_delay_s(0.25, 0, retry_after="soon", seed=0) < 1.0
+
+    def test_clients_draw_distinct_seeds_by_default(self):
+        seeds = {ServiceClient("http://127.0.0.1:9").jitter_seed
+                 for _ in range(8)}
+        assert len(seeds) > 1
+
+
+class _StalledServer:
+    """Accepts TCP connections and never answers — a hung daemon."""
+
+    def __init__(self):
+        self.sock = socket.socket()
+        self.sock.bind(("127.0.0.1", 0))
+        self.sock.listen(8)
+        self.port = self.sock.getsockname()[1]
+        self.conns = []
+        self.thread = threading.Thread(target=self._accept_loop, daemon=True)
+        self.thread.start()
+
+    def _accept_loop(self):
+        while True:
+            try:
+                conn, _addr = self.sock.accept()
+            except OSError:
+                return
+            self.conns.append(conn)  # hold open, never respond
+
+    def close(self):
+        self.sock.close()
+        for conn in self.conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+
+class TestWaitDeadline:
+    def test_wait_raises_service_timeout_against_stalled_daemon(self):
+        import time as _time
+
+        server = _StalledServer()
+        try:
+            client = ServiceClient(f"http://127.0.0.1:{server.port}",
+                                   timeout_s=0.5, retries=0)
+            started = _time.monotonic()
+            with pytest.raises(ServiceTimeout):
+                client.wait("feedfacecafe", timeout_s=1.0, poll_s=0.05)
+            elapsed = _time.monotonic() - started
+            # Hard bound: the deadline caps the in-flight request too.
+            assert elapsed < 5.0
+        finally:
+            server.close()
+
+    def test_service_timeout_is_a_timeout_error(self):
+        assert issubclass(ServiceTimeout, TimeoutError)
+        assert issubclass(ServiceTimeout, ServiceError)
+
+    def test_wait_deadline_parameter_wins_over_timeout(self):
+        import time as _time
+
+        server = _StalledServer()
+        try:
+            client = ServiceClient(f"http://127.0.0.1:{server.port}",
+                                   timeout_s=0.5, retries=0)
+            deadline = _time.monotonic() + 0.3
+            started = _time.monotonic()
+            with pytest.raises(ServiceTimeout):
+                client.wait("feedfacecafe", timeout_s=60.0, poll_s=0.05,
+                            deadline=deadline)
+            assert _time.monotonic() - started < 5.0
+        finally:
+            server.close()
 
 
 # ----------------------------------------------------------------------

@@ -10,12 +10,14 @@ proves that byte-for-byte, not just for one lucky cut point.
 """
 
 import json
+import multiprocessing
 
 import pytest
 
 from repro.experiments.checkpoint import SweepCheckpoint, job_key
 from repro.experiments.result import ExperimentResult
 from repro.service import JobJournal, JobSpec
+from repro.telemetry import RunLedger
 from repro.utils.jsonl import append_record
 
 PROBE = "sidedness_ablation"
@@ -169,6 +171,74 @@ class TestCheckpointTornAtEveryOffset:
             checkpoint = SweepCheckpoint(path)
             assert checkpoint.load() == {}
             assert checkpoint.corrupt_lines == (1 if cut else 0)
+
+
+def _hammer_journal(path, worker, per_worker):
+    """One process appending ``per_worker`` submissions to a shared
+    journal — each a full submit/start/done triple."""
+    journal = JobJournal(path)
+    for i in range(per_worker):
+        spec = JobSpec.from_payload(
+            {"name": PROBE, "seed": worker * 10_000 + i})
+        journal.submit(spec)
+        journal.start(spec.sid, f"run-{worker}-{i}")
+        journal.done(spec.sid, "ok", jobs=1, errors=0)
+
+
+def _hammer_ledger(path, worker, per_worker):
+    ledger = RunLedger(path)
+    for i in range(per_worker):
+        ledger.record(_result(worker * 10_000 + i), command="hammer")
+
+
+class TestConcurrentAppenders:
+    """N processes hammering one journal / ledger: whole-record
+    ``O_APPEND`` writes mean ZERO torn or interleaved lines — the
+    byte-level guarantee the multi-daemon shared state dir rests on."""
+
+    PROCS = 4
+    PER_WORKER = 25
+
+    def _spawn(self, target, path):
+        workers = [multiprocessing.Process(
+            target=target, args=(path, w, self.PER_WORKER))
+            for w in range(self.PROCS)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join(60.0)
+            assert worker.exitcode == 0
+
+    def test_journal_survives_concurrent_appenders(self, tmp_path):
+        path = tmp_path / "jobs.jsonl"
+        self._spawn(_hammer_journal, path)
+
+        # Every line parses on its own: no tears, no interleaving.
+        lines = path.read_bytes().splitlines()
+        records = [json.loads(line) for line in lines]
+        assert len(records) == self.PROCS * self.PER_WORKER * 3
+
+        state = JobJournal(path).replay()
+        assert state.corrupt_lines == 0
+        assert len(state.order) == self.PROCS * self.PER_WORKER
+        assert len(state.done) == self.PROCS * self.PER_WORKER
+        assert state.pending() == []
+
+    def test_ledger_survives_concurrent_appenders(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        self._spawn(_hammer_ledger, path)
+
+        lines = path.read_bytes().splitlines()
+        assert all(json.loads(line) for line in lines)
+        assert len(lines) == self.PROCS * self.PER_WORKER
+
+        ledger = RunLedger(path)
+        records = ledger.scan()
+        assert ledger.corrupt_lines == 0
+        assert len(records) == self.PROCS * self.PER_WORKER
+        seeds = sorted(r["seed"] for r in records)
+        assert seeds == sorted(w * 10_000 + i for w in range(self.PROCS)
+                               for i in range(self.PER_WORKER))
 
 
 class TestAppendRecordTornTailContract:
